@@ -1,0 +1,92 @@
+//! Pick-A-Perm (Schalekamp & van Zuylen 2009): choose the best base ranking as consensus.
+//!
+//! Returns the base ranking with the lowest total Kendall tau distance to the rest of the
+//! profile — a classic 2-approximation of the Kemeny optimum. The paper's Pick-Fairest-Perm
+//! baseline is a fairness-aware variant (it picks the *fairest* base ranking instead); that
+//! variant lives in `mani-core::baselines` because it needs fairness metrics.
+
+use mani_ranking::{Ranking, RankingProfile, Result};
+
+use crate::traits::ConsensusMethod;
+
+/// The Pick-A-Perm consensus method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PickAPerm;
+
+impl PickAPerm {
+    /// Creates a Pick-A-Perm aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Index of the base ranking with the lowest total Kendall distance to the profile.
+    pub fn best_index(&self, profile: &RankingProfile) -> Result<usize> {
+        let mut best = 0usize;
+        let mut best_cost = u64::MAX;
+        for (i, ranking) in profile.rankings().iter().enumerate() {
+            let cost = profile.total_kendall_distance(ranking)?;
+            if cost < best_cost {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// The chosen consensus ranking (a clone of the best base ranking).
+    pub fn consensus(&self, profile: &RankingProfile) -> Result<Ranking> {
+        Ok(profile.rankings()[self.best_index(profile)?].clone())
+    }
+}
+
+impl ConsensusMethod for PickAPerm {
+    fn name(&self) -> &'static str {
+        "Pick-A-Perm"
+    }
+
+    fn aggregate(&self, profile: &RankingProfile) -> Result<Ranking> {
+        self.consensus(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_the_majority_ranking() {
+        let popular = Ranking::from_ids([1, 0, 2, 3]).unwrap();
+        let outlier = popular.reversed();
+        let profile =
+            RankingProfile::new(vec![popular.clone(), popular.clone(), outlier]).unwrap();
+        let picked = PickAPerm::new().consensus(&profile).unwrap();
+        assert_eq!(picked, popular);
+        assert_eq!(PickAPerm::new().best_index(&profile).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_ranking_profile_returns_it() {
+        let r = Ranking::from_ids([2, 1, 0]).unwrap();
+        let profile = RankingProfile::new(vec![r.clone()]).unwrap();
+        assert_eq!(PickAPerm::new().consensus(&profile).unwrap(), r);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_picked_ranking_is_a_member_and_minimises(n in 2usize..10, m in 1usize..7, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings.clone()).unwrap();
+            let picker = PickAPerm::new();
+            let picked = picker.consensus(&profile).unwrap();
+            prop_assert!(rankings.contains(&picked));
+            let picked_cost = profile.total_kendall_distance(&picked).unwrap();
+            for r in &rankings {
+                prop_assert!(picked_cost <= profile.total_kendall_distance(r).unwrap());
+            }
+        }
+    }
+}

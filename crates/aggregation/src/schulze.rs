@@ -1,0 +1,188 @@
+//! Schulze method (Schulze 2018): strongest-path consensus ranking.
+//!
+//! The precedence matrix is treated as a weighted directed graph whose edge `a → b` carries
+//! the number of base rankings preferring `a` over `b`. The *strength* of a path is the
+//! weight of its weakest edge; `p[a][b]` is the strength of the strongest path from `a` to
+//! `b`, computed with a Floyd–Warshall variant in O(n³). Candidates are then ordered by how
+//! many opponents they beat in the strongest-path comparison (`p[a][b] > p[b][a]`), which
+//! yields a complete, Condorcet-consistent order; ties are broken by candidate id.
+
+use mani_ranking::{CandidateId, PrecedenceMatrix, Ranking, RankingProfile, Result};
+
+use crate::borda::ranking_from_points;
+use crate::traits::ConsensusMethod;
+
+/// The Schulze consensus method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchulzeAggregator;
+
+impl SchulzeAggregator {
+    /// Creates a Schulze aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the matrix of strongest path strengths `p[a][b]`.
+    ///
+    /// Only edges with positive support participate (the standard "winning votes" variant:
+    /// an edge exists from `a` to `b` when more rankings prefer `a` to `b` than vice versa).
+    pub fn strongest_paths(&self, matrix: &PrecedenceMatrix) -> Vec<Vec<u64>> {
+        let n = matrix.num_candidates();
+        let mut p = vec![vec![0u64; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (CandidateId(a as u32), CandidateId(b as u32));
+                let support = matrix.support_for(ca, cb) as u64;
+                let against = matrix.support_for(cb, ca) as u64;
+                if support > against {
+                    p[a][b] = support;
+                }
+            }
+        }
+        for k in 0..n {
+            for a in 0..n {
+                if a == k {
+                    continue;
+                }
+                for b in 0..n {
+                    if b == a || b == k {
+                        continue;
+                    }
+                    let through_k = p[a][k].min(p[k][b]);
+                    if through_k > p[a][b] {
+                        p[a][b] = through_k;
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// Computes the Schulze consensus from a precomputed precedence matrix.
+    pub fn consensus_from_matrix(&self, matrix: &PrecedenceMatrix) -> Ranking {
+        let n = matrix.num_candidates();
+        let p = self.strongest_paths(matrix);
+        // Score = number of opponents beaten in the strongest-path relation.
+        let mut scores = vec![0u64; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && p[a][b] > p[b][a] {
+                    scores[a] += 1;
+                }
+            }
+        }
+        ranking_from_points(&scores)
+    }
+
+    /// Computes the Schulze consensus for a profile.
+    pub fn consensus(&self, profile: &RankingProfile) -> Ranking {
+        self.consensus_from_matrix(&profile.precedence_matrix())
+    }
+}
+
+impl ConsensusMethod for SchulzeAggregator {
+    fn name(&self) -> &'static str {
+        "Schulze"
+    }
+
+    fn aggregate(&self, profile: &RankingProfile) -> Result<Ranking> {
+        Ok(self.consensus(profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unanimous_profile_returns_the_common_ranking() {
+        let r = Ranking::from_ids([2, 0, 3, 1]).unwrap();
+        let profile = RankingProfile::new(vec![r.clone(); 4]).unwrap();
+        assert_eq!(SchulzeAggregator::new().consensus(&profile), r);
+    }
+
+    #[test]
+    fn condorcet_winner_is_ranked_first() {
+        let profile = RankingProfile::new(vec![
+            Ranking::from_ids([1, 0, 2]).unwrap(),
+            Ranking::from_ids([1, 2, 0]).unwrap(),
+            Ranking::from_ids([0, 1, 2]).unwrap(),
+        ])
+        .unwrap();
+        let consensus = SchulzeAggregator::new().consensus(&profile);
+        assert_eq!(consensus.candidate_at(0), CandidateId(1));
+    }
+
+    #[test]
+    fn strongest_paths_classic_example() {
+        // Wikipedia-style 3-candidate cycle check: A > B (2 of 3), B > C (2 of 3), C > A (2 of 3)
+        // forms a majority cycle; strongest paths must still be computed consistently.
+        let profile = RankingProfile::new(vec![
+            Ranking::from_ids([0, 1, 2]).unwrap(),
+            Ranking::from_ids([1, 2, 0]).unwrap(),
+            Ranking::from_ids([2, 0, 1]).unwrap(),
+        ])
+        .unwrap();
+        let matrix = profile.precedence_matrix();
+        let p = SchulzeAggregator::new().strongest_paths(&matrix);
+        // Every direct majority edge has weight 2, and the cycle gives every pair a path of
+        // strength 2 in both directions -> complete tie.
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    assert_eq!(p[a][b], 2, "p[{a}][{b}]");
+                }
+            }
+        }
+        // Ties are broken by id, so the consensus is the identity ranking.
+        let consensus = SchulzeAggregator::new().consensus_from_matrix(&matrix);
+        assert_eq!(consensus, Ranking::identity(3));
+    }
+
+    #[test]
+    fn strongest_path_at_least_direct_support() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let rankings: Vec<Ranking> = (0..7).map(|_| Ranking::random(6, &mut rng)).collect();
+        let profile = RankingProfile::new(rankings).unwrap();
+        let matrix = profile.precedence_matrix();
+        let p = SchulzeAggregator::new().strongest_paths(&matrix);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (CandidateId(a as u32), CandidateId(b as u32));
+                let support = matrix.support_for(ca, cb) as u64;
+                let against = matrix.support_for(cb, ca) as u64;
+                if support > against {
+                    assert!(p[a][b] >= support);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schulze_is_valid_permutation(n in 1usize..15, m in 1usize..8, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings).unwrap();
+            let consensus = SchulzeAggregator::new().consensus(&profile);
+            prop_assert!(consensus.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn prop_unanimous_profile_is_reproduced(n in 2usize..12, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = Ranking::random(n, &mut rng);
+            let profile = RankingProfile::new(vec![base.clone(); 3]).unwrap();
+            prop_assert_eq!(SchulzeAggregator::new().consensus(&profile), base);
+        }
+    }
+}

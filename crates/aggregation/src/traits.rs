@@ -1,0 +1,44 @@
+//! The [`ConsensusMethod`] trait: a uniform interface over rank aggregation algorithms.
+
+use mani_ranking::{Ranking, RankingProfile, Result};
+
+/// A rank aggregation algorithm: consumes a profile of base rankings and produces a single
+/// consensus ranking.
+///
+/// Implementations must be deterministic: ties are broken by candidate id so that repeated
+/// runs (and the experiment harness) produce identical output.
+pub trait ConsensusMethod {
+    /// Human-readable method name used in experiment output (e.g. `"Borda"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the consensus ranking for a profile.
+    fn aggregate(&self, profile: &RankingProfile) -> Result<Ranking>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FirstRanking;
+
+    impl ConsensusMethod for FirstRanking {
+        fn name(&self) -> &'static str {
+            "First"
+        }
+
+        fn aggregate(&self, profile: &RankingProfile) -> Result<Ranking> {
+            Ok(profile.rankings()[0].clone())
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let method: Box<dyn ConsensusMethod> = Box::new(FirstRanking);
+        let profile =
+            RankingProfile::new(vec![Ranking::identity(3), Ranking::identity(3).reversed()])
+                .unwrap();
+        let consensus = method.aggregate(&profile).unwrap();
+        assert_eq!(consensus, Ranking::identity(3));
+        assert_eq!(method.name(), "First");
+    }
+}

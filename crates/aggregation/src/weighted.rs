@@ -1,0 +1,154 @@
+//! Weighted ranking profiles, the substrate of the paper's Kemeny-Weighted baseline.
+//!
+//! Kemeny-Weighted (Section IV-B) orders the base rankings from least to most fair and
+//! weights the fairest ranking by `|R|` and the least fair by 1, then aggregates the
+//! weighted profile. This module provides the weighting machinery independent of how the
+//! weights are chosen; `mani-core::baselines` supplies the fairness-derived weights.
+
+use mani_ranking::{PrecedenceMatrix, Ranking, RankingProfile, Result};
+
+use crate::borda::ranking_from_points;
+use crate::scoring::weighted_borda_points;
+
+/// A ranking profile together with a positive integer weight per base ranking.
+#[derive(Debug, Clone)]
+pub struct WeightedProfile {
+    profile: RankingProfile,
+    weights: Vec<u64>,
+}
+
+impl WeightedProfile {
+    /// Pairs a profile with per-ranking weights.
+    pub fn new(profile: RankingProfile, weights: Vec<u64>) -> Result<Self> {
+        if profile.len() != weights.len() {
+            return Err(mani_ranking::RankingError::LengthMismatch {
+                left: profile.len(),
+                right: weights.len(),
+            });
+        }
+        Ok(Self { profile, weights })
+    }
+
+    /// Uniform weights of one — equivalent to the unweighted profile.
+    pub fn uniform(profile: RankingProfile) -> Self {
+        let weights = vec![1u64; profile.len()];
+        Self { profile, weights }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &RankingProfile {
+        &self.profile
+    }
+
+    /// The per-ranking weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Total weight across the profile.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weighted precedence matrix: ranking `i` contributes `weights[i]` votes per pair.
+    pub fn precedence_matrix(&self) -> Result<PrecedenceMatrix> {
+        weighted_precedence_matrix(&self.profile, &self.weights)
+    }
+
+    /// Weighted Borda consensus: candidates ordered by weight-scaled Borda points.
+    pub fn borda_consensus(&self) -> Ranking {
+        let points = weighted_borda_points(&self.profile, &self.weights);
+        ranking_from_points(&points)
+    }
+
+    /// Weighted Kendall-tau cost of a consensus ranking.
+    pub fn weighted_cost(&self, consensus: &Ranking) -> Result<u64> {
+        let mut total = 0u64;
+        for (ranking, &w) in self.profile.rankings().iter().zip(&self.weights) {
+            total += mani_ranking::kendall_tau(consensus, ranking)? * w;
+        }
+        Ok(total)
+    }
+}
+
+/// Builds a weighted precedence matrix (weights capped at `u32::MAX` per ranking).
+pub fn weighted_precedence_matrix(
+    profile: &RankingProfile,
+    weights: &[u64],
+) -> Result<PrecedenceMatrix> {
+    let narrowed: Vec<u32> = weights
+        .iter()
+        .map(|&w| u32::try_from(w).unwrap_or(u32::MAX))
+        .collect();
+    PrecedenceMatrix::from_weighted_rankings(profile.rankings(), &narrowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::CandidateId;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_mismatched_weight_vector() {
+        let profile = RankingProfile::new(vec![Ranking::identity(3)]).unwrap();
+        assert!(WeightedProfile::new(profile, vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_borda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rankings: Vec<Ranking> = (0..5).map(|_| Ranking::random(6, &mut rng)).collect();
+        let profile = RankingProfile::new(rankings).unwrap();
+        let weighted = WeightedProfile::uniform(profile.clone());
+        let unweighted = crate::borda::BordaAggregator::new().consensus(&profile);
+        assert_eq!(weighted.borda_consensus(), unweighted);
+        assert_eq!(weighted.total_weight(), 5);
+    }
+
+    #[test]
+    fn heavy_weight_dominates_consensus() {
+        let favourite = Ranking::from_ids([2, 1, 0]).unwrap();
+        let other = favourite.reversed();
+        let profile = RankingProfile::new(vec![favourite.clone(), other.clone(), other]).unwrap();
+        // Unweighted, the two copies of `other` win; weighting the favourite by 10 flips it.
+        let weighted = WeightedProfile::new(profile, vec![10, 1, 1]).unwrap();
+        let consensus = weighted.borda_consensus();
+        assert_eq!(consensus.candidate_at(0), CandidateId(2));
+    }
+
+    #[test]
+    fn weighted_cost_scales_with_weights() {
+        let a = Ranking::identity(4);
+        let b = a.reversed();
+        let profile = RankingProfile::new(vec![a.clone(), b.clone()]).unwrap();
+        let weighted = WeightedProfile::new(profile, vec![3, 1]).unwrap();
+        // cost of consensus == a: 3*0 + 1*6 = 6; consensus == b: 3*6 + 0 = 18.
+        assert_eq!(weighted.weighted_cost(&a).unwrap(), 6);
+        assert_eq!(weighted.weighted_cost(&b).unwrap(), 18);
+    }
+
+    #[test]
+    fn weighted_matrix_respects_weights() {
+        let a = Ranking::identity(2);
+        let b = a.reversed();
+        let profile = RankingProfile::new(vec![a, b]).unwrap();
+        let matrix = weighted_precedence_matrix(&profile, &[4, 1]).unwrap();
+        assert_eq!(matrix.support_for(CandidateId(0), CandidateId(1)), 4);
+        assert_eq!(matrix.support_for(CandidateId(1), CandidateId(0)), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weighted_consensus_is_valid(n in 1usize..12, m in 1usize..6, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings).unwrap();
+            let weights: Vec<u64> = (1..=m as u64).collect();
+            let weighted = WeightedProfile::new(profile, weights).unwrap();
+            prop_assert!(weighted.borda_consensus().check_invariants().is_ok());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 3 bench: constraint-formulation comparison via the exact solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::bench_scale;
+use mani_experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.thetas = vec![0.6];
+    scale.solver_max_nodes = 20_000;
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("constraint_comparison", |b| {
+        b.iter(|| fig3::run(&scale).expect("fig3 run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

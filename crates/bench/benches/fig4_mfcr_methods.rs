@@ -1,0 +1,27 @@
+//! Figure 4 bench: one iteration of every MFCR method on the Low-Fair workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::MethodKind;
+
+fn bench(c: &mut Criterion) {
+    let fixture = BenchFixture::low_fair(40, 25, 0.6, 4);
+    let ctx = fixture.context(0.1);
+    let mut group = c.benchmark_group("fig4_methods");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::FairSchulze,
+        MethodKind::FairBorda,
+        MethodKind::FairCopeland,
+        MethodKind::PickFairestPerm,
+        MethodKind::CorrectFairestPerm,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| kind.instantiate().solve(&ctx).expect("method run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 5 bench: Price-of-Fairness sweep (θ and Δ panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::bench_scale;
+use mani_experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.thetas = vec![0.6];
+    scale.deltas = vec![0.1, 0.3];
+    scale.solver_max_nodes = 20_000;
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("price_of_fairness", |b| {
+        b.iter(|| fig5::run(&scale).expect("fig5 run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 6 bench: Fair-* methods as the number of base rankings grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::MethodKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_ranker_scale");
+    group.sample_size(10);
+    for &num_rankings in &[10usize, 50, 200] {
+        let fixture = BenchFixture::low_fair(40, num_rankings, 0.6, 6);
+        let ctx = fixture.context(0.1);
+        for kind in [MethodKind::FairBorda, MethodKind::FairCopeland] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), num_rankings),
+                &num_rankings,
+                |b, _| b.iter(|| kind.instantiate().solve(&ctx).expect("method run")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

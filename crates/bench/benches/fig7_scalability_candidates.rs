@@ -1,0 +1,27 @@
+//! Figure 7 bench: Fair-* methods as the number of candidates grows, at two Δ values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::MethodKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_candidate_scale");
+    group.sample_size(10);
+    for &n in &[30usize, 60, 120] {
+        let fixture = BenchFixture::low_fair(n, 20, 0.6, 7);
+        for &delta in &[0.1f64, 0.33] {
+            let ctx = fixture.context(delta);
+            group.bench_with_input(
+                BenchmarkId::new(format!("fair_borda_delta_{delta}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| MethodKind::FairBorda.instantiate().solve(&ctx).expect("run"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the core primitives every experiment rests on: Kendall tau, FPR
+//! scans, precedence-matrix construction, Mallows sampling, and Make-MR-Fair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::make_mr_fair;
+use mani_fairness::{FairnessThresholds, ParityScores};
+use mani_ranking::{kendall_tau, PrecedenceMatrix, Ranking};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+
+    for &n in &[100usize, 1_000] {
+        let a = Ranking::identity(n);
+        let b_rank = a.reversed();
+        group.bench_with_input(BenchmarkId::new("kendall_tau", n), &n, |bench, _| {
+            bench.iter(|| kendall_tau(&a, &b_rank).unwrap())
+        });
+    }
+
+    let fixture = BenchFixture::low_fair(200, 50, 0.6, 11);
+    group.bench_function("precedence_matrix/200x50", |b| {
+        b.iter(|| PrecedenceMatrix::from_rankings(fixture.profile.rankings()).unwrap())
+    });
+    group.bench_function("parity_scores/200", |b| {
+        let ranking = &fixture.profile.rankings()[0];
+        b.iter(|| ParityScores::compute(ranking, &fixture.groups))
+    });
+    group.bench_function("make_mr_fair/200", |b| {
+        let ranking = &fixture.profile.rankings()[0];
+        b.iter(|| make_mr_fair(ranking, &fixture.groups, &FairnessThresholds::uniform(0.1)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table I bench: generating the Low/Medium/High-Fair Mallows datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::bench_scale;
+use mani_experiments::datasets;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table1/generate_datasets", |b| {
+        b.iter(|| datasets::table1(&scale))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

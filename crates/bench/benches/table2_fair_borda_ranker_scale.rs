@@ -1,0 +1,23 @@
+//! Table II bench: Fair-Borda with large numbers of base rankings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::{FairBorda, MfcrMethod};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_fair_borda_rankers");
+    group.sample_size(10);
+    for &num_rankings in &[100usize, 1_000, 5_000] {
+        let fixture = BenchFixture::low_fair(40, num_rankings, 0.6, 2);
+        let ctx = fixture.context(0.1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_rankings),
+            &num_rankings,
+            |b, _| b.iter(|| FairBorda::new().solve(&ctx).expect("run")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table III bench: Fair-Borda with large candidate sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mani_bench::BenchFixture;
+use mani_core::{FairBorda, MfcrMethod};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_fair_borda_candidates");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 600] {
+        let fixture = BenchFixture::low_fair(n, 20, 0.6, 3);
+        let ctx = fixture.context(0.33);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| FairBorda::new().solve(&ctx).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

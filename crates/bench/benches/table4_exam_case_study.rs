@@ -1,0 +1,20 @@
+//! Table IV bench: the full exam case study (dataset generation + all methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::bench_scale;
+use mani_experiments::table4;
+
+fn bench(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.exam_students = 100;
+    scale.solver_max_nodes = 20_000;
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("exam_case_study", |b| {
+        b.iter(|| table4::run(&scale).expect("table4 run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

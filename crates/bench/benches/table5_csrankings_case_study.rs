@@ -1,0 +1,20 @@
+//! Table V bench: the full CSRankings case study (dataset generation + all methods).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mani_bench::bench_scale;
+use mani_experiments::table5;
+
+fn bench(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.csrankings_years = 10;
+    scale.solver_max_nodes = 20_000;
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("csrankings_case_study", |b| {
+        b.iter(|| table5::run(&scale).expect("table5 run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

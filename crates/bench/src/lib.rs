@@ -1,0 +1,73 @@
+//! # mani-bench
+//!
+//! Criterion benchmark harness for the MANI-Rank reproduction. Every table and figure in
+//! the paper's evaluation has a corresponding bench target (see `benches/`), each of which
+//! exercises the same experiment module from `mani-experiments` at the smoke scale and
+//! additionally micro-benchmarks the method(s) the table/figure is about.
+//!
+//! This library crate only hosts shared fixture helpers so individual bench files stay
+//! small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mani_core::MfcrContext;
+use mani_datagen::{binary_population, FairnessTarget, MallowsModel, ModalRankingBuilder};
+use mani_experiments::Scale;
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDb, GroupIndex, RankingProfile};
+
+/// An owned benchmark fixture: database, groups, and base rankings.
+pub struct BenchFixture {
+    /// Candidate database.
+    pub db: CandidateDb,
+    /// Group index.
+    pub groups: GroupIndex,
+    /// Base rankings.
+    pub profile: RankingProfile,
+}
+
+impl BenchFixture {
+    /// A binary Gender × Race workload with a Low-Fair modal ranking.
+    pub fn low_fair(num_candidates: usize, num_rankings: usize, theta: f64, seed: u64) -> Self {
+        let db = binary_population(num_candidates, 0.5, 0.5, seed);
+        let groups = GroupIndex::new(&db);
+        let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
+        let profile = MallowsModel::new(modal, theta).sample_profile(num_rankings, seed ^ 0xBEEF);
+        Self {
+            db,
+            groups,
+            profile,
+        }
+    }
+
+    /// Borrows an [`MfcrContext`] with a uniform Δ.
+    pub fn context(&self, delta: f64) -> MfcrContext<'_> {
+        MfcrContext::new(
+            &self.db,
+            &self.groups,
+            &self.profile,
+            FairnessThresholds::uniform(delta),
+        )
+    }
+}
+
+/// The scale used by all bench targets (smoke: seconds per target).
+pub fn bench_scale() -> Scale {
+    Scale::smoke()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_consistent_sizes() {
+        let fixture = BenchFixture::low_fair(20, 10, 0.6, 1);
+        assert_eq!(fixture.db.len(), 20);
+        assert_eq!(fixture.profile.len(), 10);
+        let ctx = fixture.context(0.2);
+        assert_eq!(ctx.profile.num_candidates(), 20);
+        assert_eq!(bench_scale().name, "smoke");
+    }
+}

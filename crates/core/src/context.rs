@@ -1,0 +1,92 @@
+//! Shared input bundle for MFCR methods.
+
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDb, GroupIndex, RankingProfile};
+
+/// Everything an MFCR method needs: the candidate database, its group index, the base
+/// rankings, and the fairness thresholds Δ.
+#[derive(Debug, Clone)]
+pub struct MfcrContext<'a> {
+    /// Candidate database `X`.
+    pub db: &'a CandidateDb,
+    /// Precomputed group index over `X`.
+    pub groups: &'a GroupIndex,
+    /// Base rankings `R`.
+    pub profile: &'a RankingProfile,
+    /// Fairness thresholds (uniform Δ or per-axis overrides).
+    pub thresholds: FairnessThresholds,
+}
+
+impl<'a> MfcrContext<'a> {
+    /// Bundles the MFCR inputs.
+    ///
+    /// # Panics
+    /// Panics if the profile's candidate count does not match the database — mixing inputs
+    /// from different populations is a programming error.
+    pub fn new(
+        db: &'a CandidateDb,
+        groups: &'a GroupIndex,
+        profile: &'a RankingProfile,
+        thresholds: FairnessThresholds,
+    ) -> Self {
+        assert_eq!(
+            db.len(),
+            profile.num_candidates(),
+            "profile and database must cover the same candidates"
+        );
+        assert_eq!(
+            db.len(),
+            groups.num_candidates(),
+            "group index and database must cover the same candidates"
+        );
+        Self {
+            db,
+            groups,
+            profile,
+            thresholds,
+        }
+    }
+
+    /// Attribute names in schema order (used to label solver constraints).
+    pub fn attribute_labels(&self) -> Vec<String> {
+        self.db
+            .schema()
+            .attributes()
+            .map(|(_, a)| a.name().to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::{CandidateDbBuilder, Ranking};
+
+    fn db() -> CandidateDb {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        for i in 0..4usize {
+            b.add_candidate(format!("c{i}"), [(g, i % 2)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn context_bundles_inputs() {
+        let db = db();
+        let groups = GroupIndex::new(&db);
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2));
+        assert_eq!(ctx.attribute_labels(), vec!["Gender".to_string()]);
+        assert_eq!(ctx.thresholds.default_delta(), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same candidates")]
+    fn mismatched_profile_is_rejected() {
+        let db = db();
+        let groups = GroupIndex::new(&db);
+        let profile = RankingProfile::new(vec![Ranking::identity(5)]).unwrap();
+        let _ = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::default());
+    }
+}

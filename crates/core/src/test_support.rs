@@ -1,0 +1,44 @@
+//! Shared fixtures for the crate's unit tests (compiled only under `cfg(test)`).
+
+use mani_datagen::{binary_population, FairnessTarget, MallowsModel, ModalRankingBuilder};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDb, GroupIndex, RankingProfile};
+
+use crate::context::MfcrContext;
+
+/// Owns a generated database + profile so tests can borrow an [`MfcrContext`] from it.
+pub struct TestFixture {
+    pub db: CandidateDb,
+    pub groups: GroupIndex,
+    pub profile: RankingProfile,
+}
+
+impl TestFixture {
+    /// A Low-Fair Mallows workload over a binary Gender × binary Race population.
+    pub fn low_fair(n: usize, m: usize, theta: f64, seed: u64) -> Self {
+        Self::with_target(n, m, theta, seed, FairnessTarget::low_fair(2))
+    }
+
+    /// A Mallows workload with an explicit modal fairness target.
+    pub fn with_target(n: usize, m: usize, theta: f64, seed: u64, target: FairnessTarget) -> Self {
+        let db = binary_population(n, 0.5, 0.5, seed);
+        let groups = GroupIndex::new(&db);
+        let modal = ModalRankingBuilder::new(&db).build(&target);
+        let profile = MallowsModel::new(modal, theta).sample_profile(m, seed ^ 0xABCD);
+        Self {
+            db,
+            groups,
+            profile,
+        }
+    }
+}
+
+/// Context with a uniform Δ over a fixture.
+pub fn low_fair_context(fixture: &TestFixture, delta: f64) -> MfcrContext<'_> {
+    context_with(fixture, FairnessThresholds::uniform(delta))
+}
+
+/// Context with explicit thresholds over a fixture.
+pub fn context_with(fixture: &TestFixture, thresholds: FairnessThresholds) -> MfcrContext<'_> {
+    MfcrContext::new(&fixture.db, &fixture.groups, &fixture.profile, thresholds)
+}

@@ -1,0 +1,235 @@
+//! Candidate population builders for the paper's experimental settings.
+
+use mani_ranking::{CandidateDb, CandidateDbBuilder, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::seed::rng_from_seed;
+
+/// Specification of one protected attribute: a name, its values, and the relative share of
+/// candidates per value.
+#[derive(Debug, Clone)]
+pub struct AttributeSpec {
+    /// Attribute name (e.g. `"Gender"`).
+    pub name: String,
+    /// Value names.
+    pub values: Vec<String>,
+    /// Relative shares per value; normalised internally. Must match `values` in length.
+    pub shares: Vec<f64>,
+}
+
+impl AttributeSpec {
+    /// Uniform shares over the given values.
+    pub fn uniform(name: impl Into<String>, values: &[&str]) -> Self {
+        let values: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        let shares = vec![1.0; values.len()];
+        Self {
+            name: name.into(),
+            values,
+            shares,
+        }
+    }
+
+    /// Explicit shares per value.
+    pub fn with_shares(name: impl Into<String>, values: &[&str], shares: &[f64]) -> Self {
+        Self {
+            name: name.into(),
+            values: values.iter().map(|v| v.to_string()).collect(),
+            shares: shares.to_vec(),
+        }
+    }
+}
+
+/// The paper's main experimental population (Table I): 90 candidates with Gender
+/// (Man/Woman/NonBinary) and Race (5 values), 6 candidates in each of the 15
+/// intersectional groups.
+pub fn paper_population_90() -> CandidateDb {
+    gender_race_population(6)
+}
+
+/// A balanced Gender (3 values) × Race (5 values) population with `per_cell` candidates in
+/// each of the 15 intersectional cells — the paper's population shape at any size.
+pub fn gender_race_population(per_cell: usize) -> CandidateDb {
+    assert!(per_cell >= 1, "need at least one candidate per cell");
+    let mut builder = CandidateDbBuilder::new();
+    let gender = builder
+        .add_attribute("Gender", ["Man", "Woman", "NonBinary"])
+        .expect("static attribute is valid");
+    let race = builder
+        .add_attribute("Race", ["AlaskaNat", "Asian", "Black", "NatHawaii", "White"])
+        .expect("static attribute is valid");
+    let mut i = 0usize;
+    for g in 0..3usize {
+        for r in 0..5usize {
+            for _ in 0..per_cell {
+                builder
+                    .add_candidate(format!("cand-{i:03}"), [(gender, g), (race, r)])
+                    .expect("assignments are within the declared domains");
+                i += 1;
+            }
+        }
+    }
+    builder.build().expect("non-empty database")
+}
+
+/// A compact balanced population used for exact-solver experiments: Gender (2 values) ×
+/// Race (3 values) with `per_cell` candidates in each of the 6 intersectional cells.
+///
+/// The paper runs its constraint-formulation study (Figure 3) on the full 90-candidate
+/// population via CPLEX; our branch-and-bound substitute needs a smaller instance, and this
+/// keeps every intersectional cell populated so tight Δ values remain feasible.
+pub fn compact_population(per_cell: usize) -> CandidateDb {
+    assert!(per_cell >= 1, "need at least one candidate per cell");
+    let mut builder = CandidateDbBuilder::new();
+    let gender = builder
+        .add_attribute("Gender", ["Man", "Woman"])
+        .expect("static attribute is valid");
+    let race = builder
+        .add_attribute("Race", ["GroupA", "GroupB", "GroupC"])
+        .expect("static attribute is valid");
+    let mut i = 0usize;
+    for g in 0..2usize {
+        for r in 0..3usize {
+            for _ in 0..per_cell {
+                builder
+                    .add_candidate(format!("cand-{i:03}"), [(gender, g), (race, r)])
+                    .expect("assignments are within the declared domains");
+                i += 1;
+            }
+        }
+    }
+    builder.build().expect("non-empty database")
+}
+
+/// Binary Gender × binary Race population of `n` candidates with the given group shares,
+/// as used by the paper's scalability studies (Figures 6 and 7).
+///
+/// `gender_share` and `race_share` give the fraction of candidates carrying the first
+/// value of each attribute; assignments are interleaved deterministically then shuffled
+/// with `seed` so intersection cells stay close to the product distribution.
+pub fn binary_population(n: usize, gender_share: f64, race_share: f64, seed: u64) -> CandidateDb {
+    assert!(n >= 2, "population needs at least two candidates");
+    let mut rng = rng_from_seed(seed);
+    let mut builder = CandidateDbBuilder::new();
+    let gender = builder
+        .add_attribute("Gender", ["Man", "Woman"])
+        .expect("static attribute is valid");
+    let race = builder
+        .add_attribute("Race", ["GroupA", "GroupB"])
+        .expect("static attribute is valid");
+
+    let n_gender0 = ((n as f64) * gender_share).round() as usize;
+    let n_race0 = ((n as f64) * race_share).round() as usize;
+    let mut gender_values: Vec<usize> = (0..n).map(|i| usize::from(i >= n_gender0)).collect();
+    let mut race_values: Vec<usize> = (0..n).map(|i| usize::from(i >= n_race0)).collect();
+    gender_values.shuffle(&mut rng);
+    race_values.shuffle(&mut rng);
+
+    for i in 0..n {
+        builder
+            .add_candidate(
+                format!("cand-{i:05}"),
+                [(gender, gender_values[i]), (race, race_values[i])],
+            )
+            .expect("assignments are within the declared domains");
+    }
+    builder.build().expect("non-empty database")
+}
+
+/// Generic population: `n` candidates with attribute values drawn independently according
+/// to each [`AttributeSpec`]'s shares.
+pub fn uniform_population(n: usize, specs: &[AttributeSpec], seed: u64) -> Result<CandidateDb> {
+    let mut rng = rng_from_seed(seed);
+    let mut builder = CandidateDbBuilder::new();
+    let mut attr_ids = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let id = builder.add_attribute(
+            spec.name.clone(),
+            spec.values.iter().map(String::as_str).collect::<Vec<_>>(),
+        )?;
+        attr_ids.push(id);
+    }
+    for i in 0..n {
+        let mut assignment = Vec::with_capacity(specs.len());
+        for (spec, &attr_id) in specs.iter().zip(&attr_ids) {
+            let value = sample_share(&spec.shares, &mut rng);
+            assignment.push((attr_id, value));
+        }
+        builder.add_candidate(format!("cand-{i:06}"), assignment)?;
+    }
+    builder.build()
+}
+
+fn sample_share<R: Rng>(shares: &[f64], rng: &mut R) -> usize {
+    let total: f64 = shares.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &s) in shares.iter().enumerate() {
+        if draw < s {
+            return i;
+        }
+        draw -= s;
+    }
+    shares.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::GroupIndex;
+
+    #[test]
+    fn paper_population_has_15_cells_of_6() {
+        let db = paper_population_90();
+        assert_eq!(db.len(), 90);
+        assert_eq!(db.schema().num_attributes(), 2);
+        assert_eq!(db.schema().intersection_cardinality(), 15);
+        let idx = GroupIndex::new(&db);
+        for code in 0..15 {
+            assert_eq!(idx.intersection().group_size(code), 6);
+        }
+    }
+
+    #[test]
+    fn binary_population_respects_shares() {
+        let db = binary_population(200, 0.3, 0.5, 7);
+        assert_eq!(db.len(), 200);
+        let idx = GroupIndex::new(&db);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        let race = db.schema().attribute_id("Race").unwrap();
+        assert_eq!(idx.attribute(gender).group_size(0), 60);
+        assert_eq!(idx.attribute(race).group_size(0), 100);
+    }
+
+    #[test]
+    fn binary_population_is_deterministic_per_seed() {
+        let a = binary_population(50, 0.4, 0.6, 11);
+        let b = binary_population(50, 0.4, 0.6, 11);
+        assert_eq!(a, b);
+        let c = binary_population(50, 0.4, 0.6, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_population_draws_all_attributes() {
+        let specs = vec![
+            AttributeSpec::uniform("Gender", &["M", "W", "NB"]),
+            AttributeSpec::with_shares("Lunch", &["NoSub", "Sub"], &[0.7, 0.3]),
+        ];
+        let db = uniform_population(300, &specs, 3).unwrap();
+        assert_eq!(db.len(), 300);
+        let idx = GroupIndex::new(&db);
+        let lunch = db.schema().attribute_id("Lunch").unwrap();
+        let sub = idx.attribute(lunch).group_size(1);
+        // roughly 30% +- generous slack
+        assert!(sub > 50 && sub < 130, "subsidised lunch group size {sub}");
+    }
+
+    #[test]
+    fn attribute_spec_constructors() {
+        let u = AttributeSpec::uniform("A", &["x", "y"]);
+        assert_eq!(u.shares, vec![1.0, 1.0]);
+        let w = AttributeSpec::with_shares("B", &["x", "y"], &[0.2, 0.8]);
+        assert_eq!(w.values.len(), 2);
+        assert_eq!(w.shares[1], 0.8);
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Figure 5 (both Price-of-Fairness panels).
+
+use mani_experiments::{fig5, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let output = fig5::run(&scale).expect("experiment failed");
+    print!("{}", output.theta_panel.render());
+    println!();
+    print!("{}", output.delta_panel.render());
+    let dir = scale.output_dir();
+    for (table, name) in [
+        (&output.theta_panel, "fig5_pof_vs_theta.csv"),
+        (&output.delta_panel, "fig5_pof_vs_delta.csv"),
+    ] {
+        match table.write_csv(&dir, name) {
+            Ok(path) => println!("CSV written to {}", path.display()),
+            Err(err) => eprintln!("failed to write CSV: {err}"),
+        }
+    }
+}

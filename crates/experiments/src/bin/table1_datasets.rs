@@ -1,0 +1,14 @@
+//! Regenerates Table I: the Low/Medium/High-Fair Mallows dataset definitions.
+
+use mani_experiments::{datasets, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let table = datasets::table1(&scale);
+    print!("{}", table.render());
+    match table.write_csv(&scale.output_dir(), "table1_datasets.csv") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(err) => eprintln!("failed to write CSV: {err}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's TableII experiment at the requested scale.
+
+use mani_experiments::{table2, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let table = table2::run(&scale).expect("experiment failed");
+    print!("{}", table.render());
+    match table.write_csv(&scale.output_dir(), "table2_fair_borda_rankers.csv") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(err) => eprintln!("failed to write CSV: {err}"),
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 5 — the Price of Fairness.
+//!
+//! Left panel: PoF of Fair-Kemeny as a function of θ for the Low/Medium/High-Fair datasets
+//! (Δ = 0.1). Right panel: PoF of the four Fair-* methods and Correct-Fairest-Perm as a
+//! function of Δ on the Low-Fair dataset at θ = 0.6. PoF is computed against the
+//! fairness-unaware Kemeny consensus of the same profile (Equation 13).
+
+use mani_core::{ExactKemeny, MethodKind, MfcrMethod};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::Result;
+use mani_solver::SolverConfig;
+
+use crate::config::Scale;
+use crate::datasets::{FairnessLevel, MallowsDataset};
+use crate::runner::{run_method_with_budget, OwnedContext};
+use crate::table::{fmt3, TextTable};
+
+/// Output of the Figure 5 experiment: both panels.
+#[derive(Debug, Clone)]
+pub struct Fig5Output {
+    /// Left panel: θ vs PoF per dataset (Fair-Kemeny, Δ = 0.1).
+    pub theta_panel: TextTable,
+    /// Right panel: Δ vs PoF per method (Low-Fair, θ = 0.6).
+    pub delta_panel: TextTable,
+}
+
+/// Runs both panels of Figure 5.
+pub fn run(scale: &Scale) -> Result<Fig5Output> {
+    let solver_config = SolverConfig::with_max_nodes(scale.solver_max_nodes);
+
+    // Left panel: θ vs PoF for Fair-Kemeny on each dataset.
+    let mut theta_panel = TextTable::new(
+        "Figure 5 (left) — Fair-Kemeny PoF vs θ (Δ = 0.1)",
+        &["dataset", "theta", "pd_loss_fair", "pd_loss_kemeny", "pof"],
+    );
+    for level in FairnessLevel::all() {
+        let dataset = MallowsDataset::generate_exact(level, scale);
+        for &theta in &scale.thetas {
+            let owned = OwnedContext::new(dataset.db.clone(), dataset.profile(theta));
+            let ctx = owned.context(FairnessThresholds::uniform(0.1));
+            let fair = run_method_with_budget(MethodKind::FairKemeny, &ctx, Some(scale.solver_max_nodes))?;
+            let unfair = ExactKemeny::with_config(solver_config.clone()).solve(&ctx)?;
+            let pof = fair.outcome.pd_loss - unfair.pd_loss;
+            theta_panel.push_row(vec![
+                level.name().to_string(),
+                format!("{theta:.1}"),
+                fmt3(fair.outcome.pd_loss),
+                fmt3(unfair.pd_loss),
+                fmt3(pof),
+            ]);
+        }
+    }
+
+    // Right panel: Δ vs PoF on the Low-Fair dataset at θ = 0.6.
+    let mut delta_panel = TextTable::new(
+        "Figure 5 (right) — PoF vs Δ (Low-Fair, θ = 0.6)",
+        &["delta", "method", "pd_loss_fair", "pd_loss_kemeny", "pof"],
+    );
+    let dataset = MallowsDataset::generate_exact(FairnessLevel::LowFair, scale);
+    let theta = 0.6;
+    let owned = OwnedContext::new(dataset.db.clone(), dataset.profile(theta));
+    let unfair_ctx = owned.context(FairnessThresholds::unconstrained());
+    let unfair = ExactKemeny::with_config(solver_config).solve(&unfair_ctx)?;
+    let methods = [
+        MethodKind::FairKemeny,
+        MethodKind::FairSchulze,
+        MethodKind::FairBorda,
+        MethodKind::FairCopeland,
+        MethodKind::CorrectFairestPerm,
+    ];
+    for &delta in &scale.deltas {
+        let ctx = owned.context(FairnessThresholds::uniform(delta));
+        for kind in methods {
+            let fair = run_method_with_budget(kind, &ctx, Some(scale.solver_max_nodes))?;
+            let pof = fair.outcome.pd_loss - unfair.pd_loss;
+            delta_panel.push_row(vec![
+                format!("{delta:.2}"),
+                kind.paper_label().to_string(),
+                fmt3(fair.outcome.pd_loss),
+                fmt3(unfair.pd_loss),
+                fmt3(pof),
+            ]);
+        }
+    }
+
+    Ok(Fig5Output {
+        theta_panel,
+        delta_panel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        let mut scale = Scale::smoke();
+        scale.mallows_candidates = 14;
+        scale.mallows_rankings = 10;
+        scale.exact_candidates = 14;
+        scale.thetas = vec![0.6];
+        scale.deltas = vec![0.1, 0.4];
+        scale
+    }
+
+    #[test]
+    fn pof_is_nonnegative_for_fair_kemeny() {
+        let output = run(&tiny_scale()).unwrap();
+        assert_eq!(output.theta_panel.len(), 3);
+        for row in output.theta_panel.rows() {
+            let pof: f64 = row[4].parse().unwrap();
+            assert!(pof >= -1e-9, "PoF must be non-negative, got {pof}");
+        }
+    }
+
+    #[test]
+    fn looser_delta_never_costs_more_for_fair_kemeny() {
+        let output = run(&tiny_scale()).unwrap();
+        let pof_at = |delta: &str| -> f64 {
+            output
+                .delta_panel
+                .rows()
+                .iter()
+                .find(|r| r[0] == delta && r[1].contains("Fair-Kemeny"))
+                .map(|r| r[4].parse().unwrap())
+                .unwrap()
+        };
+        assert!(pof_at("0.40") <= pof_at("0.10") + 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 7 — scalability in the number of candidates, at two Δ values.
+//!
+//! The paper's configuration: binary Gender/Race population with a modal ranking at
+//! ARP(Race) = 0.31, ARP(Gender) = 0.44, IRP = 0.45, θ = 0.6, |R| = 100, candidate count
+//! swept up to 500, and Δ ∈ {0.1, 0.33}. As in Figure 6 the exact optimisation methods are
+//! capped at the scale's exact-candidate cutoff.
+
+use mani_datagen::{binary_population, FairnessTarget, MallowsModel, ModalRankingBuilder};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::Result;
+
+use crate::config::Scale;
+use crate::runner::{methods_for_size, run_methods, OwnedContext};
+use crate::table::{fmt3, fmt_secs, TextTable};
+
+/// The two Δ values compared by Figure 7.
+pub const FIG7_DELTAS: [f64; 2] = [0.1, 0.33];
+
+/// The Figure 7 modal fairness target.
+pub fn fig7_target() -> FairnessTarget {
+    FairnessTarget {
+        attribute_arp: vec![0.44, 0.31],
+        irp: 0.45,
+    }
+}
+
+/// Runs Figure 7 and returns one row per (Δ, n, method) with the measured runtime.
+pub fn run(scale: &Scale) -> Result<TextTable> {
+    let mut table = TextTable::new(
+        format!(
+            "Figure 7 — runtime vs number of candidates (|R| = {})",
+            scale.fig7_rankings
+        ),
+        &["delta", "num_candidates", "method", "runtime_s", "pd_loss", "satisfies_mani_rank"],
+    );
+    for &delta in &FIG7_DELTAS {
+        for &n in &scale.fig7_candidate_counts {
+            let db = binary_population(n, 0.5, 0.5, scale.seed);
+            let modal = ModalRankingBuilder::new(&db).build(&fig7_target());
+            let profile = MallowsModel::new(modal, 0.6)
+                .sample_profile(scale.fig7_rankings, scale.seed ^ n as u64);
+            let owned = OwnedContext::new(db, profile);
+            let ctx = owned.context(FairnessThresholds::uniform(delta));
+            let kinds = methods_for_size(scale, n);
+            for timed in run_methods(&kinds, &ctx, scale)? {
+                table.push_row(vec![
+                    format!("{delta:.2}"),
+                    n.to_string(),
+                    timed.kind.paper_label().to_string(),
+                    fmt_secs(timed.runtime),
+                    fmt3(timed.outcome.pd_loss),
+                    timed.outcome.criteria.is_satisfied().to_string(),
+                ]);
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_both_deltas_and_all_sizes() {
+        let mut scale = Scale::smoke();
+        scale.fig7_candidate_counts = vec![16, 24];
+        scale.fig7_rankings = 10;
+        scale.exact_candidates = 12;
+        let table = run(&scale).unwrap();
+        // 2 deltas x 2 sizes x 5 polynomial methods
+        assert_eq!(table.len(), 20);
+        let deltas: std::collections::HashSet<&str> =
+            table.rows().iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(deltas.len(), 2);
+    }
+
+    #[test]
+    fn fair_methods_meet_their_delta() {
+        let mut scale = Scale::smoke();
+        scale.fig7_candidate_counts = vec![24];
+        scale.fig7_rankings = 10;
+        scale.exact_candidates = 12;
+        let table = run(&scale).unwrap();
+        for row in table.rows() {
+            if row[2].contains("Fair-") {
+                let ok: bool = row[5].parse().unwrap();
+                assert!(ok, "{} at delta {} must satisfy MANI-Rank", row[2], row[0]);
+            }
+        }
+    }
+}

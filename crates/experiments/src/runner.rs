@@ -1,0 +1,145 @@
+//! Shared helpers for running MFCR methods inside experiments: timing, method selection,
+//! and gathering per-method metric rows.
+
+use std::time::{Duration, Instant};
+
+use mani_core::{MethodKind, MfcrContext, MfcrOutcome};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDb, GroupIndex, RankingProfile, Result};
+
+use crate::config::Scale;
+
+/// A method run together with its wall-clock time.
+#[derive(Debug, Clone)]
+pub struct TimedOutcome {
+    /// Which method was run.
+    pub kind: MethodKind,
+    /// The evaluated outcome.
+    pub outcome: MfcrOutcome,
+    /// Wall-clock runtime of the method (excluding dataset generation).
+    pub runtime: Duration,
+}
+
+/// Runs one method in a context and measures its runtime, using the default solver budget.
+pub fn run_method(kind: MethodKind, ctx: &MfcrContext<'_>) -> Result<TimedOutcome> {
+    run_method_with_budget(kind, ctx, None)
+}
+
+/// Runs one method with an explicit branch-and-bound node budget for the exact methods.
+pub fn run_method_with_budget(
+    kind: MethodKind,
+    ctx: &MfcrContext<'_>,
+    max_nodes: Option<u64>,
+) -> Result<TimedOutcome> {
+    let method = match max_nodes {
+        Some(nodes) => kind.instantiate_with_nodes(nodes),
+        None => kind.instantiate(),
+    };
+    let start = Instant::now();
+    let outcome = method.solve(ctx)?;
+    let runtime = start.elapsed();
+    Ok(TimedOutcome {
+        kind,
+        outcome,
+        runtime,
+    })
+}
+
+/// Runs a set of methods over the same context with the scale's solver budget.
+pub fn run_methods(
+    kinds: &[MethodKind],
+    ctx: &MfcrContext<'_>,
+    scale: &Scale,
+) -> Result<Vec<TimedOutcome>> {
+    kinds
+        .iter()
+        .map(|&kind| run_method_with_budget(kind, ctx, Some(scale.solver_max_nodes)))
+        .collect()
+}
+
+/// The methods that are feasible to run at a given candidate-set size: the exact
+/// optimisation methods (Fair-Kemeny, Kemeny, Kemeny-Weighted) are only included up to the
+/// scale's `exact_candidates` cutoff.
+pub fn methods_for_size(scale: &Scale, num_candidates: usize) -> Vec<MethodKind> {
+    MethodKind::all()
+        .into_iter()
+        .filter(|kind| {
+            let exact = matches!(
+                kind,
+                MethodKind::FairKemeny | MethodKind::Kemeny | MethodKind::KemenyWeighted
+            );
+            !exact || num_candidates <= scale.exact_candidates
+        })
+        .collect()
+}
+
+/// Convenience bundle that owns a database/profile so experiments can build contexts.
+#[derive(Debug, Clone)]
+pub struct OwnedContext {
+    /// Candidate database.
+    pub db: CandidateDb,
+    /// Group index over the database.
+    pub groups: GroupIndex,
+    /// Base rankings.
+    pub profile: RankingProfile,
+}
+
+impl OwnedContext {
+    /// Bundles owned inputs.
+    pub fn new(db: CandidateDb, profile: RankingProfile) -> Self {
+        let groups = GroupIndex::new(&db);
+        Self {
+            db,
+            groups,
+            profile,
+        }
+    }
+
+    /// Borrows an [`MfcrContext`] with the given thresholds.
+    pub fn context(&self, thresholds: FairnessThresholds) -> MfcrContext<'_> {
+        MfcrContext::new(&self.db, &self.groups, &self.profile, thresholds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{FairnessLevel, MallowsDataset};
+
+    #[test]
+    fn run_method_times_and_evaluates() {
+        let scale = Scale::smoke();
+        let ds = MallowsDataset::generate(FairnessLevel::LowFair, &scale);
+        let owned = OwnedContext::new(ds.db.clone(), ds.profile(0.6));
+        let ctx = owned.context(FairnessThresholds::uniform(0.1));
+        let timed = run_method(MethodKind::FairBorda, &ctx).unwrap();
+        assert_eq!(timed.kind, MethodKind::FairBorda);
+        assert!(timed.outcome.criteria.is_satisfied());
+        assert!(timed.runtime.as_nanos() > 0);
+    }
+
+    #[test]
+    fn methods_for_size_drops_exact_methods_above_cutoff() {
+        let scale = Scale::smoke();
+        let small = methods_for_size(&scale, scale.exact_candidates);
+        assert_eq!(small.len(), 8);
+        let large = methods_for_size(&scale, scale.exact_candidates + 1);
+        assert_eq!(large.len(), 5);
+        assert!(!large.contains(&MethodKind::FairKemeny));
+        assert!(!large.contains(&MethodKind::Kemeny));
+        assert!(!large.contains(&MethodKind::KemenyWeighted));
+    }
+
+    #[test]
+    fn run_methods_preserves_order() {
+        let scale = Scale::smoke();
+        let ds = MallowsDataset::generate(FairnessLevel::HighFair, &scale);
+        let owned = OwnedContext::new(ds.db.clone(), ds.profile(0.4));
+        let ctx = owned.context(FairnessThresholds::uniform(0.2));
+        let kinds = [MethodKind::FairBorda, MethodKind::PickFairestPerm];
+        let outcomes = run_methods(&kinds, &ctx, &scale).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].kind, MethodKind::FairBorda);
+        assert_eq!(outcomes[1].kind, MethodKind::PickFairestPerm);
+    }
+}

@@ -1,0 +1,64 @@
+//! Table II — Fair-Borda scalability in the number of base rankings.
+//!
+//! Same workload as Figure 6, but only Fair-Borda is run and the ranker count is pushed
+//! much further (the paper reaches 10 million; the default scales stop earlier so the
+//! harness completes in reasonable time — the counts are configurable).
+
+use std::time::Instant;
+
+use mani_core::{FairBorda, MfcrMethod};
+use mani_datagen::{binary_population, MallowsModel, ModalRankingBuilder};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::Result;
+
+use crate::config::Scale;
+use crate::fig6::{fig6_target, FIG6_DELTA};
+use crate::runner::OwnedContext;
+use crate::table::{fmt_secs, TextTable};
+
+/// Runs Table II and returns one row per ranker count.
+pub fn run(scale: &Scale) -> Result<TextTable> {
+    let mut table = TextTable::new(
+        format!(
+            "Table II — Fair-Borda ranker scale (n = {}, Δ = {FIG6_DELTA})",
+            scale.fig6_candidates
+        ),
+        &["num_rankings", "execution_time_s", "satisfies_mani_rank"],
+    );
+    let db = binary_population(scale.fig6_candidates, 0.5, 0.5, scale.seed);
+    let modal = ModalRankingBuilder::new(&db).build(&fig6_target());
+    let model = MallowsModel::new(modal, 0.6);
+
+    for &num_rankings in &scale.table2_ranker_counts {
+        let profile = model.sample_profile(num_rankings, scale.seed ^ num_rankings as u64);
+        let owned = OwnedContext::new(db.clone(), profile);
+        let ctx = owned.context(FairnessThresholds::uniform(FIG6_DELTA));
+        let start = Instant::now();
+        let outcome = FairBorda::new().solve(&ctx)?;
+        let elapsed = start.elapsed();
+        table.push_row(vec![
+            num_rankings.to_string(),
+            fmt_secs(elapsed),
+            outcome.criteria.is_satisfied().to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_borda_scales_and_stays_fair() {
+        let mut scale = Scale::smoke();
+        scale.fig6_candidates = 30;
+        scale.table2_ranker_counts = vec![20, 200];
+        let table = run(&scale).unwrap();
+        assert_eq!(table.len(), 2);
+        for row in table.rows() {
+            let ok: bool = row[2].parse().unwrap();
+            assert!(ok);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The MANI-Rank group fairness criteria (Definition 7) and threshold configuration.
+//!
+//! A ranking satisfies MANI-Rank fairness at level Δ when every protected attribute's ARP
+//! and the intersection's IRP are at most Δ. The paper's "Customizing Group Fairness"
+//! paragraph additionally allows per-attribute thresholds (`Δ_pk`) and a distinct
+//! intersection threshold (`Δ_Inter`); [`FairnessThresholds`] models both forms.
+
+use mani_ranking::{AttributeId, GroupIndex, Ranking};
+use serde::{Deserialize, Serialize};
+
+use crate::parity::ParityScores;
+
+/// Desired proximity to statistical parity for each protected attribute and the intersection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessThresholds {
+    /// Default Δ applied to any axis without an explicit override.
+    default_delta: f64,
+    /// Per-attribute overrides, `(attribute index, Δ_pk)`.
+    attribute_overrides: Vec<(usize, f64)>,
+    /// Override for the intersection, `Δ_Inter`.
+    intersection_override: Option<f64>,
+    /// Whether the intersection constraint is enforced at all (Figure 3's
+    /// "protected attribute only" ablation disables it).
+    constrain_intersection: bool,
+    /// Whether per-attribute constraints are enforced at all (Figure 3's
+    /// "intersection only" ablation disables them).
+    constrain_attributes: bool,
+}
+
+impl FairnessThresholds {
+    /// Uniform threshold Δ for every protected attribute and the intersection —
+    /// the common case in the paper.
+    pub fn uniform(delta: f64) -> Self {
+        Self {
+            default_delta: delta,
+            attribute_overrides: Vec::new(),
+            intersection_override: None,
+            constrain_intersection: true,
+            constrain_attributes: true,
+        }
+    }
+
+    /// Constrain only the protected attributes (intersection unconstrained).
+    ///
+    /// Used for the Figure 3 ablation "protected attribute only group fairness".
+    pub fn attributes_only(delta: f64) -> Self {
+        let mut t = Self::uniform(delta);
+        t.constrain_intersection = false;
+        t
+    }
+
+    /// Constrain only the intersection (attributes unconstrained).
+    ///
+    /// Used for the Figure 3 ablation "intersection only group fairness".
+    pub fn intersection_only(delta: f64) -> Self {
+        let mut t = Self::uniform(delta);
+        t.constrain_attributes = false;
+        t
+    }
+
+    /// No fairness constraints at all — plain consensus ranking.
+    pub fn unconstrained() -> Self {
+        Self {
+            default_delta: 1.0,
+            attribute_overrides: Vec::new(),
+            intersection_override: None,
+            constrain_intersection: false,
+            constrain_attributes: false,
+        }
+    }
+
+    /// Overrides the threshold for a specific attribute (`Δ_pk`).
+    pub fn with_attribute_delta(mut self, attribute: AttributeId, delta: f64) -> Self {
+        self.attribute_overrides
+            .retain(|(a, _)| *a != attribute.index());
+        self.attribute_overrides.push((attribute.index(), delta));
+        self
+    }
+
+    /// Overrides the threshold for the intersection (`Δ_Inter`).
+    pub fn with_intersection_delta(mut self, delta: f64) -> Self {
+        self.intersection_override = Some(delta);
+        self
+    }
+
+    /// The default Δ.
+    pub fn default_delta(&self) -> f64 {
+        self.default_delta
+    }
+
+    /// Effective threshold for one protected attribute, or `None` if attributes are
+    /// unconstrained.
+    pub fn attribute_delta(&self, attribute: AttributeId) -> Option<f64> {
+        if !self.constrain_attributes {
+            return None;
+        }
+        Some(
+            self.attribute_overrides
+                .iter()
+                .find(|(a, _)| *a == attribute.index())
+                .map(|(_, d)| *d)
+                .unwrap_or(self.default_delta),
+        )
+    }
+
+    /// Effective threshold for the intersection, or `None` if it is unconstrained.
+    pub fn intersection_delta(&self) -> Option<f64> {
+        if !self.constrain_intersection {
+            return None;
+        }
+        Some(self.intersection_override.unwrap_or(self.default_delta))
+    }
+
+    /// True when neither attributes nor intersection are constrained.
+    pub fn is_unconstrained(&self) -> bool {
+        !self.constrain_attributes && !self.constrain_intersection
+    }
+}
+
+impl Default for FairnessThresholds {
+    /// The paper's most common setting: uniform Δ = 0.1.
+    fn default() -> Self {
+        Self::uniform(0.1)
+    }
+}
+
+/// One violated constraint of the MANI-Rank criteria.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A protected attribute's ARP exceeds its threshold.
+    Attribute {
+        /// Index of the violating attribute in the schema.
+        attribute: usize,
+        /// Measured ARP.
+        arp: f64,
+        /// Allowed threshold.
+        delta: f64,
+    },
+    /// The intersection's IRP exceeds its threshold.
+    Intersection {
+        /// Measured IRP.
+        irp: f64,
+        /// Allowed threshold.
+        delta: f64,
+    },
+}
+
+impl Violation {
+    /// The amount by which the constraint is violated.
+    pub fn excess(&self) -> f64 {
+        match self {
+            Violation::Attribute { arp, delta, .. } => arp - delta,
+            Violation::Intersection { irp, delta } => irp - delta,
+        }
+    }
+}
+
+/// Evaluation of the MANI-Rank criteria for one ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManiRankCriteria {
+    satisfied: bool,
+    violations: Vec<Violation>,
+    parity: ParityScores,
+}
+
+impl ManiRankCriteria {
+    /// Evaluates MANI-Rank fairness (Definition 7) for `ranking` under `thresholds`.
+    pub fn evaluate(
+        ranking: &Ranking,
+        groups: &GroupIndex,
+        thresholds: &FairnessThresholds,
+    ) -> Self {
+        let parity = ParityScores::compute(ranking, groups);
+        Self::from_parity(parity, groups, thresholds)
+    }
+
+    /// Evaluates the criteria from precomputed parity scores.
+    pub fn from_parity(
+        parity: ParityScores,
+        groups: &GroupIndex,
+        thresholds: &FairnessThresholds,
+    ) -> Self {
+        const EPS: f64 = 1e-9;
+        let mut violations = Vec::new();
+        for (attr_id, _) in groups.attributes() {
+            if let Some(delta) = thresholds.attribute_delta(attr_id) {
+                let arp = parity.arp(attr_id);
+                if arp > delta + EPS {
+                    violations.push(Violation::Attribute {
+                        attribute: attr_id.index(),
+                        arp,
+                        delta,
+                    });
+                }
+            }
+        }
+        if let Some(delta) = thresholds.intersection_delta() {
+            let irp = parity.irp();
+            if irp > delta + EPS {
+                violations.push(Violation::Intersection { irp, delta });
+            }
+        }
+        Self {
+            satisfied: violations.is_empty(),
+            violations,
+            parity,
+        }
+    }
+
+    /// True when every constrained axis is at or below its threshold.
+    pub fn is_satisfied(&self) -> bool {
+        self.satisfied
+    }
+
+    /// The violated constraints, if any.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The parity scores the evaluation was based on.
+    pub fn parity(&self) -> &ParityScores {
+        &self.parity
+    }
+
+    /// The single worst violation (largest excess), if any.
+    pub fn worst_violation(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .max_by(|a, b| a.excess().partial_cmp(&b.excess()).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::CandidateDbBuilder;
+
+    fn db() -> (mani_ranking::CandidateDb, GroupIndex) {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        let r = b.add_attribute("Race", ["A", "B"]).unwrap();
+        for i in 0..8usize {
+            b.add_candidate(format!("c{i}"), [(g, i % 2), (r, (i / 2) % 2)])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn uniform_thresholds_apply_everywhere() {
+        let t = FairnessThresholds::uniform(0.2);
+        assert_eq!(t.attribute_delta(AttributeId::from_index_for_tests(0)), Some(0.2));
+        assert_eq!(t.intersection_delta(), Some(0.2));
+        assert!(!t.is_unconstrained());
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let attr0 = AttributeId::from_index_for_tests(0);
+        let attr1 = AttributeId::from_index_for_tests(1);
+        let t = FairnessThresholds::uniform(0.1)
+            .with_attribute_delta(attr0, 0.3)
+            .with_intersection_delta(0.05);
+        assert_eq!(t.attribute_delta(attr0), Some(0.3));
+        assert_eq!(t.attribute_delta(attr1), Some(0.1));
+        assert_eq!(t.intersection_delta(), Some(0.05));
+        // Re-overriding replaces the previous value.
+        let t = t.with_attribute_delta(attr0, 0.4);
+        assert_eq!(t.attribute_delta(attr0), Some(0.4));
+    }
+
+    #[test]
+    fn ablation_configurations_disable_axes() {
+        let attr0 = AttributeId::from_index_for_tests(0);
+        let a = FairnessThresholds::attributes_only(0.1);
+        assert_eq!(a.attribute_delta(attr0), Some(0.1));
+        assert_eq!(a.intersection_delta(), None);
+
+        let i = FairnessThresholds::intersection_only(0.1);
+        assert_eq!(i.attribute_delta(attr0), None);
+        assert_eq!(i.intersection_delta(), Some(0.1));
+
+        let u = FairnessThresholds::unconstrained();
+        assert!(u.is_unconstrained());
+        assert_eq!(u.attribute_delta(attr0), None);
+        assert_eq!(u.intersection_delta(), None);
+    }
+
+    #[test]
+    fn segregated_ranking_violates_tight_delta() {
+        let (db, idx) = db();
+        // All men on top.
+        let mut order: Vec<u32> = (0..8u32).filter(|i| i % 2 == 0).collect();
+        order.extend((0..8u32).filter(|i| i % 2 == 1));
+        let ranking = Ranking::from_ids(order).unwrap();
+        let result =
+            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(0.1));
+        assert!(!result.is_satisfied());
+        assert!(!result.violations().is_empty());
+        let worst = result.worst_violation().unwrap();
+        assert!(worst.excess() > 0.0);
+        drop(db);
+    }
+
+    #[test]
+    fn loose_delta_is_always_satisfied() {
+        let (_db, idx) = db();
+        let ranking = Ranking::identity(8);
+        let result =
+            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(1.0));
+        assert!(result.is_satisfied());
+        assert!(result.violations().is_empty());
+        assert!(result.worst_violation().is_none());
+    }
+
+    #[test]
+    fn unconstrained_never_violates() {
+        let (_db, idx) = db();
+        let mut order: Vec<u32> = (0..8u32).filter(|i| i % 2 == 0).collect();
+        order.extend((0..8u32).filter(|i| i % 2 == 1));
+        let ranking = Ranking::from_ids(order).unwrap();
+        let result =
+            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::unconstrained());
+        assert!(result.is_satisfied());
+    }
+
+    #[test]
+    fn attributes_only_ignores_intersection_violation() {
+        // Build the "hidden intersectional bias" example from the parity tests: attributes
+        // balanced but intersection strongly biased.
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        let r = b.add_attribute("Race", ["A", "B"]).unwrap();
+        let spec: [(usize, usize); 8] = [
+            (0, 0),
+            (1, 1),
+            (0, 0),
+            (1, 1),
+            (1, 0),
+            (0, 1),
+            (1, 0),
+            (0, 1),
+        ];
+        for (i, (gv, rv)) in spec.iter().enumerate() {
+            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        let ranking = Ranking::identity(8);
+
+        let attrs_only =
+            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::attributes_only(0.4));
+        assert!(attrs_only.is_satisfied(), "attribute-only check should pass");
+
+        let full = ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(0.4));
+        assert!(!full.is_satisfied(), "full MANI-Rank check should catch the intersection");
+        assert!(full
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::Intersection { .. })));
+    }
+
+    #[test]
+    fn violation_excess_is_positive_amount_over_threshold() {
+        let v = Violation::Attribute {
+            attribute: 0,
+            arp: 0.5,
+            delta: 0.1,
+        };
+        assert!((v.excess() - 0.4).abs() < 1e-12);
+        let v = Violation::Intersection { irp: 0.3, delta: 0.05 };
+        assert!((v.excess() - 0.25).abs() < 1e-12);
+    }
+
+    // Test-only constructor for AttributeId since its field is crate-private in mani-ranking.
+    trait AttrIdTestExt {
+        fn from_index_for_tests(i: usize) -> AttributeId;
+    }
+    impl AttrIdTestExt for AttributeId {
+        fn from_index_for_tests(i: usize) -> AttributeId {
+            // Round-trip through a schema to obtain a real id.
+            let mut b = CandidateDbBuilder::new();
+            let mut ids = Vec::new();
+            for k in 0..=i {
+                ids.push(b.add_attribute(format!("attr{k}"), ["a", "b"]).unwrap());
+            }
+            ids[i]
+        }
+    }
+}

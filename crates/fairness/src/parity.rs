@@ -1,0 +1,262 @@
+//! Attribute Rank Parity (ARP) and Intersectional Rank Parity (IRP) — Definitions 5 and 6.
+//!
+//! Both measures reduce a grouping axis to a single interpretable number: the largest
+//! absolute FPR difference between any two of its groups. `0` means perfect statistical
+//! parity along the axis; `1` means one group is entirely on top while another is
+//! entirely at the bottom.
+
+use mani_ranking::{AttributeId, GroupIndex, Ranking};
+use serde::{Deserialize, Serialize};
+
+use crate::fpr::{group_fprs, FprScores};
+
+/// ARP for one protected attribute: the maximum FPR gap between any two of its groups.
+pub fn attribute_rank_parity(
+    ranking: &Ranking,
+    groups: &GroupIndex,
+    attribute: AttributeId,
+) -> f64 {
+    group_fprs(ranking, groups.attribute(attribute)).max_pairwise_gap()
+}
+
+/// IRP: the maximum FPR gap between any two intersectional groups.
+pub fn intersectional_rank_parity(ranking: &Ranking, groups: &GroupIndex) -> f64 {
+    group_fprs(ranking, groups.intersection()).max_pairwise_gap()
+}
+
+/// All parity scores of a ranking: one ARP per protected attribute plus the IRP, along with
+/// the per-group FPR scores they were derived from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParityScores {
+    /// ARP per protected attribute, in schema order.
+    arp: Vec<f64>,
+    /// IRP of the intersection.
+    irp: f64,
+    /// FPR scores per attribute axis, in schema order.
+    attribute_fprs: Vec<FprScores>,
+    /// FPR scores for the intersection axis.
+    intersection_fprs: FprScores,
+}
+
+impl ParityScores {
+    /// Computes ARP for every protected attribute and the IRP in one pass each.
+    pub fn compute(ranking: &Ranking, groups: &GroupIndex) -> Self {
+        let mut arp = Vec::with_capacity(groups.num_attributes());
+        let mut attribute_fprs = Vec::with_capacity(groups.num_attributes());
+        for (_, membership) in groups.attributes() {
+            let fprs = group_fprs(ranking, membership);
+            arp.push(fprs.max_pairwise_gap());
+            attribute_fprs.push(fprs);
+        }
+        let intersection_fprs = group_fprs(ranking, groups.intersection());
+        let irp = intersection_fprs.max_pairwise_gap();
+        Self {
+            arp,
+            irp,
+            attribute_fprs,
+            intersection_fprs,
+        }
+    }
+
+    /// ARP of one protected attribute.
+    pub fn arp(&self, attribute: AttributeId) -> f64 {
+        self.arp[attribute.index()]
+    }
+
+    /// All ARP scores in schema order.
+    pub fn arps(&self) -> &[f64] {
+        &self.arp
+    }
+
+    /// IRP of the intersection.
+    pub fn irp(&self) -> f64 {
+        self.irp
+    }
+
+    /// FPR scores of the groups of one protected attribute.
+    pub fn attribute_fprs(&self, attribute: AttributeId) -> &FprScores {
+        &self.attribute_fprs[attribute.index()]
+    }
+
+    /// FPR scores of the intersectional groups.
+    pub fn intersection_fprs(&self) -> &FprScores {
+        &self.intersection_fprs
+    }
+
+    /// The largest parity violation across all attributes and the intersection.
+    pub fn max_violation(&self) -> f64 {
+        self.arp
+            .iter()
+            .copied()
+            .fold(self.irp, f64::max)
+    }
+}
+
+/// The single worst parity score across every protected attribute and the intersection.
+pub fn max_parity_violation(ranking: &Ranking, groups: &GroupIndex) -> f64 {
+    ParityScores::compute(ranking, groups).max_violation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::{CandidateDb, CandidateDbBuilder, CandidateId};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 12 candidates, Gender (2) × Race (3), uniform cells of size 2.
+    fn db() -> (CandidateDb, GroupIndex) {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        let r = b.add_attribute("Race", ["A", "B", "C"]).unwrap();
+        for i in 0..12usize {
+            b.add_candidate(format!("c{i}"), [(g, i % 2), (r, (i / 2) % 3)])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn segregated_ranking_has_maximal_arp() {
+        let (db, idx) = db();
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        // All men (value 0: even ids) on top, all women at the bottom.
+        let mut order: Vec<u32> = (0..12u32).filter(|i| i % 2 == 0).collect();
+        order.extend((0..12u32).filter(|i| i % 2 == 1));
+        let r = Ranking::from_ids(order).unwrap();
+        let arp = attribute_rank_parity(&r, &idx, gender);
+        assert!((arp - 1.0).abs() < 1e-12);
+        // Race stays balanced because each race block keeps an even gender mix.
+        let race = db.schema().attribute_id("Race").unwrap();
+        assert!(attribute_rank_parity(&r, &idx, race) < 0.5);
+    }
+
+    #[test]
+    fn alternating_ranking_has_low_gender_arp() {
+        let (db, idx) = db();
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        // identity order alternates genders: M W M W ...
+        let r = Ranking::identity(12);
+        // Alternating M/W over 12 candidates gives FPR gap of exactly 1/6.
+        let arp = attribute_rank_parity(&r, &idx, gender);
+        assert!(arp < 0.2, "alternating order should be near parity, got {arp}");
+    }
+
+    #[test]
+    fn irp_detects_intersectional_bias_hidden_from_attributes() {
+        // Classic intersectionality example: 8 candidates, binary Gender x binary Race.
+        // Order: (M,A) (W,B) (M,A) (W,B) (W,A) (M,B) (W,A) (M,B)
+        // Both Gender and Race are perfectly alternating overall, but the (M,A) cell is always
+        // on top and (M,B) always at the bottom.
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        let r = b.add_attribute("Race", ["A", "B"]).unwrap();
+        let spec: [(usize, usize); 8] = [
+            (0, 0),
+            (1, 1),
+            (0, 0),
+            (1, 1),
+            (1, 0),
+            (0, 1),
+            (1, 0),
+            (0, 1),
+        ];
+        for (i, (gv, rv)) in spec.iter().enumerate() {
+            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        let ranking = Ranking::identity(8);
+        let scores = ParityScores::compute(&ranking, &idx);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        let race = db.schema().attribute_id("Race").unwrap();
+        assert!(scores.arp(gender) < 0.35);
+        assert!(scores.arp(race) < 0.35);
+        assert!(
+            scores.irp() > 0.6,
+            "intersection should reveal strong bias, got {}",
+            scores.irp()
+        );
+        assert!(scores.max_violation() >= scores.irp());
+    }
+
+    #[test]
+    fn parity_scores_expose_fprs() {
+        let (db, idx) = db();
+        let ranking = Ranking::identity(12);
+        let scores = ParityScores::compute(&ranking, &idx);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        assert_eq!(scores.attribute_fprs(gender).defined().count(), 2);
+        assert_eq!(scores.intersection_fprs().defined().count(), 6);
+        assert_eq!(scores.arps().len(), 2);
+    }
+
+    #[test]
+    fn max_parity_violation_matches_components() {
+        let (db, idx) = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ranking = Ranking::random(12, &mut rng);
+        let scores = ParityScores::compute(&ranking, &idx);
+        let max = max_parity_violation(&ranking, &idx);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        let race = db.schema().attribute_id("Race").unwrap();
+        let expected = scores
+            .arp(gender)
+            .max(scores.arp(race))
+            .max(scores.irp());
+        assert!((max - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversal_preserves_binary_arp() {
+        // For a binary attribute, reversing the ranking swaps the two groups' FPR scores,
+        // so the ARP (their absolute gap) is unchanged.
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["a", "b"]).unwrap();
+        for i in 0..10usize {
+            b.add_candidate(format!("c{i}"), [(g, usize::from(i < 7))])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        let attr = db.schema().attribute_id("G").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let r = Ranking::random(10, &mut rng);
+            let a1 = attribute_rank_parity(&r, &idx, attr);
+            let a2 = attribute_rank_parity(&r.reversed(), &idx, attr);
+            assert!((a1 - a2).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parity_scores_in_unit_interval(seed in any::<u64>(), n_cells in 1usize..4) {
+            let mut b = CandidateDbBuilder::new();
+            let g = b.add_attribute("G", ["x", "y"]).unwrap();
+            let r = b.add_attribute("R", ["p", "q", "s"]).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 6 * n_cells;
+            for i in 0..n {
+                b.add_candidate(format!("c{i}"), [(g, i % 2), (r, i % 3)]).unwrap();
+            }
+            let db = b.build().unwrap();
+            let idx = GroupIndex::new(&db);
+            let ranking = Ranking::random(n, &mut rng);
+            let scores = ParityScores::compute(&ranking, &idx);
+            for &a in scores.arps() {
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+            prop_assert!((0.0..=1.0).contains(&scores.irp()));
+            prop_assert!(scores.max_violation() <= 1.0);
+            // identity check against the convenience functions
+            let gender = db.schema().attribute_id("G").unwrap();
+            prop_assert!((scores.arp(gender) - attribute_rank_parity(&ranking, &idx, gender)).abs() < 1e-12);
+            prop_assert!((scores.irp() - intersectional_rank_parity(&ranking, &idx)).abs() < 1e-12);
+            let _ = CandidateId(0);
+        }
+    }
+}

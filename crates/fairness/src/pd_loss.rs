@@ -1,0 +1,86 @@
+//! Pairwise Disagreement loss (Definition 9) — the preference-representation metric of MFCR.
+//!
+//! `PD_loss(R, π_C) = Σ_{r ∈ R} d_KT(π_C, r) / (ω(X) · |R|)` — the fraction of pairwise
+//! preferences expressed in the base rankings that are *not* honoured by the consensus.
+
+use mani_ranking::{kendall_tau, total_pairs, Ranking, RankingProfile, Result};
+
+/// Sum of Kendall tau distances from the consensus to every base ranking.
+pub fn total_kendall_distance(profile: &RankingProfile, consensus: &Ranking) -> Result<u64> {
+    let mut total = 0u64;
+    for r in profile.rankings() {
+        total += kendall_tau(consensus, r)?;
+    }
+    Ok(total)
+}
+
+/// Pairwise Disagreement loss in `[0, 1]` (Definition 9).
+pub fn pairwise_disagreement_loss(profile: &RankingProfile, consensus: &Ranking) -> Result<f64> {
+    let total = total_kendall_distance(profile, consensus)?;
+    let denom = total_pairs(profile.num_candidates()) * profile.len() as u64;
+    if denom == 0 {
+        return Ok(0.0);
+    }
+    Ok(total as f64 / denom as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_loss_for_unanimous_agreement() {
+        let r = Ranking::identity(6);
+        let profile = RankingProfile::new(vec![r.clone(), r.clone(), r.clone()]).unwrap();
+        assert_eq!(pairwise_disagreement_loss(&profile, &r).unwrap(), 0.0);
+        assert_eq!(total_kendall_distance(&profile, &r).unwrap(), 0);
+    }
+
+    #[test]
+    fn full_loss_against_unanimous_opposition() {
+        let r = Ranking::identity(6);
+        let profile = RankingProfile::new(vec![r.clone(); 4]).unwrap();
+        let loss = pairwise_disagreement_loss(&profile, &r.reversed()).unwrap();
+        assert!((loss - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_matches_profile_method() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rankings: Vec<Ranking> = (0..5).map(|_| Ranking::random(9, &mut rng)).collect();
+        let profile = RankingProfile::new(rankings).unwrap();
+        let consensus = Ranking::random(9, &mut rng);
+        let a = pairwise_disagreement_loss(&profile, &consensus).unwrap();
+        let b = profile.pairwise_disagreement_loss(&consensus).unwrap();
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        assert!(pairwise_disagreement_loss(&profile, &Ranking::identity(5)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loss_bounded_and_monotone_in_distance(
+            n in 2usize..12,
+            m in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings.clone()).unwrap();
+            let consensus = Ranking::random(n, &mut rng);
+            let loss = pairwise_disagreement_loss(&profile, &consensus).unwrap();
+            prop_assert!((0.0..=1.0).contains(&loss));
+            // The loss of a consensus and of its reversal cover all pairs exactly once per
+            // base ranking, so they always sum to 1.
+            let anti_loss = pairwise_disagreement_loss(&profile, &consensus.reversed()).unwrap();
+            prop_assert!((loss + anti_loss - 1.0).abs() < 1e-9);
+        }
+    }
+}

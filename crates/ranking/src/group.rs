@@ -1,0 +1,273 @@
+//! Group definitions and precomputed group membership indexes.
+//!
+//! The paper defines two kinds of groups (Definitions 1 and 2):
+//! * a *protected attribute group* `G(p_k : v)` — all candidates with value `v` for `p_k`;
+//! * an *intersectional group* `InterG_j` — all candidates sharing the same combination of
+//!   values across every protected attribute.
+//!
+//! Fairness metrics (FPR/ARP/IRP) need to answer "which group does this candidate belong
+//! to?" millions of times, so [`GroupIndex`] precomputes, for every candidate, its value id
+//! per attribute and its intersection code, plus the size of every group.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::AttributeId;
+use crate::candidate::{CandidateDb, CandidateId};
+
+/// Identifies a group: either one value of one protected attribute, or one intersection cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GroupKey {
+    /// Protected attribute group `G(p_k : v_j)`: candidates with value index `value` for
+    /// attribute `attribute`.
+    Attribute {
+        /// The protected attribute.
+        attribute: AttributeId,
+        /// Value index within the attribute's domain.
+        value: usize,
+    },
+    /// Intersectional group `InterG_j`: candidates whose intersection code equals `code`.
+    Intersection {
+        /// Mixed-radix intersection code (see [`crate::AttributeSchema::intersection_code`]).
+        code: usize,
+    },
+}
+
+/// Per-candidate group membership for one "grouping axis" (one attribute or the intersection).
+///
+/// `membership[candidate] = group index within the axis`, and `sizes[g]` counts members.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupMembership {
+    membership: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl GroupMembership {
+    fn new(membership: Vec<usize>, num_groups: usize) -> Self {
+        let mut sizes = vec![0usize; num_groups];
+        for &g in &membership {
+            sizes[g] += 1;
+        }
+        Self { membership, sizes }
+    }
+
+    /// Group index of `candidate` along this axis.
+    pub fn group_of(&self, candidate: CandidateId) -> usize {
+        self.membership[candidate.index()]
+    }
+
+    /// Number of groups along this axis (including empty groups).
+    pub fn num_groups(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of candidates in group `g`.
+    pub fn group_size(&self, g: usize) -> usize {
+        self.sizes[g]
+    }
+
+    /// Indexes of groups that actually contain at least one candidate.
+    pub fn non_empty_groups(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .map(|(g, _)| g)
+    }
+
+    /// Raw membership slice: `membership[candidate index] = group index`.
+    pub fn membership(&self) -> &[usize] {
+        &self.membership
+    }
+
+    /// Total number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.membership.len()
+    }
+}
+
+/// Precomputed group membership for every protected attribute and for the intersection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupIndex {
+    /// One membership table per protected attribute, in schema order.
+    attributes: Vec<GroupMembership>,
+    /// Membership table for the intersection.
+    intersection: GroupMembership,
+    num_candidates: usize,
+}
+
+impl GroupIndex {
+    /// Builds the group index for a candidate database.
+    pub fn new(db: &CandidateDb) -> Self {
+        let n = db.len();
+        let schema = db.schema();
+        let mut attributes = Vec::with_capacity(schema.num_attributes());
+        for (attr_id, attr) in schema.attributes() {
+            let mut membership = Vec::with_capacity(n);
+            for (_, cand) in db.candidates() {
+                membership.push(cand.value(attr_id).expect("schema-validated").index());
+            }
+            attributes.push(GroupMembership::new(membership, attr.domain_size()));
+        }
+        let mut inter_membership = Vec::with_capacity(n);
+        for (_, cand) in db.candidates() {
+            inter_membership.push(cand.intersection());
+        }
+        let intersection =
+            GroupMembership::new(inter_membership, schema.intersection_cardinality());
+        Self {
+            attributes,
+            intersection,
+            num_candidates: n,
+        }
+    }
+
+    /// Number of candidates in the indexed database.
+    pub fn num_candidates(&self) -> usize {
+        self.num_candidates
+    }
+
+    /// Number of protected attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Membership table for one protected attribute.
+    pub fn attribute(&self, attribute: AttributeId) -> &GroupMembership {
+        &self.attributes[attribute.index()]
+    }
+
+    /// Membership table for the intersection.
+    pub fn intersection(&self) -> &GroupMembership {
+        &self.intersection
+    }
+
+    /// Iterates over `(AttributeId, &GroupMembership)` pairs.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttributeId, &GroupMembership)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (AttributeId(i as u16), m))
+    }
+
+    /// Members of a group identified by a [`GroupKey`].
+    pub fn members(&self, key: GroupKey) -> Vec<CandidateId> {
+        let (table, group) = self.resolve(key);
+        table
+            .membership()
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g == group)
+            .map(|(i, _)| CandidateId(i as u32))
+            .collect()
+    }
+
+    /// Size of the group identified by a [`GroupKey`].
+    pub fn group_size(&self, key: GroupKey) -> usize {
+        let (table, group) = self.resolve(key);
+        table.group_size(group)
+    }
+
+    fn resolve(&self, key: GroupKey) -> (&GroupMembership, usize) {
+        match key {
+            GroupKey::Attribute { attribute, value } => (&self.attributes[attribute.index()], value),
+            GroupKey::Intersection { code } => (&self.intersection, code),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateDbBuilder;
+
+    fn db() -> CandidateDb {
+        let mut b = CandidateDbBuilder::new();
+        let gender = b.add_attribute("Gender", ["Man", "Woman"]).unwrap();
+        let race = b.add_attribute("Race", ["A", "B", "C"]).unwrap();
+        // 12 candidates, uniform over 2x3 = 6 intersection cells.
+        for i in 0..12u32 {
+            b.add_candidate(
+                format!("c{i}"),
+                [(gender, (i % 2) as usize), (race, (i % 3) as usize)],
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attribute_group_sizes_sum_to_n() {
+        let db = db();
+        let idx = GroupIndex::new(&db);
+        for (_, table) in idx.attributes() {
+            let total: usize = (0..table.num_groups()).map(|g| table.group_size(g)).sum();
+            assert_eq!(total, db.len());
+        }
+        let inter = idx.intersection();
+        let total: usize = (0..inter.num_groups()).map(|g| inter.group_size(g)).sum();
+        assert_eq!(total, db.len());
+    }
+
+    #[test]
+    fn membership_matches_candidate_values() {
+        let db = db();
+        let idx = GroupIndex::new(&db);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        for (id, cand) in db.candidates() {
+            assert_eq!(
+                idx.attribute(gender).group_of(id),
+                cand.value(gender).unwrap().index()
+            );
+            assert_eq!(idx.intersection().group_of(id), cand.intersection());
+        }
+    }
+
+    #[test]
+    fn members_returns_exactly_group_candidates() {
+        let db = db();
+        let idx = GroupIndex::new(&db);
+        let gender = db.schema().attribute_id("Gender").unwrap();
+        let women = idx.members(GroupKey::Attribute {
+            attribute: gender,
+            value: 1,
+        });
+        assert_eq!(women.len(), 6);
+        for id in women {
+            assert_eq!(db.value_of(id, gender).unwrap().index(), 1);
+        }
+    }
+
+    #[test]
+    fn group_size_matches_members_len() {
+        let db = db();
+        let idx = GroupIndex::new(&db);
+        for code in 0..db.schema().intersection_cardinality() {
+            let key = GroupKey::Intersection { code };
+            assert_eq!(idx.group_size(key), idx.members(key).len());
+        }
+    }
+
+    #[test]
+    fn non_empty_groups_skips_empty_cells() {
+        // 3 candidates that only occupy some intersection cells.
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["x", "y"]).unwrap();
+        let r = b.add_attribute("R", ["a", "b"]).unwrap();
+        b.add_candidate("c0", [(g, 0), (r, 0)]).unwrap();
+        b.add_candidate("c1", [(g, 0), (r, 0)]).unwrap();
+        b.add_candidate("c2", [(g, 1), (r, 1)]).unwrap();
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        let non_empty: Vec<usize> = idx.intersection().non_empty_groups().collect();
+        assert_eq!(non_empty.len(), 2);
+    }
+
+    #[test]
+    fn index_reports_dimensions() {
+        let db = db();
+        let idx = GroupIndex::new(&db);
+        assert_eq!(idx.num_candidates(), 12);
+        assert_eq!(idx.num_attributes(), 2);
+        assert_eq!(idx.intersection().num_candidates(), 12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Kendall tau distance between rankings (Definition 8 in the paper).
+//!
+//! Two implementations are provided:
+//! * [`kendall_tau_naive`] — the O(n²) textbook double loop, used as a reference in tests;
+//! * [`kendall_tau`] — an O(n log n) merge-sort inversion count, used everywhere else.
+
+use crate::error::RankingError;
+use crate::pairs::total_pairs;
+use crate::ranking::Ranking;
+use crate::Result;
+
+/// Kendall tau distance: number of candidate pairs ordered differently by the two rankings.
+///
+/// O(n log n) via inversion counting: relabel candidates by their position in `a`, read them
+/// off in the order given by `b`, and count inversions in the resulting sequence.
+pub fn kendall_tau(a: &Ranking, b: &Ranking) -> Result<u64> {
+    if a.len() != b.len() {
+        return Err(RankingError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    // sequence[i] = position in `a` of the candidate at position i of `b`
+    let mut sequence: Vec<usize> = Vec::with_capacity(b.len());
+    for cand in b.iter() {
+        sequence.push(a.position_of(cand));
+    }
+    let mut buffer = vec![0usize; sequence.len()];
+    Ok(count_inversions(&mut sequence, &mut buffer))
+}
+
+/// Reference O(n²) Kendall tau distance.
+pub fn kendall_tau_naive(a: &Ranking, b: &Ranking) -> Result<u64> {
+    if a.len() != b.len() {
+        return Err(RankingError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let n = a.len() as u32;
+    let mut count = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ci = crate::CandidateId(i);
+            let cj = crate::CandidateId(j);
+            if a.prefers(ci, cj) != b.prefers(ci, cj) {
+                count += 1;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Kendall tau distance normalised by the number of pairs, in `[0, 1]`.
+pub fn normalized_kendall_tau(a: &Ranking, b: &Ranking) -> Result<f64> {
+    let raw = kendall_tau(a, b)?;
+    let pairs = total_pairs(a.len());
+    if pairs == 0 {
+        return Ok(0.0);
+    }
+    Ok(raw as f64 / pairs as f64)
+}
+
+/// Counts inversions in `data` with merge sort; `data` is sorted in place.
+fn count_inversions(data: &mut [usize], buffer: &mut [usize]) -> u64 {
+    let n = data.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = data.split_at_mut(mid);
+    let (buf_left, buf_right) = buffer.split_at_mut(mid);
+    let mut inversions = count_inversions(left, buf_left) + count_inversions(right, buf_right);
+
+    // Merge step counting cross inversions.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buffer[k] = left[i];
+            i += 1;
+        } else {
+            buffer[k] = right[j];
+            inversions += (left.len() - i) as u64;
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buffer[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buffer[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    data.copy_from_slice(&buffer[..n]);
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_rankings_have_zero_distance() {
+        let r = Ranking::identity(10);
+        assert_eq!(kendall_tau(&r, &r).unwrap(), 0);
+        assert_eq!(normalized_kendall_tau(&r, &r).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reversed_ranking_has_maximum_distance() {
+        let r = Ranking::identity(8);
+        let rev = r.reversed();
+        assert_eq!(kendall_tau(&r, &rev).unwrap(), total_pairs(8));
+        assert!((normalized_kendall_tau(&r, &rev).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_swap_has_distance_one() {
+        let a = Ranking::identity(5);
+        let mut b = a.clone();
+        b.swap_positions(2, 3);
+        assert_eq!(kendall_tau(&a, &b).unwrap(), 1);
+    }
+
+    #[test]
+    fn single_candidate_distance_is_zero() {
+        let a = Ranking::identity(1);
+        assert_eq!(kendall_tau(&a, &a).unwrap(), 0);
+        assert_eq!(normalized_kendall_tau(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = Ranking::identity(3);
+        let b = Ranking::identity(4);
+        assert!(matches!(
+            kendall_tau(&a, &b),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            kendall_tau_naive(&a, &b),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_matches_naive_on_examples() {
+        let a = Ranking::from_ids([0, 3, 1, 4, 2]).unwrap();
+        let b = Ranking::from_ids([4, 2, 0, 1, 3]).unwrap();
+        assert_eq!(
+            kendall_tau(&a, &b).unwrap(),
+            kendall_tau_naive(&a, &b).unwrap()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fast_matches_naive(n in 1usize..60, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Ranking::random(n, &mut rng);
+            let b = Ranking::random(n, &mut rng);
+            prop_assert_eq!(kendall_tau(&a, &b).unwrap(), kendall_tau_naive(&a, &b).unwrap());
+        }
+
+        #[test]
+        fn prop_metric_axioms(n in 2usize..40, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Ranking::random(n, &mut rng);
+            let b = Ranking::random(n, &mut rng);
+            let c = Ranking::random(n, &mut rng);
+            let dab = kendall_tau(&a, &b).unwrap();
+            let dba = kendall_tau(&b, &a).unwrap();
+            let dac = kendall_tau(&a, &c).unwrap();
+            let dcb = kendall_tau(&c, &b).unwrap();
+            // symmetry
+            prop_assert_eq!(dab, dba);
+            // identity of indiscernibles (one direction)
+            prop_assert_eq!(kendall_tau(&a, &a).unwrap(), 0);
+            // triangle inequality
+            prop_assert!(dab <= dac + dcb);
+            // bounded by total pairs
+            prop_assert!(dab <= total_pairs(n));
+        }
+
+        #[test]
+        fn prop_normalized_in_unit_interval(n in 1usize..40, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Ranking::random(n, &mut rng);
+            let b = Ranking::random(n, &mut rng);
+            let d = normalized_kendall_tau(&a, &b).unwrap();
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+}

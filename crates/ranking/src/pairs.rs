@@ -1,0 +1,170 @@
+//! Pairwise decomposition utilities.
+//!
+//! MANI-Rank's positive-outcome model is pairwise (Section II-B of the paper): a ranking
+//! over `n` candidates decomposes into `ω(X) = n(n-1)/2` pairs, and a group's treatment is
+//! measured over its *mixed pairs* — pairs whose two candidates belong to different groups
+//! along the grouping axis under consideration.
+
+use crate::candidate::CandidateId;
+use crate::group::GroupMembership;
+use crate::ranking::Ranking;
+
+/// Total number of candidate pairs in a ranking over `n` candidates: `ω(X) = n(n-1)/2`
+/// (Equation 2 in the paper).
+pub fn total_pairs(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+/// Number of mixed pairs involving a group of size `group_size` in a database of `n`
+/// candidates: `ω_M(G, π) = |G| (|X| - |G|)` (Equation 3 in the paper).
+pub fn mixed_pairs_for_group(group_size: usize, n: usize) -> u64 {
+    (group_size as u64) * ((n - group_size) as u64)
+}
+
+/// Total number of mixed pairs for a grouping axis (Equation 4): all pairs minus the
+/// within-group pairs of every group.
+pub fn total_mixed_pairs(membership: &GroupMembership) -> u64 {
+    let n = membership.num_candidates();
+    let mut within = 0u64;
+    for g in 0..membership.num_groups() {
+        within += total_pairs(membership.group_size(g));
+    }
+    total_pairs(n) - within
+}
+
+/// Iterates over all ordered "favored" pairs `(a, b)` of a ranking where `a ≺ b`
+/// (a ranked above b). There are exactly `ω(X)` such pairs.
+pub fn favored_pairs(ranking: &Ranking) -> impl Iterator<Item = (CandidateId, CandidateId)> + '_ {
+    let slice = ranking.as_slice();
+    (0..slice.len()).flat_map(move |i| {
+        let a = slice[i];
+        slice[i + 1..].iter().map(move |&b| (a, b))
+    })
+}
+
+/// Counts, for one candidate, how many candidates outside its group are ranked *below* it.
+///
+/// This is the per-candidate contribution to the FPR numerator. O(n) scan.
+pub fn favored_mixed_pairs_of(
+    ranking: &Ranking,
+    membership: &GroupMembership,
+    candidate: CandidateId,
+) -> u64 {
+    let my_group = membership.group_of(candidate);
+    let my_pos = ranking.position_of(candidate);
+    let mut count = 0u64;
+    for pos in (my_pos + 1)..ranking.len() {
+        let other = ranking.candidate_at(pos);
+        if membership.group_of(other) != my_group {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Counts pairwise disagreements between two rankings restricted to a predicate over pairs.
+///
+/// Mostly a test/diagnostic helper; the production Kendall tau lives in [`crate::kendall`].
+pub fn count_disagreements_where<F>(a: &Ranking, b: &Ranking, mut include: F) -> u64
+where
+    F: FnMut(CandidateId, CandidateId) -> bool,
+{
+    let mut count = 0u64;
+    let n = a.len();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            let (ci, cj) = (CandidateId(i), CandidateId(j));
+            if !include(ci, cj) {
+                continue;
+            }
+            if a.prefers(ci, cj) != b.prefers(ci, cj) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateDbBuilder;
+    use crate::group::GroupIndex;
+
+    fn db_and_index() -> (crate::CandidateDb, GroupIndex) {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["x", "y"]).unwrap();
+        for i in 0..6u32 {
+            b.add_candidate(format!("c{i}"), [(g, (i % 2) as usize)])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn total_pairs_small_values() {
+        assert_eq!(total_pairs(0), 0);
+        assert_eq!(total_pairs(1), 0);
+        assert_eq!(total_pairs(2), 1);
+        assert_eq!(total_pairs(5), 10);
+        assert_eq!(total_pairs(90), 90 * 89 / 2);
+    }
+
+    #[test]
+    fn mixed_pairs_formula() {
+        assert_eq!(mixed_pairs_for_group(3, 10), 21);
+        assert_eq!(mixed_pairs_for_group(0, 10), 0);
+        assert_eq!(mixed_pairs_for_group(10, 10), 0);
+    }
+
+    #[test]
+    fn total_mixed_pairs_binary_balanced() {
+        let (_db, idx) = db_and_index();
+        let gender = crate::AttributeId(0);
+        // 6 candidates, groups of 3 and 3: mixed pairs = 15 - 3 - 3 = 9 = 3*3.
+        assert_eq!(total_mixed_pairs(idx.attribute(gender)), 9);
+    }
+
+    #[test]
+    fn favored_pairs_count_is_omega() {
+        let r = Ranking::identity(7);
+        assert_eq!(favored_pairs(&r).count() as u64, total_pairs(7));
+        // every emitted pair has the first element above the second
+        for (a, b) in favored_pairs(&r) {
+            assert!(r.prefers(a, b));
+        }
+    }
+
+    #[test]
+    fn favored_mixed_pairs_top_and_bottom() {
+        let (_db, idx) = db_and_index();
+        let gender = crate::AttributeId(0);
+        let membership = idx.attribute(gender);
+        // order: 0(x) 1(y) 2(x) 3(y) 4(x) 5(y)
+        let r = Ranking::identity(6);
+        // candidate 0 (group x, top): members of y below = 3
+        assert_eq!(favored_mixed_pairs_of(&r, membership, CandidateId(0)), 3);
+        // candidate 5 (group y, bottom): nobody below
+        assert_eq!(favored_mixed_pairs_of(&r, membership, CandidateId(5)), 0);
+        // candidate 3 (group y): below are 4(x),5(y) -> 1 mixed
+        assert_eq!(favored_mixed_pairs_of(&r, membership, CandidateId(3)), 1);
+    }
+
+    #[test]
+    fn count_disagreements_where_full_and_filtered() {
+        let a = Ranking::identity(4);
+        let b = a.reversed();
+        // reversed ranking disagrees on every pair
+        assert_eq!(count_disagreements_where(&a, &b, |_, _| true), total_pairs(4));
+        // excluding pairs containing candidate 0 leaves C(3,2)=3 pairs
+        assert_eq!(
+            count_disagreements_where(&a, &b, |x, y| x.0 != 0 && y.0 != 0),
+            3
+        );
+        // identical rankings never disagree
+        assert_eq!(count_disagreements_where(&a, &a, |_, _| true), 0);
+    }
+}

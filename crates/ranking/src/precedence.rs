@@ -1,0 +1,308 @@
+//! Precedence matrix `W` over a set of base rankings (Definition 11 in the paper).
+//!
+//! `W[a][b]` counts how many base rankings place candidate `b` *above* candidate `a`
+//! (i.e. `b ≺ a` in the paper's notation: entries represent pairwise disagreements with
+//! the order `a ≺ b`). Every pairwise consensus method in the workspace (Kemeny,
+//! Copeland, Schulze and their fair variants) operates on this matrix, so it is computed
+//! once per profile and shared.
+
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::CandidateId;
+use crate::error::RankingError;
+use crate::ranking::Ranking;
+use crate::Result;
+
+/// Dense `n × n` precedence matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecedenceMatrix {
+    n: usize,
+    num_rankings: usize,
+    /// Row-major storage; entry `(a, b)` at `a * n + b`.
+    counts: Vec<u32>,
+}
+
+impl PrecedenceMatrix {
+    /// Builds the precedence matrix from a set of base rankings.
+    ///
+    /// All rankings must cover the same `n` candidates. Cost is `O(|R| · n²)`.
+    pub fn from_rankings(rankings: &[Ranking]) -> Result<Self> {
+        let Some(first) = rankings.first() else {
+            return Err(RankingError::EmptyProfile);
+        };
+        let n = first.len();
+        for r in rankings {
+            if r.len() != n {
+                return Err(RankingError::LengthMismatch {
+                    left: n,
+                    right: r.len(),
+                });
+            }
+        }
+        let mut counts = vec![0u32; n * n];
+        for ranking in rankings {
+            let order = ranking.as_slice();
+            // For every pair (above, below) in this ranking, candidate `above` precedes
+            // `below`, which is a disagreement against any consensus placing below ≺ above:
+            // increment W[below][above].
+            for (i, &above) in order.iter().enumerate() {
+                for &below in &order[i + 1..] {
+                    counts[below.index() * n + above.index()] += 1;
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            num_rankings: rankings.len(),
+            counts,
+        })
+    }
+
+    /// Builds a matrix with weighted rankings: ranking `i` contributes `weights[i]` votes.
+    pub fn from_weighted_rankings(rankings: &[Ranking], weights: &[u32]) -> Result<Self> {
+        if rankings.len() != weights.len() {
+            return Err(RankingError::LengthMismatch {
+                left: rankings.len(),
+                right: weights.len(),
+            });
+        }
+        let Some(first) = rankings.first() else {
+            return Err(RankingError::EmptyProfile);
+        };
+        let n = first.len();
+        for r in rankings {
+            if r.len() != n {
+                return Err(RankingError::LengthMismatch {
+                    left: n,
+                    right: r.len(),
+                });
+            }
+        }
+        let mut counts = vec![0u32; n * n];
+        let mut total_weight = 0usize;
+        for (ranking, &w) in rankings.iter().zip(weights) {
+            total_weight += w as usize;
+            let order = ranking.as_slice();
+            for (i, &above) in order.iter().enumerate() {
+                for &below in &order[i + 1..] {
+                    counts[below.index() * n + above.index()] += w;
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            num_rankings: total_weight,
+            counts,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.n
+    }
+
+    /// Number of base rankings (or total weight for weighted construction).
+    pub fn num_rankings(&self) -> usize {
+        self.num_rankings
+    }
+
+    /// `W[a][b]`: number of base rankings ranking `b` above `a` — the disagreement cost of
+    /// placing `a` above `b` in the consensus.
+    pub fn disagreements_if_above(&self, a: CandidateId, b: CandidateId) -> u32 {
+        self.counts[a.index() * self.n + b.index()]
+    }
+
+    /// Number of base rankings preferring `a` over `b` (support for `a ≺ b`).
+    pub fn support_for(&self, a: CandidateId, b: CandidateId) -> u32 {
+        self.counts[b.index() * self.n + a.index()]
+    }
+
+    /// Net pairwise margin of `a` over `b`: supporters of `a ≺ b` minus supporters of `b ≺ a`.
+    pub fn margin(&self, a: CandidateId, b: CandidateId) -> i64 {
+        self.support_for(a, b) as i64 - self.support_for(b, a) as i64
+    }
+
+    /// Total Kendall-tau cost of a consensus ranking against the base rankings,
+    /// computed from the matrix in O(n²).
+    pub fn total_disagreements(&self, consensus: &Ranking) -> Result<u64> {
+        if consensus.len() != self.n {
+            return Err(RankingError::LengthMismatch {
+                left: consensus.len(),
+                right: self.n,
+            });
+        }
+        let order = consensus.as_slice();
+        let mut cost = 0u64;
+        for (i, &above) in order.iter().enumerate() {
+            for &below in &order[i + 1..] {
+                cost += self.disagreements_if_above(above, below) as u64;
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Copeland wins for each candidate: the number of pairwise contests the candidate wins,
+    /// counting ties as wins for both sides (as in the paper's Fair-Copeland description).
+    pub fn copeland_wins(&self) -> Vec<u32> {
+        let mut wins = vec![0u32; self.n];
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a == b {
+                    continue;
+                }
+                let sa = self.support_for(CandidateId(a as u32), CandidateId(b as u32));
+                let sb = self.support_for(CandidateId(b as u32), CandidateId(a as u32));
+                if sa >= sb {
+                    wins[a] += 1;
+                }
+            }
+        }
+        wins
+    }
+
+    /// Borda-style score for each candidate derived from the matrix: total support the
+    /// candidate receives across all pairwise contests.
+    pub fn pairwise_support_scores(&self) -> Vec<u64> {
+        let mut scores = vec![0u64; self.n];
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a == b {
+                    continue;
+                }
+                scores[a] +=
+                    self.support_for(CandidateId(a as u32), CandidateId(b as u32)) as u64;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendall::kendall_tau;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_rankings() -> Vec<Ranking> {
+        vec![
+            Ranking::from_ids([0, 1, 2, 3]).unwrap(),
+            Ranking::from_ids([1, 0, 2, 3]).unwrap(),
+            Ranking::from_ids([3, 2, 1, 0]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_profiles() {
+        assert!(matches!(
+            PrecedenceMatrix::from_rankings(&[]),
+            Err(RankingError::EmptyProfile)
+        ));
+        let rankings = vec![Ranking::identity(3), Ranking::identity(4)];
+        assert!(matches!(
+            PrecedenceMatrix::from_rankings(&rankings),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn support_and_disagreement_are_complementary() {
+        let rankings = sample_rankings();
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (CandidateId(a), CandidateId(b));
+                assert_eq!(
+                    w.support_for(ca, cb) + w.disagreements_if_above(ca, cb),
+                    rankings.len() as u32
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_counts_match_manual() {
+        let rankings = sample_rankings();
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        // candidate 0 above candidate 1 in rankings 0 and (not 1) and (not 2) => 1 actually:
+        // r0: 0 before 1 -> yes; r1: 1 before 0 -> no; r2: 1 before 0 -> no.
+        assert_eq!(w.support_for(CandidateId(0), CandidateId(1)), 1);
+        assert_eq!(w.support_for(CandidateId(1), CandidateId(0)), 2);
+        assert_eq!(w.margin(CandidateId(1), CandidateId(0)), 1);
+        assert_eq!(w.margin(CandidateId(0), CandidateId(1)), -1);
+    }
+
+    #[test]
+    fn total_disagreements_equals_sum_of_kendall_tau() {
+        let rankings = sample_rankings();
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        let consensus = Ranking::from_ids([1, 0, 3, 2]).unwrap();
+        let expected: u64 = rankings
+            .iter()
+            .map(|r| kendall_tau(&consensus, r).unwrap())
+            .sum();
+        assert_eq!(w.total_disagreements(&consensus).unwrap(), expected);
+    }
+
+    #[test]
+    fn total_disagreements_validates_length() {
+        let w = PrecedenceMatrix::from_rankings(&sample_rankings()).unwrap();
+        assert!(matches!(
+            w.total_disagreements(&Ranking::identity(3)),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_matrix_counts_weights() {
+        let rankings = vec![
+            Ranking::from_ids([0, 1]).unwrap(),
+            Ranking::from_ids([1, 0]).unwrap(),
+        ];
+        let w = PrecedenceMatrix::from_weighted_rankings(&rankings, &[3, 1]).unwrap();
+        assert_eq!(w.support_for(CandidateId(0), CandidateId(1)), 3);
+        assert_eq!(w.support_for(CandidateId(1), CandidateId(0)), 1);
+        assert_eq!(w.num_rankings(), 4);
+        assert!(matches!(
+            PrecedenceMatrix::from_weighted_rankings(&rankings, &[1]),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn copeland_wins_unanimous_profile() {
+        let rankings = vec![Ranking::identity(4), Ranking::identity(4)];
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        assert_eq!(w.copeland_wins(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn copeland_counts_ties_as_wins_for_both() {
+        let rankings = vec![
+            Ranking::from_ids([0, 1]).unwrap(),
+            Ranking::from_ids([1, 0]).unwrap(),
+        ];
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        assert_eq!(w.copeland_wins(), vec![1, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_disagreements_matches_kendall_sums(
+            n in 2usize..15,
+            m in 1usize..8,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let consensus = Ranking::random(n, &mut rng);
+            let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+            let expected: u64 = rankings.iter().map(|r| kendall_tau(&consensus, r).unwrap()).sum();
+            prop_assert_eq!(w.total_disagreements(&consensus).unwrap(), expected);
+        }
+    }
+}

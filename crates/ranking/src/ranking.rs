@@ -1,0 +1,325 @@
+//! Strict rankings (permutations) over a candidate database.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::candidate::CandidateId;
+use crate::error::RankingError;
+use crate::Result;
+
+/// A strict total order over `n` candidates.
+///
+/// The ranking is stored redundantly in two directions so that both "who is at
+/// position p?" and "where is candidate c?" are O(1):
+///
+/// * `order[p]` — candidate at rank position `p` (0 = top / best);
+/// * `positions[c]` — rank position of candidate `c`.
+///
+/// All constructors validate that the order is a permutation of `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ranking {
+    order: Vec<CandidateId>,
+    positions: Vec<usize>,
+}
+
+impl Ranking {
+    /// Builds a ranking from an explicit order (top first).
+    pub fn from_order(order: Vec<CandidateId>) -> Result<Self> {
+        let n = order.len();
+        if n == 0 {
+            return Err(RankingError::InvalidPermutation {
+                expected: 0,
+                detail: "empty ranking".into(),
+            });
+        }
+        let mut positions = vec![usize::MAX; n];
+        for (pos, cand) in order.iter().enumerate() {
+            let idx = cand.index();
+            if idx >= n {
+                return Err(RankingError::InvalidPermutation {
+                    expected: n,
+                    detail: format!("candidate id {} out of range", cand.0),
+                });
+            }
+            if positions[idx] != usize::MAX {
+                return Err(RankingError::InvalidPermutation {
+                    expected: n,
+                    detail: format!("candidate id {} appears twice", cand.0),
+                });
+            }
+            positions[idx] = pos;
+        }
+        Ok(Self { order, positions })
+    }
+
+    /// Builds a ranking from raw `u32` candidate ids (top first).
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Result<Self> {
+        Self::from_order(ids.into_iter().map(CandidateId).collect())
+    }
+
+    /// The identity ranking `[0, 1, ..., n-1]`.
+    pub fn identity(n: usize) -> Self {
+        let order: Vec<CandidateId> = (0..n as u32).map(CandidateId).collect();
+        let positions: Vec<usize> = (0..n).collect();
+        Self { order, positions }
+    }
+
+    /// A uniformly random ranking over `n` candidates.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<CandidateId> = (0..n as u32).map(CandidateId).collect();
+        order.shuffle(rng);
+        Self::from_order(order).expect("shuffled identity is a permutation")
+    }
+
+    /// Ranks candidates by *descending* score; ties are broken by candidate id (ascending)
+    /// so results are deterministic.
+    pub fn from_scores(scores: &[f64]) -> Result<Self> {
+        if scores.is_empty() {
+            return Err(RankingError::InvalidPermutation {
+                expected: 0,
+                detail: "empty score vector".into(),
+            });
+        }
+        let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        Self::from_ids(ids)
+    }
+
+    /// Number of candidates in the ranking.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ranking is empty (never true for a constructed ranking).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Candidate at rank position `position` (0 = best).
+    pub fn candidate_at(&self, position: usize) -> CandidateId {
+        self.order[position]
+    }
+
+    /// Rank position of `candidate` (0 = best).
+    pub fn position_of(&self, candidate: CandidateId) -> usize {
+        self.positions[candidate.index()]
+    }
+
+    /// True if `a` is ranked above (better than) `b`, i.e. `a ≺ b` in the paper's notation.
+    pub fn prefers(&self, a: CandidateId, b: CandidateId) -> bool {
+        self.positions[a.index()] < self.positions[b.index()]
+    }
+
+    /// Candidates in rank order, best first.
+    pub fn iter(&self) -> impl Iterator<Item = CandidateId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The underlying order slice, best first.
+    pub fn as_slice(&self) -> &[CandidateId] {
+        &self.order
+    }
+
+    /// Position lookup table indexed by candidate id.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Swaps the candidates occupying two rank positions.
+    pub fn swap_positions(&mut self, pos_a: usize, pos_b: usize) {
+        if pos_a == pos_b {
+            return;
+        }
+        let a = self.order[pos_a];
+        let b = self.order[pos_b];
+        self.order.swap(pos_a, pos_b);
+        self.positions[a.index()] = pos_b;
+        self.positions[b.index()] = pos_a;
+    }
+
+    /// Swaps two candidates' rank positions.
+    pub fn swap_candidates(&mut self, a: CandidateId, b: CandidateId) {
+        let pa = self.positions[a.index()];
+        let pb = self.positions[b.index()];
+        self.swap_positions(pa, pb);
+    }
+
+    /// Moves the candidate at `from` to position `to`, shifting everything in between.
+    pub fn move_position(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let cand = self.order.remove(from);
+        self.order.insert(to, cand);
+        // Recompute affected positions.
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        for pos in lo..=hi {
+            self.positions[self.order[pos].index()] = pos;
+        }
+    }
+
+    /// The reverse ranking (worst becomes best).
+    pub fn reversed(&self) -> Self {
+        let order: Vec<CandidateId> = self.order.iter().rev().copied().collect();
+        Self::from_order(order).expect("reverse of a permutation is a permutation")
+    }
+
+    /// Validates internal consistency; used by debug assertions and property tests.
+    pub fn check_invariants(&self) -> Result<()> {
+        let n = self.order.len();
+        if self.positions.len() != n {
+            return Err(RankingError::LengthMismatch {
+                left: self.positions.len(),
+                right: n,
+            });
+        }
+        for (pos, cand) in self.order.iter().enumerate() {
+            if self.positions[cand.index()] != pos {
+                return Err(RankingError::InvalidPermutation {
+                    expected: n,
+                    detail: format!("position table stale for candidate {}", cand.0),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Ranking {
+    type Item = CandidateId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, CandidateId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_positions_match_ids() {
+        let r = Ranking::identity(5);
+        for i in 0..5 {
+            assert_eq!(r.candidate_at(i).index(), i);
+            assert_eq!(r.position_of(CandidateId(i as u32)), i);
+        }
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_order_rejects_duplicates_and_out_of_range() {
+        let err = Ranking::from_ids([0, 0, 1]).unwrap_err();
+        assert!(matches!(err, RankingError::InvalidPermutation { .. }));
+        let err = Ranking::from_ids([0, 5]).unwrap_err();
+        assert!(matches!(err, RankingError::InvalidPermutation { .. }));
+        let err = Ranking::from_ids(std::iter::empty::<u32>()).unwrap_err();
+        assert!(matches!(err, RankingError::InvalidPermutation { .. }));
+    }
+
+    #[test]
+    fn prefers_reflects_positions() {
+        let r = Ranking::from_ids([2, 0, 1]).unwrap();
+        assert!(r.prefers(CandidateId(2), CandidateId(0)));
+        assert!(r.prefers(CandidateId(0), CandidateId(1)));
+        assert!(!r.prefers(CandidateId(1), CandidateId(2)));
+    }
+
+    #[test]
+    fn from_scores_descending_with_id_tiebreak() {
+        let r = Ranking::from_scores(&[1.0, 3.0, 3.0, 0.5]).unwrap();
+        let order: Vec<u32> = r.iter().map(|c| c.0).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn swap_candidates_updates_both_tables() {
+        let mut r = Ranking::identity(4);
+        r.swap_candidates(CandidateId(0), CandidateId(3));
+        assert_eq!(r.position_of(CandidateId(0)), 3);
+        assert_eq!(r.position_of(CandidateId(3)), 0);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_same_position_is_noop() {
+        let mut r = Ranking::identity(4);
+        r.swap_positions(2, 2);
+        assert_eq!(r, Ranking::identity(4));
+    }
+
+    #[test]
+    fn move_position_shifts_intermediate() {
+        let mut r = Ranking::identity(5);
+        r.move_position(4, 0);
+        let order: Vec<u32> = r.iter().map(|c| c.0).collect();
+        assert_eq!(order, vec![4, 0, 1, 2, 3]);
+        r.check_invariants().unwrap();
+
+        r.move_position(0, 4);
+        let order: Vec<u32> = r.iter().map(|c| c.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reversed_flips_positions() {
+        let r = Ranking::from_ids([3, 1, 0, 2]).unwrap();
+        let rev = r.reversed();
+        for c in r.iter() {
+            assert_eq!(rev.position_of(c), r.len() - 1 - r.position_of(c));
+        }
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 10, 50] {
+            let r = Ranking::random(n, &mut rng);
+            assert_eq!(r.len(), n);
+            r.check_invariants().unwrap();
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_order_roundtrip(perm in proptest::sample::subsequence((0u32..20).collect::<Vec<_>>(), 1..20)) {
+            // Build a permutation from a subsequence by re-indexing to 0..len.
+            let mut ids: Vec<u32> = (0..perm.len() as u32).collect();
+            // deterministic shuffle keyed by the subsequence values
+            ids.sort_by_key(|&i| perm[i as usize]);
+            let r = Ranking::from_ids(ids.clone()).unwrap();
+            prop_assert!(r.check_invariants().is_ok());
+            for (pos, id) in ids.iter().enumerate() {
+                prop_assert_eq!(r.position_of(CandidateId(*id)), pos);
+            }
+        }
+
+        #[test]
+        fn prop_swap_preserves_permutation(n in 2usize..30, a in 0usize..30, b in 0usize..30, seed in any::<u64>()) {
+            let a = a % n;
+            let b = b % n;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Ranking::random(n, &mut rng);
+            r.swap_positions(a, b);
+            prop_assert!(r.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn prop_double_reverse_is_identity(n in 1usize..40, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Ranking::random(n, &mut rng);
+            prop_assert_eq!(r.reversed().reversed(), r);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Fairness constraints for the exact solver, expressed per grouping axis.
+//!
+//! An [`AxisConstraint`] captures one row of the paper's constraint families (Equation 11
+//! for a protected attribute, Equation 12 for the intersection): the grouping of candidates
+//! along the axis and the maximum allowed FPR gap Δ between any two of its groups.
+
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{mixed_pairs_for_group, GroupIndex, Ranking};
+use serde::{Deserialize, Serialize};
+
+/// Numerical slack used when comparing parity gaps against Δ, mirroring the tolerance used
+/// by `mani-fairness::criteria`.
+pub const DELTA_EPS: f64 = 1e-9;
+
+/// One fairness constraint: the groups of a single axis must have pairwise FPR gaps ≤ Δ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisConstraint {
+    /// Human-readable label, e.g. `"Gender"` or `"Intersection"`.
+    pub label: String,
+    /// Group index per candidate (dense candidate id → group along this axis).
+    pub membership: Vec<usize>,
+    /// Number of groups along the axis (including empty groups).
+    pub num_groups: usize,
+    /// Maximum allowed FPR gap between any two non-empty groups.
+    pub delta: f64,
+    /// Mixed-pair denominators per group, `|G|(n - |G|)`; zero for empty or full groups.
+    pub mixed_pairs: Vec<u64>,
+    /// Group sizes.
+    pub group_sizes: Vec<usize>,
+}
+
+impl AxisConstraint {
+    /// Builds a constraint from a membership vector and a Δ threshold.
+    pub fn new(label: impl Into<String>, membership: Vec<usize>, num_groups: usize, delta: f64) -> Self {
+        let n = membership.len();
+        let mut group_sizes = vec![0usize; num_groups];
+        for &g in &membership {
+            group_sizes[g] += 1;
+        }
+        let mixed_pairs = group_sizes
+            .iter()
+            .map(|&s| mixed_pairs_for_group(s, n))
+            .collect();
+        Self {
+            label: label.into(),
+            membership,
+            num_groups,
+            delta,
+            mixed_pairs,
+            group_sizes,
+        }
+    }
+
+    /// Number of candidates covered by the constraint.
+    pub fn num_candidates(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// True when the constraint can never be violated (fewer than two groups have mixed
+    /// pairs, or Δ ≥ 1).
+    pub fn is_trivial(&self) -> bool {
+        if self.delta >= 1.0 {
+            return true;
+        }
+        self.mixed_pairs.iter().filter(|&&m| m > 0).count() < 2
+    }
+
+    /// Exact FPR gap of a complete ranking along this axis.
+    pub fn gap(&self, ranking: &Ranking) -> f64 {
+        let favored = self.favored_counts(ranking);
+        self.gap_from_counts(&favored)
+    }
+
+    /// True when `ranking` satisfies the constraint.
+    pub fn is_satisfied_by(&self, ranking: &Ranking) -> bool {
+        self.is_trivial() || self.gap(ranking) <= self.delta + DELTA_EPS
+    }
+
+    /// Favored mixed pair counts per group for a complete ranking (single O(n) pass).
+    pub fn favored_counts(&self, ranking: &Ranking) -> Vec<u64> {
+        let n = ranking.len();
+        let mut favored = vec![0u64; self.num_groups];
+        let mut seen_below = vec![0u64; self.num_groups];
+        let mut seen_total = 0u64;
+        for pos in (0..n).rev() {
+            let candidate = ranking.candidate_at(pos);
+            let g = self.membership[candidate.index()];
+            favored[g] += seen_total - seen_below[g];
+            seen_below[g] += 1;
+            seen_total += 1;
+        }
+        favored
+    }
+
+    /// FPR gap computed from favored counts.
+    pub fn gap_from_counts(&self, favored: &[u64]) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut seen = 0usize;
+        for g in 0..self.num_groups {
+            if self.mixed_pairs[g] == 0 {
+                continue;
+            }
+            let fpr = favored[g] as f64 / self.mixed_pairs[g] as f64;
+            min = min.min(fpr);
+            max = max.max(fpr);
+            seen += 1;
+        }
+        if seen < 2 {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Optimistic feasibility check for a *partial* prefix.
+    ///
+    /// `favored_so_far[g]` counts the favored mixed pairs already fixed by the prefix for
+    /// group `g`, and `remaining[g]` counts the group's members that are still unplaced.
+    /// Each remaining member of `g` can gain at most `(unplaced − remaining[g])` more
+    /// favored mixed pairs against other unplaced candidates (additional pairs against the
+    /// placed prefix are already fixed), so the final FPR of `g` lies in an interval.
+    /// The constraint is still satisfiable only if there is a window of width Δ that
+    /// intersects every group's interval, i.e. `max_g lo_g − min_g hi_g ≤ Δ`.
+    pub fn feasible_given_prefix(
+        &self,
+        favored_so_far: &[u64],
+        remaining: &[usize],
+        unplaced: usize,
+    ) -> bool {
+        if self.is_trivial() {
+            return true;
+        }
+        let mut max_lo = f64::NEG_INFINITY;
+        let mut min_hi = f64::INFINITY;
+        for g in 0..self.num_groups {
+            if self.mixed_pairs[g] == 0 {
+                continue;
+            }
+            let denom = self.mixed_pairs[g] as f64;
+            let lo = favored_so_far[g] as f64 / denom;
+            let extra_max = (remaining[g] as u64) * (unplaced - remaining[g]) as u64;
+            let hi = (favored_so_far[g] + extra_max) as f64 / denom;
+            max_lo = max_lo.max(lo);
+            min_hi = min_hi.min(hi);
+        }
+        if !max_lo.is_finite() || !min_hi.is_finite() {
+            return true;
+        }
+        max_lo - min_hi <= self.delta + DELTA_EPS
+    }
+}
+
+/// Builds the list of axis constraints implied by [`FairnessThresholds`] over a group index.
+///
+/// One constraint per constrained protected attribute (Equation 11) plus one for the
+/// intersection when it is constrained (Equation 12). Trivial constraints are dropped.
+pub fn constraints_from_thresholds(
+    groups: &GroupIndex,
+    thresholds: &FairnessThresholds,
+    attribute_labels: &[String],
+) -> Vec<AxisConstraint> {
+    let mut out = Vec::new();
+    for (attr_id, membership) in groups.attributes() {
+        if let Some(delta) = thresholds.attribute_delta(attr_id) {
+            let label = attribute_labels
+                .get(attr_id.index())
+                .cloned()
+                .unwrap_or_else(|| format!("attribute-{}", attr_id.index()));
+            let constraint = AxisConstraint::new(
+                label,
+                membership.membership().to_vec(),
+                membership.num_groups(),
+                delta,
+            );
+            if !constraint.is_trivial() {
+                out.push(constraint);
+            }
+        }
+    }
+    if let Some(delta) = thresholds.intersection_delta() {
+        let inter = groups.intersection();
+        let constraint = AxisConstraint::new(
+            "Intersection",
+            inter.membership().to_vec(),
+            inter.num_groups(),
+            delta,
+        );
+        if !constraint.is_trivial() {
+            out.push(constraint);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_fairness::{attribute_rank_parity, intersectional_rank_parity};
+    use mani_ranking::{CandidateDbBuilder, GroupIndex, Ranking};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn binary_constraint(n: usize, delta: f64) -> AxisConstraint {
+        // alternating membership 0,1,0,1,...
+        let membership: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        AxisConstraint::new("G", membership, 2, delta)
+    }
+
+    #[test]
+    fn gap_matches_fairness_crate() {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        let r = b.add_attribute("Race", ["A", "B", "C"]).unwrap();
+        for i in 0..12usize {
+            b.add_candidate(format!("c{i}"), [(g, i % 2), (r, i % 3)])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let idx = GroupIndex::new(&db);
+        let labels = vec!["Gender".to_string(), "Race".to_string()];
+        let constraints = constraints_from_thresholds(
+            &idx,
+            &mani_fairness::FairnessThresholds::uniform(0.1),
+            &labels,
+        );
+        assert_eq!(constraints.len(), 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let ranking = Ranking::random(12, &mut rng);
+            let gender = db.schema().attribute_id("Gender").unwrap();
+            let race = db.schema().attribute_id("Race").unwrap();
+            assert!(
+                (constraints[0].gap(&ranking) - attribute_rank_parity(&ranking, &idx, gender))
+                    .abs()
+                    < 1e-12
+            );
+            assert!(
+                (constraints[1].gap(&ranking) - attribute_rank_parity(&ranking, &idx, race)).abs()
+                    < 1e-12
+            );
+            assert!(
+                (constraints[2].gap(&ranking) - intersectional_rank_parity(&ranking, &idx)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_constraints_are_detected_and_dropped() {
+        // Single-group axis (all candidates share the value) is trivial.
+        let c = AxisConstraint::new("solo", vec![0, 0, 0], 2, 0.1);
+        assert!(c.is_trivial());
+        assert!(c.is_satisfied_by(&Ranking::identity(3)));
+        // Loose delta is trivial.
+        let c = binary_constraint(6, 1.0);
+        assert!(c.is_trivial());
+        // A normal constraint is not.
+        let c = binary_constraint(6, 0.1);
+        assert!(!c.is_trivial());
+    }
+
+    #[test]
+    fn segregated_ranking_violates_tight_constraint() {
+        // membership alternates, so the ranking [0,2,4,1,3,5] puts group 0 entirely on top.
+        let c = binary_constraint(6, 0.1);
+        let segregated = Ranking::from_ids([0, 2, 4, 1, 3, 5]).unwrap();
+        assert!((c.gap(&segregated) - 1.0).abs() < 1e-12);
+        assert!(!c.is_satisfied_by(&segregated));
+        // the alternating identity ranking is much fairer
+        let identity = Ranking::identity(6);
+        assert!(c.gap(&identity) < 0.35);
+    }
+
+    #[test]
+    fn empty_prefix_is_always_feasible() {
+        let c = binary_constraint(8, 0.05);
+        let favored = vec![0u64; 2];
+        let remaining = vec![4usize, 4];
+        assert!(c.feasible_given_prefix(&favored, &remaining, 8));
+    }
+
+    #[test]
+    fn infeasible_prefix_is_pruned() {
+        // 6 candidates, binary groups of 3. If all of group 0 is already placed on top,
+        // its favored count is 9 = mixed pairs, FPR_0 = 1 fixed; group 1's FPR is 0 and can
+        // gain nothing (no unplaced non-members). Δ = 0.1 is infeasible.
+        let c = binary_constraint(6, 0.1);
+        // group 0 = candidates 0,2,4; after placing them: favored_0 = 3+3+3 = 9
+        let favored = vec![9u64, 0];
+        let remaining = vec![0usize, 3];
+        assert!(!c.feasible_given_prefix(&favored, &remaining, 3));
+    }
+
+    #[test]
+    fn feasibility_is_optimistic_never_cuts_feasible_completions() {
+        // Randomised check: take a random prefix of a ranking that satisfies the constraint;
+        // the prefix must be declared feasible.
+        let mut rng = StdRng::seed_from_u64(13);
+        let c = binary_constraint(10, 0.3);
+        for _ in 0..50 {
+            let ranking = Ranking::random(10, &mut rng);
+            if !c.is_satisfied_by(&ranking) {
+                continue;
+            }
+            for prefix_len in 0..10 {
+                let mut favored = vec![0u64; 2];
+                let mut placed = vec![false; 10];
+                for p in 0..prefix_len {
+                    let cand = ranking.candidate_at(p);
+                    placed[cand.index()] = true;
+                }
+                // favored counts fixed by the prefix: for each placed candidate, non-group
+                // candidates ranked below it (placed later or unplaced).
+                for p in 0..prefix_len {
+                    let cand = ranking.candidate_at(p);
+                    let g = c.membership[cand.index()];
+                    let mut count = 0u64;
+                    for q in (p + 1)..10 {
+                        let other = ranking.candidate_at(q);
+                        if c.membership[other.index()] != g {
+                            count += 1;
+                        }
+                    }
+                    favored[g] += count;
+                }
+                let mut remaining = vec![0usize; 2];
+                for (i, &done) in placed.iter().enumerate() {
+                    if !done {
+                        remaining[c.membership[i]] += 1;
+                    }
+                }
+                let unplaced = 10 - prefix_len;
+                assert!(
+                    c.feasible_given_prefix(&favored, &remaining, unplaced),
+                    "prefix of a feasible ranking must not be pruned (len {prefix_len})"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gap_in_unit_interval(n in 2usize..20, seed in any::<u64>()) {
+            let c = binary_constraint(n, 0.1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ranking = Ranking::random(n, &mut rng);
+            let gap = c.gap(&ranking);
+            prop_assert!((0.0..=1.0).contains(&gap));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Problem and configuration types for the exact Kemeny / Fair-Kemeny solver.
+
+use mani_ranking::{PrecedenceMatrix, Ranking};
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::AxisConstraint;
+
+/// A (possibly fairness-constrained) Kemeny consensus problem.
+#[derive(Debug, Clone)]
+pub struct KemenyProblem {
+    /// Precedence matrix of the base rankings.
+    pub matrix: PrecedenceMatrix,
+    /// Fairness constraints; empty for plain Kemeny.
+    pub constraints: Vec<AxisConstraint>,
+}
+
+impl KemenyProblem {
+    /// Plain (fairness-unaware) Kemeny problem.
+    pub fn unconstrained(matrix: PrecedenceMatrix) -> Self {
+        Self {
+            matrix,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Fairness-constrained Kemeny problem.
+    pub fn constrained(matrix: PrecedenceMatrix, constraints: Vec<AxisConstraint>) -> Self {
+        Self {
+            matrix,
+            constraints,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.matrix.num_candidates()
+    }
+
+    /// True when a complete ranking satisfies all fairness constraints.
+    pub fn is_feasible(&self, ranking: &Ranking) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied_by(ranking))
+    }
+
+    /// Kemeny objective value (total pairwise disagreements) of a ranking.
+    pub fn cost(&self, ranking: &Ranking) -> u64 {
+        self.matrix
+            .total_disagreements(ranking)
+            .expect("ranking and matrix sizes match by construction")
+    }
+}
+
+/// Configuration for the branch-and-bound search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Maximum number of search nodes to expand before giving up on optimality.
+    ///
+    /// The default (2 million) keeps a single solve in the low seconds even on adversarial
+    /// instances; the experiment harness raises it via `Scale::solver_max_nodes` when the
+    /// paper-scale sweeps want tighter optimality.
+    pub max_nodes: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Config with an explicit node budget.
+    pub fn with_max_nodes(max_nodes: u64) -> Self {
+        Self { max_nodes }
+    }
+}
+
+/// Result of a solver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// Best feasible ranking found.
+    pub ranking: Ranking,
+    /// Its Kemeny objective value.
+    pub cost: u64,
+    /// True when the search proved this is the optimum; false when the node budget was
+    /// exhausted first (anytime result).
+    pub optimal: bool,
+    /// Number of search nodes expanded.
+    pub nodes_explored: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::RankingProfile;
+
+    #[test]
+    fn unconstrained_problem_is_always_feasible() {
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        let problem = KemenyProblem::unconstrained(profile.precedence_matrix());
+        assert!(problem.is_feasible(&Ranking::identity(4)));
+        assert!(problem.is_feasible(&Ranking::identity(4).reversed()));
+        assert_eq!(problem.num_candidates(), 4);
+        assert_eq!(problem.cost(&Ranking::identity(4)), 0);
+        assert_eq!(
+            problem.cost(&Ranking::identity(4).reversed()),
+            mani_ranking::total_pairs(4)
+        );
+    }
+
+    #[test]
+    fn constrained_problem_checks_axes() {
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        let constraint = AxisConstraint::new("G", vec![0, 0, 1, 1], 2, 0.1);
+        let problem =
+            KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint]);
+        // identity puts group 0 entirely on top -> infeasible under delta 0.1
+        assert!(!problem.is_feasible(&Ranking::identity(4)));
+        // the "sandwich" order 0,2,3,1 gives both groups an FPR of exactly 0.5
+        assert!(problem.is_feasible(&Ranking::from_ids([0, 2, 3, 1]).unwrap()));
+    }
+
+    #[test]
+    fn solver_config_default_and_custom() {
+        assert_eq!(SolverConfig::default().max_nodes, 2_000_000);
+        assert_eq!(SolverConfig::with_max_nodes(10).max_nodes, 10);
+    }
+}

@@ -1,0 +1,68 @@
+//! A miniature version of the paper's scalability study (Figures 6/7, Tables II/III):
+//! measures Fair-Borda, Fair-Copeland, and Fair-Schulze wall-clock time while the number
+//! of base rankings and the number of candidates grow.
+//!
+//! Run with `cargo run --release --example scalability_probe` (release strongly
+//! recommended; the probe sizes are chosen for a release build).
+
+use std::time::Instant;
+
+use mani_rank::prelude::*;
+
+fn workload(num_candidates: usize, num_rankings: usize, seed: u64) -> (CandidateDb, RankingProfile) {
+    let db = mani_rank::datagen::binary_population(num_candidates, 0.5, 0.5, seed);
+    let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
+    let profile = MallowsModel::new(modal, 0.6).sample_profile(num_rankings, seed ^ 0xF00D);
+    (db, profile)
+}
+
+fn time_method(kind: MethodKind, ctx: &MfcrContext<'_>) -> f64 {
+    let start = Instant::now();
+    let outcome = kind.instantiate().solve(ctx).expect("method run");
+    assert!(outcome.ranking.len() == ctx.profile.num_candidates());
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let release = !cfg!(debug_assertions);
+    let (ranker_counts, candidate_counts): (Vec<usize>, Vec<usize>) = if release {
+        (vec![100, 1_000, 10_000], vec![100, 500, 1_000])
+    } else {
+        (vec![20, 100, 500], vec![50, 100, 200])
+    };
+    let methods = [
+        MethodKind::FairBorda,
+        MethodKind::FairCopeland,
+        MethodKind::FairSchulze,
+    ];
+
+    println!("Scalability in the number of base rankings (n = 100 candidates, Δ = 0.1):");
+    for &m in &ranker_counts {
+        let (db, profile) = workload(100, m, 1);
+        let groups = GroupIndex::new(&db);
+        let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.1));
+        let times: Vec<String> = methods
+            .iter()
+            .map(|&kind| format!("{} {:.3}s", kind.name(), time_method(kind, &ctx)))
+            .collect();
+        println!("  |R| = {m:>6}: {}", times.join(", "));
+    }
+
+    println!("\nScalability in the number of candidates (|R| = 50 rankings, Δ = 0.33):");
+    for &n in &candidate_counts {
+        let (db, profile) = workload(n, 50, 2);
+        let groups = GroupIndex::new(&db);
+        let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.33));
+        // Schulze is O(n³); restrict it to the smaller sizes, as the paper's Figure 7 notes.
+        let active: Vec<MethodKind> = methods
+            .iter()
+            .copied()
+            .filter(|kind| *kind != MethodKind::FairSchulze || n <= 500)
+            .collect();
+        let times: Vec<String> = active
+            .iter()
+            .map(|&kind| format!("{} {:.3}s", kind.name(), time_method(kind, &ctx)))
+            .collect();
+        println!("  n = {n:>5}: {}", times.join(", "));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: data generation → aggregation → fairness correction →
+//! evaluation, exercised through the umbrella crate's public API exactly as a downstream
+//! user would.
+
+use mani_rank::prelude::*;
+
+fn committee_workload(
+    n: usize,
+    m: usize,
+    theta: f64,
+    seed: u64,
+) -> (CandidateDb, GroupIndex, RankingProfile) {
+    let db = mani_rank::datagen::binary_population(n, 0.5, 0.5, seed);
+    let groups = GroupIndex::new(&db);
+    let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
+    let profile = MallowsModel::new(modal, theta).sample_profile(m, seed ^ 0xA5A5);
+    (db, groups, profile)
+}
+
+#[test]
+fn every_method_returns_a_complete_evaluated_outcome() {
+    let (db, groups, profile) = committee_workload(20, 10, 0.6, 3);
+    let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2));
+    for kind in MethodKind::all() {
+        let outcome = kind
+            .instantiate_with_nodes(20_000)
+            .solve(&ctx)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        assert_eq!(outcome.ranking.len(), 20);
+        outcome.ranking.check_invariants().unwrap();
+        assert!((0.0..=1.0).contains(&outcome.pd_loss));
+        let audit = outcome.audit(&ctx);
+        assert_eq!(audit.attributes.len(), 2);
+    }
+}
+
+#[test]
+fn proposed_methods_satisfy_mani_rank_on_biased_profiles() {
+    let (db, groups, profile) = committee_workload(30, 20, 1.0, 11);
+    let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.1));
+    for kind in MethodKind::proposed() {
+        let outcome = kind.instantiate_with_nodes(20_000).solve(&ctx).unwrap();
+        assert!(
+            outcome.criteria.is_satisfied(),
+            "{} must satisfy MANI-Rank",
+            kind.name()
+        );
+    }
+    // The fairness-unaware consensus reproduces the bias on this strongly-agreeing profile.
+    let kemeny = MethodKind::Kemeny
+        .instantiate_with_nodes(20_000)
+        .solve(&ctx)
+        .unwrap();
+    assert!(!kemeny.criteria.is_satisfied());
+}
+
+#[test]
+fn price_of_fairness_is_nonnegative_and_decreases_with_delta() {
+    let (db, groups, profile) = committee_workload(24, 15, 0.8, 17);
+    let unfair_ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::unconstrained());
+    let unfair = ExactKemeny::new().solve(&unfair_ctx).unwrap();
+    assert!(unfair.optimal, "n = 24 unconstrained Kemeny should close");
+
+    let mut previous_pof = f64::INFINITY;
+    for delta in [0.05, 0.2, 0.5] {
+        let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(delta));
+        let fair = FairBorda::new().solve(&ctx).unwrap();
+        let pof = price_of_fairness(&profile, &fair.ranking, &unfair.ranking).unwrap();
+        assert!(pof >= -1e-9, "PoF must be non-negative, got {pof} at delta {delta}");
+        assert!(
+            pof <= previous_pof + 0.05,
+            "PoF should broadly decrease as delta loosens"
+        );
+        previous_pof = pof;
+    }
+}
+
+#[test]
+fn make_mr_fair_corrects_any_consensus_method_output() {
+    let (db, groups, profile) = committee_workload(26, 12, 0.9, 23);
+    let thresholds = FairnessThresholds::uniform(0.15);
+    let candidates = [
+        mani_rank::aggregation::BordaAggregator::new().consensus(&profile),
+        mani_rank::aggregation::CopelandAggregator::new().consensus(&profile),
+        mani_rank::aggregation::SchulzeAggregator::new().consensus(&profile),
+    ];
+    for consensus in candidates {
+        let report = make_mr_fair(&consensus, &groups, &thresholds);
+        assert!(report.satisfied);
+        let criteria = ManiRankCriteria::evaluate(&report.ranking, &groups, &thresholds);
+        assert!(criteria.is_satisfied());
+        // Correction must not lose or duplicate candidates.
+        report.ranking.check_invariants().unwrap();
+        assert_eq!(report.ranking.len(), db.len());
+    }
+}
+
+#[test]
+fn exam_case_study_end_to_end() {
+    let dataset = ExamDataset::generate(&Default::default());
+    let groups = GroupIndex::new(&dataset.db);
+    let ctx = MfcrContext::new(
+        &dataset.db,
+        &groups,
+        &dataset.profile,
+        FairnessThresholds::uniform(0.05),
+    );
+    let outcome = FairBorda::new().solve(&ctx).unwrap();
+    assert!(outcome.criteria.is_satisfied());
+    let audit = outcome.audit(&ctx);
+    // every defined group FPR is close to the parity value 0.5
+    for attr in &audit.attributes {
+        for group in &attr.groups {
+            if let Some(fpr) = group.fpr {
+                assert!((fpr - 0.5).abs() <= 0.06, "{}:{} fpr {fpr}", attr.attribute, group.group);
+            }
+        }
+    }
+}
+
+#[test]
+fn csrankings_case_study_end_to_end() {
+    let dataset = CsRankingsDataset::generate(&Default::default());
+    let groups = GroupIndex::new(&dataset.db);
+    let ctx = MfcrContext::new(
+        &dataset.db,
+        &groups,
+        &dataset.profile,
+        FairnessThresholds::uniform(0.05),
+    );
+    let unfair = mani_rank::aggregation::CopelandAggregator::new().consensus(&dataset.profile);
+    let location = dataset.db.schema().attribute_id("Location").unwrap();
+    assert!(attribute_rank_parity(&unfair, &groups, location) > 0.05);
+
+    let fair = FairCopeland::new().solve(&ctx).unwrap();
+    assert!(fair.criteria.is_satisfied());
+    assert!(attribute_rank_parity(&fair.ranking, &groups, location) <= 0.05 + 1e-9);
+}
+
+#[test]
+fn experiment_harness_smoke_tables_have_expected_shape() {
+    use mani_rank::experiments::{datasets, Scale};
+    let scale = Scale::smoke();
+    let table1 = datasets::table1(&scale);
+    assert_eq!(table1.len(), 3);
+    assert_eq!(table1.headers(), &["Dataset", "ARP_Gender", "ARP_Race", "IRP"]);
+    // Low-Fair row is less fair than High-Fair row on every metric.
+    let low_irp: f64 = table1.cell(0, "IRP").unwrap().parse().unwrap();
+    let high_irp: f64 = table1.cell(2, "IRP").unwrap().parse().unwrap();
+    assert!(low_irp >= high_irp);
+}
