@@ -28,11 +28,7 @@ impl BordaAggregator {
 /// Orders candidates by descending points, breaking ties by candidate id (ascending).
 pub(crate) fn ranking_from_points(points: &[u64]) -> Ranking {
     let mut ids: Vec<u32> = (0..points.len() as u32).collect();
-    ids.sort_by(|&a, &b| {
-        points[b as usize]
-            .cmp(&points[a as usize])
-            .then(a.cmp(&b))
-    });
+    ids.sort_by(|&a, &b| points[b as usize].cmp(&points[a as usize]).then(a.cmp(&b)));
     Ranking::from_ids(ids).expect("sorted ids form a permutation")
 }
 

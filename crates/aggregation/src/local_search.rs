@@ -78,8 +78,7 @@ mod tests {
         let target = Ranking::from_ids([3, 1, 4, 0, 2]).unwrap();
         let (_, matrix) = matrix_for(vec![target.clone(); 3]);
         let (refined, cost) =
-            kemeny_local_search(&matrix, &target.reversed(), LocalSearchConfig::default())
-                .unwrap();
+            kemeny_local_search(&matrix, &target.reversed(), LocalSearchConfig::default()).unwrap();
         assert_eq!(refined, target);
         assert_eq!(cost, 0);
     }

@@ -60,8 +60,7 @@ mod tests {
     fn picks_the_majority_ranking() {
         let popular = Ranking::from_ids([1, 0, 2, 3]).unwrap();
         let outlier = popular.reversed();
-        let profile =
-            RankingProfile::new(vec![popular.clone(), popular.clone(), outlier]).unwrap();
+        let profile = RankingProfile::new(vec![popular.clone(), popular.clone(), outlier]).unwrap();
         let picked = PickAPerm::new().consensus(&profile).unwrap();
         assert_eq!(picked, popular);
         assert_eq!(PickAPerm::new().best_index(&profile).unwrap(), 0);

@@ -26,6 +26,7 @@ impl SchulzeAggregator {
     ///
     /// Only edges with positive support participate (the standard "winning votes" variant:
     /// an edge exists from `a` to `b` when more rankings prefer `a` to `b` than vice versa).
+    #[allow(clippy::needless_range_loop)] // Floyd-Warshall style: indices are the clearer idiom
     pub fn strongest_paths(&self, matrix: &PrecedenceMatrix) -> Vec<Vec<u64>> {
         let n = matrix.num_candidates();
         let mut p = vec![vec![0u64; n]; n];
@@ -62,6 +63,7 @@ impl SchulzeAggregator {
     }
 
     /// Computes the Schulze consensus from a precomputed precedence matrix.
+    #[allow(clippy::needless_range_loop)]
     pub fn consensus_from_matrix(&self, matrix: &PrecedenceMatrix) -> Ranking {
         let n = matrix.num_candidates();
         let p = self.strongest_paths(matrix);
@@ -120,6 +122,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn strongest_paths_classic_example() {
         // Wikipedia-style 3-candidate cycle check: A > B (2 of 3), B > C (2 of 3), C > A (2 of 3)
         // forms a majority cycle; strongest paths must still be computed consistently.
@@ -146,6 +149,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn strongest_path_at_least_direct_support() {
         let mut rng = StdRng::seed_from_u64(23);
         let rankings: Vec<Ranking> = (0..7).map(|_| Ranking::random(6, &mut rng)).collect();

@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(format!("fair_borda_delta_{delta}"), n),
                 &n,
                 |b, _| {
-                    b.iter(|| MethodKind::FairBorda.instantiate().solve(&ctx).expect("run"))
+                    b.iter(|| {
+                        MethodKind::FairBorda
+                            .instantiate()
+                            .solve(&ctx)
+                            .expect("run")
+                    })
                 },
             );
         }

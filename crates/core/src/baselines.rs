@@ -68,7 +68,7 @@ impl MfcrMethod for ExactKemeny {
     }
 
     fn solve(&self, ctx: &MfcrContext<'_>) -> Result<MfcrOutcome> {
-        let matrix = ctx.profile.precedence_matrix();
+        let matrix = ctx.precedence_matrix().into_owned();
         // Seed with a locally-optimal refinement of the Borda consensus.
         let borda = BordaAggregator::new().consensus(ctx.profile);
         let (incumbent, _) = kemeny_local_search(&matrix, &borda, LocalSearchConfig::default())?;
@@ -180,13 +180,7 @@ impl MfcrMethod for CorrectFairestPerm {
         let idx = fairest_index(ctx);
         let fairest = ctx.profile.rankings()[idx].clone();
         let correction = make_mr_fair(&fairest, ctx.groups, &ctx.thresholds);
-        MfcrOutcome::evaluate(
-            self.name(),
-            ctx,
-            correction.ranking,
-            correction.swaps,
-            true,
-        )
+        MfcrOutcome::evaluate(self.name(), ctx, correction.ranking, correction.swaps, true)
     }
 }
 

@@ -1,10 +1,17 @@
 //! Shared input bundle for MFCR methods.
 
+use std::borrow::Cow;
+
 use mani_fairness::FairnessThresholds;
-use mani_ranking::{CandidateDb, GroupIndex, RankingProfile};
+use mani_ranking::{CandidateDb, GroupIndex, PrecedenceMatrix, RankingProfile};
 
 /// Everything an MFCR method needs: the candidate database, its group index, the base
 /// rankings, and the fairness thresholds Δ.
+///
+/// Optionally the context can carry a *precomputed* precedence matrix for the profile
+/// (see [`MfcrContext::with_precedence`]); every pairwise method then reuses it instead
+/// of paying the `O(n² · |R|)` construction cost again. The batch engine in `mani-engine`
+/// uses this to compute each dataset's matrix exactly once per batch.
 #[derive(Debug, Clone)]
 pub struct MfcrContext<'a> {
     /// Candidate database `X`.
@@ -15,6 +22,8 @@ pub struct MfcrContext<'a> {
     pub profile: &'a RankingProfile,
     /// Fairness thresholds (uniform Δ or per-axis overrides).
     pub thresholds: FairnessThresholds,
+    /// Precomputed precedence matrix for `profile`, if the caller already has one.
+    precedence: Option<&'a PrecedenceMatrix>,
 }
 
 impl<'a> MfcrContext<'a> {
@@ -44,7 +53,42 @@ impl<'a> MfcrContext<'a> {
             groups,
             profile,
             thresholds,
+            precedence: None,
         }
+    }
+
+    /// Attaches a precomputed precedence matrix for this context's profile.
+    ///
+    /// # Panics
+    /// Panics if the matrix's candidate or ranking count does not match the profile — a
+    /// matrix from a different profile would silently corrupt every pairwise method.
+    pub fn with_precedence(mut self, precedence: &'a PrecedenceMatrix) -> Self {
+        assert_eq!(
+            precedence.num_candidates(),
+            self.profile.num_candidates(),
+            "precedence matrix and profile must cover the same candidates"
+        );
+        assert_eq!(
+            precedence.num_rankings(),
+            self.profile.len(),
+            "precedence matrix must be built from the same number of rankings"
+        );
+        self.precedence = Some(precedence);
+        self
+    }
+
+    /// The profile's precedence matrix: borrowed when one was attached via
+    /// [`MfcrContext::with_precedence`], freshly computed otherwise.
+    pub fn precedence_matrix(&self) -> Cow<'a, PrecedenceMatrix> {
+        match self.precedence {
+            Some(matrix) => Cow::Borrowed(matrix),
+            None => Cow::Owned(self.profile.precedence_matrix()),
+        }
+    }
+
+    /// The attached precedence matrix, if any (used by tests and diagnostics).
+    pub fn shared_precedence(&self) -> Option<&'a PrecedenceMatrix> {
+        self.precedence
     }
 
     /// Attribute names in schema order (used to label solver constraints).
@@ -79,6 +123,35 @@ mod tests {
         let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2));
         assert_eq!(ctx.attribute_labels(), vec!["Gender".to_string()]);
         assert_eq!(ctx.thresholds.default_delta(), 0.2);
+    }
+
+    #[test]
+    fn attached_precedence_matrix_is_borrowed_not_recomputed() {
+        let db = db();
+        let groups = GroupIndex::new(&db);
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        let matrix = profile.precedence_matrix();
+        let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2))
+            .with_precedence(&matrix);
+        assert!(ctx.shared_precedence().is_some());
+        assert!(matches!(ctx.precedence_matrix(), Cow::Borrowed(_)));
+        // Without an attachment the matrix is computed on demand.
+        let plain = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2));
+        assert!(plain.shared_precedence().is_none());
+        assert!(matches!(plain.precedence_matrix(), Cow::Owned(_)));
+        assert_eq!(plain.precedence_matrix().as_ref(), &matrix);
+    }
+
+    #[test]
+    #[should_panic(expected = "same candidates")]
+    fn mismatched_precedence_is_rejected() {
+        let db = db();
+        let groups = GroupIndex::new(&db);
+        let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
+        let other_profile = RankingProfile::new(vec![Ranking::identity(5)]).unwrap();
+        let matrix = other_profile.precedence_matrix();
+        let _ = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.2))
+            .with_precedence(&matrix);
     }
 
     #[test]

@@ -30,13 +30,7 @@ impl MfcrMethod for FairBorda {
     fn solve(&self, ctx: &MfcrContext<'_>) -> Result<MfcrOutcome> {
         let consensus = BordaAggregator::new().consensus(ctx.profile);
         let correction = make_mr_fair(&consensus, ctx.groups, &ctx.thresholds);
-        MfcrOutcome::evaluate(
-            self.name(),
-            ctx,
-            correction.ranking,
-            correction.swaps,
-            true,
-        )
+        MfcrOutcome::evaluate(self.name(), ctx, correction.ranking, correction.swaps, true)
     }
 }
 
@@ -51,7 +45,10 @@ mod tests {
         let ctx = low_fair_context(&fixture, 0.1);
         let outcome = FairBorda::new().solve(&ctx).unwrap();
         assert!(outcome.criteria.is_satisfied());
-        assert!(outcome.correction_swaps > 0, "unfair profile needs correction");
+        assert!(
+            outcome.correction_swaps > 0,
+            "unfair profile needs correction"
+        );
         outcome.ranking.check_invariants().unwrap();
     }
 

@@ -25,15 +25,10 @@ impl MfcrMethod for FairCopeland {
     }
 
     fn solve(&self, ctx: &MfcrContext<'_>) -> Result<MfcrOutcome> {
-        let consensus = CopelandAggregator::new().consensus(ctx.profile);
+        let matrix = ctx.precedence_matrix();
+        let consensus = CopelandAggregator::new().consensus_from_matrix(&matrix);
         let correction = make_mr_fair(&consensus, ctx.groups, &ctx.thresholds);
-        MfcrOutcome::evaluate(
-            self.name(),
-            ctx,
-            correction.ranking,
-            correction.swaps,
-            true,
-        )
+        MfcrOutcome::evaluate(self.name(), ctx, correction.ranking, correction.swaps, true)
     }
 }
 

@@ -8,9 +8,7 @@
 //! through [`MfcrOutcome::optimal`]).
 
 use mani_ranking::Result;
-use mani_solver::{
-    constraints::constraints_from_thresholds, KemenyProblem, SolverConfig,
-};
+use mani_solver::{constraints::constraints_from_thresholds, KemenyProblem, SolverConfig};
 
 use crate::context::MfcrContext;
 use crate::fair_borda::FairBorda;
@@ -42,7 +40,7 @@ impl MfcrMethod for FairKemeny {
     }
 
     fn solve(&self, ctx: &MfcrContext<'_>) -> Result<MfcrOutcome> {
-        let matrix = ctx.profile.precedence_matrix();
+        let matrix = ctx.precedence_matrix().into_owned();
         let constraints =
             constraints_from_thresholds(ctx.groups, &ctx.thresholds, &ctx.attribute_labels());
         let problem = KemenyProblem::constrained(matrix, constraints);
@@ -77,7 +75,10 @@ mod tests {
         let ctx = low_fair_context(&fixture, 0.25);
         let fair = FairKemeny::new().solve(&ctx).unwrap();
         let unfair = ExactKemeny::new().solve(&ctx).unwrap();
-        assert!(unfair.optimal, "unconstrained exact Kemeny at n = 12 must close");
+        assert!(
+            unfair.optimal,
+            "unconstrained exact Kemeny at n = 12 must close"
+        );
         assert!(fair.pd_loss >= unfair.pd_loss - 1e-12);
     }
 

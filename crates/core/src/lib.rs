@@ -45,8 +45,6 @@
 
 pub mod baselines;
 pub mod context;
-#[cfg(test)]
-mod test_support;
 pub mod fair_borda;
 pub mod fair_copeland;
 pub mod fair_kemeny;
@@ -54,6 +52,8 @@ pub mod fair_schulze;
 pub mod make_mr_fair;
 pub mod methods;
 pub mod report;
+#[cfg(test)]
+mod test_support;
 
 pub use baselines::{CorrectFairestPerm, ExactKemeny, KemenyWeighted, PickFairestPerm};
 pub use context::MfcrContext;

@@ -74,8 +74,8 @@ fn greedy_correction(
     // needs far fewer (each early swap moves candidates over long distances). Cap the greedy
     // pass at a small multiple of n so a stalled pass hands over to the interleave fallback
     // quickly instead of burning the quadratic budget.
-    let max_swaps = (total_pairs(n) * (groups.num_attributes() as u64 + 1))
-        .min(32 * n as u64 + 512);
+    let max_swaps =
+        (total_pairs(n) * (groups.num_attributes() as u64 + 1)).min(32 * n as u64 + 512);
     let mut swaps = 0u64;
 
     loop {
@@ -158,7 +158,11 @@ fn fair_interleave(
     }
     // Stable order: by quota, then by original position (preserves within-group order and
     // breaks cross-group ties deterministically by who was ranked higher).
-    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    keyed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
     Ranking::from_ids(keyed.into_iter().map(|(_, _, id)| id))
         .expect("re-ordering a permutation yields a permutation")
 }
@@ -241,14 +245,14 @@ fn most_violating_axis(
     for (i, (attr_id, membership)) in groups.attributes().enumerate() {
         if let Some(delta) = thresholds.attribute_delta(attr_id) {
             let score = group_fprs(ranking, membership).max_pairwise_gap();
-            if score > delta + EPS && worst.as_ref().map_or(true, |(_, s)| score > *s) {
+            if score > delta + EPS && worst.as_ref().is_none_or(|(_, s)| score > *s) {
                 worst = Some((AxisRef::Attribute(i), score));
             }
         }
     }
     if let Some(delta) = thresholds.intersection_delta() {
         let score = group_fprs(ranking, groups.intersection()).max_pairwise_gap();
-        if score > delta + EPS && worst.as_ref().map_or(true, |(_, s)| score > *s) {
+        if score > delta + EPS && worst.as_ref().is_none_or(|(_, s)| score > *s) {
             worst = Some((AxisRef::Intersection, score));
         }
     }

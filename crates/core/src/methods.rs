@@ -198,7 +198,10 @@ mod tests {
         }
         let kemeny = MethodKind::Kemeny.instantiate().solve(&ctx).unwrap();
         assert!(!kemeny.criteria.is_satisfied());
-        let pick = MethodKind::PickFairestPerm.instantiate().solve(&ctx).unwrap();
+        let pick = MethodKind::PickFairestPerm
+            .instantiate()
+            .solve(&ctx)
+            .unwrap();
         assert!(!pick.criteria.is_satisfied());
     }
 }

@@ -28,6 +28,11 @@ pub struct MfcrOutcome {
 
 impl MfcrOutcome {
     /// Evaluates a consensus ranking produced by `method` in the given context.
+    ///
+    /// When the context carries a shared precedence matrix the PD loss is read
+    /// off the matrix in `O(n²)` instead of re-walking all `|R|` base rankings;
+    /// both paths compute the identical integer total, so the value is
+    /// bit-for-bit the same.
     pub fn evaluate(
         method: &'static str,
         ctx: &MfcrContext<'_>,
@@ -36,7 +41,19 @@ impl MfcrOutcome {
         optimal: bool,
     ) -> Result<Self> {
         let criteria = ManiRankCriteria::evaluate(&ranking, ctx.groups, &ctx.thresholds);
-        let pd_loss = pairwise_disagreement_loss(ctx.profile, &ranking)?;
+        let pd_loss = match ctx.shared_precedence() {
+            Some(matrix) => {
+                let total = matrix.total_disagreements(&ranking)?;
+                let denom = mani_ranking::total_pairs(ctx.profile.num_candidates())
+                    * ctx.profile.len() as u64;
+                if denom == 0 {
+                    0.0
+                } else {
+                    total as f64 / denom as f64
+                }
+            }
+            None => pairwise_disagreement_loss(ctx.profile, &ranking)?,
+        };
         Ok(Self {
             method,
             ranking,

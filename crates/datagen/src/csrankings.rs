@@ -71,7 +71,10 @@ pub struct CsRankingsDataset {
 impl CsRankingsDataset {
     /// Generates the dataset.
     pub fn generate(config: &CsRankingsConfig) -> Self {
-        assert!(config.num_departments >= 8, "need a meaningful department set");
+        assert!(
+            config.num_departments >= 8,
+            "need a meaningful department set"
+        );
         assert!(config.num_years >= 1, "need at least one yearly ranking");
         let mut rng = rng_from_seed(config.seed);
         let mut builder = CandidateDbBuilder::new();
@@ -90,7 +93,10 @@ impl CsRankingsDataset {
             let region = sample_region(&mut rng);
             let private = usize::from(rng.gen::<f64>() >= 0.45); // 0 = Private, 1 = Public
             builder
-                .add_candidate(format!("dept-{i:02}"), [(location, region), (kind, private)])
+                .add_candidate(
+                    format!("dept-{i:02}"),
+                    [(location, region), (kind, private)],
+                )
                 .expect("assignments within domains");
             let mut strength = strength_noise.sample(&mut rng);
             if region == 0 {
@@ -190,7 +196,11 @@ mod tests {
         let location = ds.db.schema().attribute_id("Location").unwrap();
         for ranking in ds.profile.rankings() {
             let parity = ParityScores::compute(ranking, &idx);
-            assert!(parity.arp(location) > 0.2, "location ARP {}", parity.arp(location));
+            assert!(
+                parity.arp(location) > 0.2,
+                "location ARP {}",
+                parity.arp(location)
+            );
             assert!(parity.irp() > 0.3, "IRP {}", parity.irp());
         }
     }

@@ -87,7 +87,10 @@ impl ExamDataset {
             let r = sample_race(&mut rng);
             let l = usize::from(rng.gen::<f64>() < config.subsidised_share);
             builder
-                .add_candidate(format!("student-{i:03}"), [(gender, g), (race, r), (lunch, l)])
+                .add_candidate(
+                    format!("student-{i:03}"),
+                    [(gender, g), (race, r), (lunch, l)],
+                )
                 .expect("assignments within domains");
             attributes.push((g, r, l));
         }
@@ -109,10 +112,8 @@ impl ExamDataset {
             .collect();
         for (subject, subject_scores) in scores.iter_mut().enumerate() {
             for (i, &(g, r, l)) in attributes.iter().enumerate() {
-                let mean = 66.0
-                    + gender_shift[subject][g]
-                    + race_shift[r]
-                    + lunch_shift[subject][l];
+                let mean =
+                    66.0 + gender_shift[subject][g] + race_shift[r] + lunch_shift[subject][l];
                 subject_scores[i] = mean + 0.7 * ability[i] + 0.5 * noise.sample(&mut rng);
             }
         }
@@ -191,7 +192,11 @@ mod tests {
                 "lunch bias should be visible, got {}",
                 parity.arp(lunch)
             );
-            assert!(parity.irp() > 0.3, "IRP should be high, got {}", parity.irp());
+            assert!(
+                parity.irp() > 0.3,
+                "IRP should be high, got {}",
+                parity.irp()
+            );
         }
     }
 

@@ -152,7 +152,10 @@ mod tests {
         let d_low = mean_distance(0.2, &mut rng);
         let d_mid = mean_distance(0.6, &mut rng);
         let d_high = mean_distance(1.2, &mut rng);
-        assert!(d_low > d_mid && d_mid > d_high, "{d_low} > {d_mid} > {d_high}");
+        assert!(
+            d_low > d_mid && d_mid > d_high,
+            "{d_low} > {d_mid} > {d_high}"
+        );
     }
 
     #[test]

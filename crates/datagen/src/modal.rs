@@ -103,12 +103,12 @@ impl<'a> ModalRankingBuilder<'a> {
             let mut worst: Option<(Axis, f64)> = None;
             for (i, (attr_id, _)) in self.groups.attributes().enumerate() {
                 let excess = parity.arp(attr_id) - target.attribute_arp[i];
-                if excess > 1e-9 && worst.as_ref().map_or(true, |(_, e)| excess > *e) {
+                if excess > 1e-9 && worst.as_ref().is_none_or(|(_, e)| excess > *e) {
                     worst = Some((Axis::Attribute(i), excess));
                 }
             }
             let irp_excess = parity.irp() - target.irp;
-            if irp_excess > 1e-9 && worst.as_ref().map_or(true, |(_, e)| irp_excess > *e) {
+            if irp_excess > 1e-9 && worst.as_ref().is_none_or(|(_, e)| irp_excess > *e) {
                 worst = Some((Axis::Intersection, irp_excess));
             }
             let Some((axis, _)) = worst else {
@@ -224,7 +224,11 @@ mod tests {
         assert!(parity.arp(race) <= 0.7 + 1e-9);
         assert!(parity.irp() <= 1.0 + 1e-9);
         // targets should be approached, not wildly overshot
-        assert!(parity.arp(gender) > 0.5, "ARP(Gender) = {}", parity.arp(gender));
+        assert!(
+            parity.arp(gender) > 0.5,
+            "ARP(Gender) = {}",
+            parity.arp(gender)
+        );
     }
 
     #[test]

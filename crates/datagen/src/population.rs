@@ -56,7 +56,10 @@ pub fn gender_race_population(per_cell: usize) -> CandidateDb {
         .add_attribute("Gender", ["Man", "Woman", "NonBinary"])
         .expect("static attribute is valid");
     let race = builder
-        .add_attribute("Race", ["AlaskaNat", "Asian", "Black", "NatHawaii", "White"])
+        .add_attribute(
+            "Race",
+            ["AlaskaNat", "Asian", "Black", "NatHawaii", "White"],
+        )
         .expect("static attribute is valid");
     let mut i = 0usize;
     for g in 0..3usize {

@@ -1,0 +1,383 @@
+//! `mani` — command-line front-end for the MANI-Rank batch consensus engine.
+//!
+//! ```text
+//! mani consensus --dataset name=cands.csv:ranks.csv [--dataset ...] \
+//!                [--methods Fair-Borda,Fair-Copeland] [--delta 0.1] \
+//!                [--threads N] [--budget NODES] [--audit]
+//! mani audit     --candidates cands.csv --rankings ranks.csv [--per-ranking]
+//! mani sample    --dir DIR [--candidates N] [--rankings M] [--theta T] [--seed S]
+//! mani methods
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mani_core::{MethodKind, MfcrContext};
+use mani_datagen::{binary_population, FairnessTarget, MallowsModel, ModalRankingBuilder};
+use mani_engine::{
+    attribute_labels, audit_table, csvio, response_table, ConsensusEngine, ConsensusRequest,
+    EngineConfig, EngineDataset, EngineError,
+};
+use mani_fairness::{FairnessAudit, FairnessThresholds};
+use mani_ranking::GroupIndex;
+
+const USAGE: &str = "\
+mani — MANI-Rank batch consensus engine
+
+USAGE:
+    mani consensus --dataset NAME=CANDIDATES.csv:RANKINGS.csv ...  run a consensus batch
+    mani audit     --candidates FILE --rankings FILE               audit base rankings
+    mani sample    --dir DIR                                       write a demo dataset
+    mani methods                                                   list available methods
+
+CONSENSUS OPTIONS:
+    --dataset NAME=CANDS:RANKS   dataset to solve (repeatable; ':' separates the two files)
+    --candidates FILE            with --rankings: shorthand for a single dataset
+    --rankings FILE
+    --methods A,B,C              methods to run (default: the four proposed MFCR methods)
+    --delta D                    uniform fairness threshold (default 0.1)
+    --threads N                  worker threads (default: one per core)
+    --budget NODES               branch-and-bound node budget for exact methods
+    --audit                      also print a per-group fairness audit per method
+
+AUDIT OPTIONS:
+    --per-ranking                audit every base ranking, not just the profile consensus
+
+SAMPLE OPTIONS:
+    --dir DIR                    output directory (created if missing)
+    --candidates N               population size (default 20)
+    --rankings M                 number of base rankings (default 12)
+    --theta T                    Mallows dispersion (default 0.8)
+    --seed S                     RNG seed (default 42)
+";
+
+/// Prints to stdout, exiting quietly when the reader went away (e.g. piping
+/// into `head` closes the pipe early; that is not an error).
+fn emit(text: impl std::fmt::Display) {
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "consensus" => cmd_consensus(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "sample" => cmd_sample(&args[1..]),
+        "methods" => cmd_methods(),
+        "help" | "--help" | "-h" => {
+            emit(USAGE.trim_end());
+            Ok(())
+        }
+        other => Err(EngineError::invalid(format!(
+            "unknown command `{other}` (try `mani help`)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mani: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing helpers (hand-rolled; the engine has no CLI dependencies)
+// ---------------------------------------------------------------------------
+
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Self, EngineError> {
+        let mut values = Vec::new();
+        let mut switches = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| EngineError::invalid(format!("unexpected argument `{arg}`")))?;
+            if switch_flags.contains(&name) {
+                switches.push(name.to_string());
+            } else if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| EngineError::invalid(format!("--{name} needs a value")))?;
+                values.push((name.to_string(), value.clone()));
+            } else {
+                return Err(EngineError::invalid(format!("unknown flag `--{name}`")));
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.values
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, EngineError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| EngineError::invalid(format!("cannot parse --{name} value `{raw}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "dataset",
+            "candidates",
+            "rankings",
+            "methods",
+            "delta",
+            "threads",
+            "budget",
+        ],
+        &["audit"],
+    )?;
+
+    // Collect datasets from --dataset specs and/or the --candidates/--rankings pair.
+    let mut datasets: Vec<Arc<EngineDataset>> = Vec::new();
+    for spec in flags.get_all("dataset") {
+        datasets.push(Arc::new(load_dataset_spec(spec)?));
+    }
+    match (flags.get("candidates"), flags.get("rankings")) {
+        (Some(cands), Some(ranks)) => {
+            let db = csvio::load_candidates(Path::new(cands))?;
+            let profile = csvio::load_rankings(Path::new(ranks), &db)?;
+            let name = Path::new(cands)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "dataset".into());
+            datasets.push(Arc::new(EngineDataset::new(name, db, profile)?));
+        }
+        (None, None) => {}
+        _ => {
+            return Err(EngineError::invalid(
+                "--candidates and --rankings must be given together",
+            ))
+        }
+    }
+    if datasets.is_empty() {
+        return Err(EngineError::invalid(
+            "no datasets: pass --dataset NAME=CANDS:RANKS or --candidates/--rankings",
+        ));
+    }
+
+    let methods = parse_methods(flags.get("methods"))?;
+    let delta: f64 = flags.get_parsed("delta", 0.1)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let budget: Option<u64> =
+        match flags.get("budget") {
+            Some(raw) => Some(raw.parse().map_err(|_| {
+                EngineError::invalid(format!("cannot parse --budget value `{raw}`"))
+            })?),
+            None => None,
+        };
+
+    let engine = ConsensusEngine::with_config(EngineConfig {
+        threads,
+        default_budget: budget,
+    });
+    let requests: Vec<ConsensusRequest> = datasets
+        .iter()
+        .map(|ds| {
+            ConsensusRequest::new(
+                Arc::clone(ds),
+                methods.clone(),
+                FairnessThresholds::uniform(delta),
+            )
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let responses = engine.submit_batch(requests);
+    let wall = started.elapsed();
+
+    let mut failures = 0usize;
+    for (dataset, response) in datasets.iter().zip(&responses) {
+        emit(response_table(response, &attribute_labels(dataset.db())).render());
+        failures += response.results.iter().filter(|r| r.is_err()).count();
+        if flags.has("audit") {
+            let groups = GroupIndex::new(dataset.db());
+            for result in response.successes() {
+                let audit = FairnessAudit::new(
+                    result.outcome.method,
+                    &result.outcome.ranking,
+                    dataset.db(),
+                    &groups,
+                );
+                emit(audit_table(&audit).render());
+            }
+        }
+    }
+    let stats = engine.cache().stats();
+    emit(format!("batch: {} dataset(s), {} method run(s), {} matrix build(s), {} cache hit(s), {:.1} ms wall on {} thread(s)",
+        datasets.len(),
+        responses.iter().map(|r| r.results.len()).sum::<usize>(),
+        stats.builds,
+        stats.hits,
+        wall.as_secs_f64() * 1e3,
+        engine.threads(),
+    ));
+    if failures > 0 {
+        return Err(EngineError::invalid(format!(
+            "{failures} method run(s) failed"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(args, &["candidates", "rankings"], &["per-ranking"])?;
+    let cands = flags
+        .get("candidates")
+        .ok_or_else(|| EngineError::invalid("--candidates is required"))?;
+    let ranks = flags
+        .get("rankings")
+        .ok_or_else(|| EngineError::invalid("--rankings is required"))?;
+    let db = csvio::load_candidates(Path::new(cands))?;
+    let profile = csvio::load_rankings(Path::new(ranks), &db)?;
+    let groups = GroupIndex::new(&db);
+
+    if flags.has("per-ranking") {
+        for (index, ranking) in profile.rankings().iter().enumerate() {
+            let audit = FairnessAudit::new(format!("ranking-{index}"), ranking, &db, &groups);
+            emit(audit_table(&audit).render());
+        }
+    }
+
+    // Always audit the unconstrained pairwise consensus as the headline view.
+    let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.1));
+    let outcome = MethodKind::FairCopeland
+        .instantiate()
+        .solve(&ctx)
+        .map_err(EngineError::from)?;
+    let consensus_audit = FairnessAudit::new("Fair-Copeland", &outcome.ranking, &db, &groups);
+    emit(audit_table(&consensus_audit).render());
+    let unfair = mani_aggregation::CopelandAggregator::new().consensus(&profile);
+    let unfair_audit = FairnessAudit::new("Copeland (unconstrained)", &unfair, &db, &groups);
+    emit(audit_table(&unfair_audit).render());
+    Ok(())
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(
+        args,
+        &["dir", "candidates", "rankings", "theta", "seed"],
+        &[],
+    )?;
+    let dir = PathBuf::from(
+        flags
+            .get("dir")
+            .ok_or_else(|| EngineError::invalid("--dir is required"))?,
+    );
+    let n: usize = flags.get_parsed("candidates", 20)?;
+    let m: usize = flags.get_parsed("rankings", 12)?;
+    let theta: f64 = flags.get_parsed("theta", 0.8)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+
+    let db = binary_population(n.max(4), 0.5, 0.5, seed);
+    let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
+    let profile = MallowsModel::new(modal, theta).sample_profile(m.max(1), seed ^ 0xC0FFEE);
+
+    std::fs::create_dir_all(&dir)?;
+    let cands_path = dir.join("candidates.csv");
+    let ranks_path = dir.join("rankings.csv");
+    csvio::save_candidates(&db, &cands_path)?;
+    csvio::save_rankings(&profile, &db, &ranks_path)?;
+    emit(format!(
+        "wrote {} candidates to {} and {} rankings to {}",
+        db.len(),
+        cands_path.display(),
+        profile.len(),
+        ranks_path.display(),
+    ));
+    emit(format!(
+        "try: mani consensus --candidates {} --rankings {} --delta 0.1",
+        cands_path.display(),
+        ranks_path.display(),
+    ));
+    Ok(())
+}
+
+fn cmd_methods() -> Result<(), EngineError> {
+    emit("available methods (pass to --methods, comma-separated):");
+    for kind in MethodKind::all() {
+        emit(format!("  {:<22} {}", kind.name(), kind.paper_label()));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+fn load_dataset_spec(spec: &str) -> Result<EngineDataset, EngineError> {
+    let (name, files) = spec.split_once('=').ok_or_else(|| {
+        EngineError::invalid(format!(
+            "--dataset expects NAME=CANDIDATES.csv:RANKINGS.csv, got `{spec}`"
+        ))
+    })?;
+    let (cands, ranks) = files.split_once(':').ok_or_else(|| {
+        EngineError::invalid(format!(
+            "--dataset expects NAME=CANDIDATES.csv:RANKINGS.csv, got `{spec}`"
+        ))
+    })?;
+    let db = csvio::load_candidates(Path::new(cands))?;
+    let profile = csvio::load_rankings(Path::new(ranks), &db)?;
+    EngineDataset::new(name, db, profile)
+}
+
+fn parse_methods(raw: Option<&str>) -> Result<Vec<MethodKind>, EngineError> {
+    match raw {
+        None => Ok(MethodKind::proposed().to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                MethodKind::parse(name).ok_or_else(|| {
+                    EngineError::invalid(format!("unknown method `{name}` (see `mani methods`)"))
+                })
+            })
+            .collect(),
+    }
+}

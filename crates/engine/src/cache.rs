@@ -1,0 +1,206 @@
+//! Shared-artifact cache: one precedence matrix and one group index per
+//! distinct `(db, profile)` pair, shared across every method and request in a
+//! batch instead of being recomputed per method.
+//!
+//! The precedence matrix costs `O(n² · |R|)` to build — by far the dominant
+//! shared cost of the pairwise methods — so building it once per dataset and
+//! handing every worker an [`std::sync::Arc`] is the engine's core speedup.
+//! Construction is guarded by a per-key [`OnceLock`], so concurrent workers
+//! asking for the same dataset block on a single build instead of duplicating
+//! it; [`CacheStats::builds`] therefore counts exactly one build per distinct
+//! dataset.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mani_ranking::{GroupIndex, PrecedenceMatrix};
+
+use crate::dataset::EngineDataset;
+
+/// The per-dataset artifacts every method shares.
+#[derive(Debug, Clone)]
+pub struct SharedArtifacts {
+    /// Group index over the dataset's candidate database.
+    pub groups: Arc<GroupIndex>,
+    /// Precedence matrix of the dataset's profile.
+    pub precedence: Arc<PrecedenceMatrix>,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total `get_or_build` calls.
+    pub lookups: u64,
+    /// Calls that found fully-built artifacts.
+    pub hits: u64,
+    /// Number of times artifacts were actually constructed (one per distinct
+    /// dataset, however many threads raced on it).
+    pub builds: u64,
+    /// Number of cached datasets.
+    pub entries: usize,
+}
+
+/// A cached build together with the exact inputs it was built from, so hash
+/// collisions can be detected instead of silently serving foreign artifacts.
+#[derive(Debug)]
+struct CacheEntry {
+    db: Arc<mani_ranking::CandidateDb>,
+    profile: Arc<mani_ranking::RankingProfile>,
+    artifacts: SharedArtifacts,
+}
+
+impl CacheEntry {
+    /// True when this entry was built from content equal to `dataset`'s
+    /// (pointer equality short-circuits the deep comparison).
+    fn matches(&self, dataset: &EngineDataset) -> bool {
+        (Arc::ptr_eq(&self.db, dataset.db()) || *self.db == **dataset.db())
+            && (Arc::ptr_eq(&self.profile, dataset.profile())
+                || *self.profile == **dataset.profile())
+    }
+}
+
+/// Thread-safe cache keyed by [`EngineDataset::fingerprint`].
+#[derive(Debug, Default)]
+pub struct PrecedenceCache {
+    entries: Mutex<HashMap<u64, Arc<OnceLock<CacheEntry>>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl PrecedenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dataset's shared artifacts, building them at most once per
+    /// distinct dataset. The boolean is `true` when the artifacts were already
+    /// built (a cache hit).
+    pub fn get_or_build(&self, dataset: &EngineDataset) -> (SharedArtifacts, bool) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = dataset.fingerprint();
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache lock poisoned");
+            entries.entry(key).or_default().clone()
+        };
+        let hit = cell.get().is_some();
+        let entry = cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            CacheEntry {
+                db: Arc::clone(dataset.db()),
+                profile: Arc::clone(dataset.profile()),
+                artifacts: SharedArtifacts {
+                    groups: Arc::new(GroupIndex::new(dataset.db())),
+                    precedence: Arc::new(dataset.profile().precedence_matrix()),
+                },
+            }
+        });
+        // A 64-bit fingerprint can (astronomically rarely) collide; serving
+        // another dataset's matrix would corrupt every downstream result, so
+        // verify the content and fall back to an uncached build on mismatch.
+        if !entry.matches(dataset) {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            return (
+                SharedArtifacts {
+                    groups: Arc::new(GroupIndex::new(dataset.db())),
+                    precedence: Arc::new(dataset.profile().precedence_matrix()),
+                },
+                false,
+            );
+        }
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (entry.artifacts.clone(), hit)
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock poisoned").len(),
+        }
+    }
+
+    /// Drops every cached dataset (counters are preserved).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
+
+    fn dataset(n: usize, m: usize, name: &str) -> EngineDataset {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["x", "y"]).unwrap();
+        for i in 0..n {
+            b.add_candidate(format!("c{i}"), [(g, i % 2)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let profile = RankingProfile::new(vec![Ranking::identity(n); m]).unwrap();
+        EngineDataset::new(name, db, profile).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_same_allocation() {
+        let cache = PrecedenceCache::new();
+        let ds = dataset(6, 3, "a");
+        let (first, hit_first) = cache.get_or_build(&ds);
+        assert!(!hit_first, "first lookup must build");
+        // Same content under a different name: still a hit on the same entry.
+        let renamed = dataset(6, 3, "same-content-different-name");
+        let (second, hit_second) = cache.get_or_build(&renamed);
+        assert!(hit_second, "second lookup must hit");
+        assert!(Arc::ptr_eq(&first.precedence, &second.precedence));
+        assert!(Arc::ptr_eq(&first.groups, &second.groups));
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn distinct_datasets_get_distinct_entries() {
+        let cache = PrecedenceCache::new();
+        let (_, hit_a) = cache.get_or_build(&dataset(6, 3, "a"));
+        let (_, hit_b) = cache.get_or_build(&dataset(8, 3, "b"));
+        assert!(!hit_a && !hit_b);
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_exactly_once() {
+        let cache = Arc::new(PrecedenceCache::new());
+        let ds = Arc::new(dataset(20, 10, "shared"));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let ds = ds.clone();
+                std::thread::spawn(move || cache.get_or_build(&ds).0)
+            })
+            .collect();
+        let artifacts: Vec<SharedArtifacts> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            cache.stats().builds,
+            1,
+            "racing threads must share one build"
+        );
+        for pair in artifacts.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0].precedence, &pair[1].precedence));
+            assert!(Arc::ptr_eq(&pair[0].groups, &pair[1].groups));
+        }
+    }
+}

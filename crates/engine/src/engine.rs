@@ -1,0 +1,304 @@
+//! The batch consensus engine: fans requests out across a worker pool, shares
+//! per-dataset precedence matrices through the [`PrecedenceCache`], and joins
+//! results back in deterministic request order.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mani_core::MfcrContext;
+
+use crate::cache::PrecedenceCache;
+use crate::error::EngineError;
+use crate::pool::{default_threads, WorkerPool};
+use crate::request::{ConsensusRequest, ConsensusResponse, MethodResult};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker thread count; `0` means one per available core.
+    pub threads: usize,
+    /// Node budget applied to exact methods when a request does not set one.
+    pub default_budget: Option<u64>,
+}
+
+/// A multi-threaded batch executor for MFCR consensus requests.
+///
+/// The engine owns a [`WorkerPool`] and a [`PrecedenceCache`]; submitting a
+/// batch fans every `(request, method)` pair out as one task. All methods of
+/// all requests that share a dataset reuse one precedence matrix and one group
+/// index, so a batch over `d` datasets builds exactly `d` matrices however
+/// many methods run.
+#[derive(Debug)]
+pub struct ConsensusEngine {
+    pool: WorkerPool,
+    cache: Arc<PrecedenceCache>,
+    config: EngineConfig,
+}
+
+impl Default for ConsensusEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConsensusEngine {
+    /// Engine with default configuration (one worker per core).
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let threads = if config.threads == 0 {
+            default_threads()
+        } else {
+            config.threads
+        };
+        Self {
+            pool: WorkerPool::new(threads),
+            cache: Arc::new(PrecedenceCache::new()),
+            config,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// The shared precedence cache (inspect [`crate::CacheStats`] here).
+    pub fn cache(&self) -> &PrecedenceCache {
+        &self.cache
+    }
+
+    /// Runs one request (a batch of size one).
+    pub fn submit(&self, request: ConsensusRequest) -> ConsensusResponse {
+        self.submit_batch(vec![request])
+            .into_iter()
+            .next()
+            .expect("batch of one yields one response")
+    }
+
+    /// Runs a batch of requests across the worker pool and returns one
+    /// response per request, in request order, with per-method results in each
+    /// request's method order.
+    pub fn submit_batch(&self, requests: Vec<ConsensusRequest>) -> Vec<ConsensusResponse> {
+        // Phase 1: warm the cache — one build task per distinct dataset, in
+        // parallel. Method tasks then always hit.
+        let mut seen = std::collections::HashSet::new();
+        let warm_tasks: Vec<_> = requests
+            .iter()
+            .filter(|r| seen.insert(r.dataset.fingerprint()))
+            .map(|r| {
+                let cache = Arc::clone(&self.cache);
+                let dataset = Arc::clone(&r.dataset);
+                move || {
+                    cache.get_or_build(&dataset);
+                }
+            })
+            .collect();
+        self.pool.run_batch(warm_tasks);
+
+        // Phase 2: fan out one task per (request, method) pair.
+        let mut shapes = Vec::with_capacity(requests.len());
+        let mut tasks: Vec<Box<dyn FnOnce() -> Result<MethodResult, EngineError> + Send>> =
+            Vec::new();
+        for request in requests {
+            let validation = request.validate();
+            shapes.push((
+                request.dataset.name().to_string(),
+                request.methods.len(),
+                validation.err(),
+            ));
+            if shapes.last().expect("just pushed").2.is_some() {
+                continue;
+            }
+            let budget = request.budget.or(self.config.default_budget);
+            for kind in &request.methods {
+                let kind = *kind;
+                let dataset = Arc::clone(&request.dataset);
+                let thresholds = request.thresholds.clone();
+                let cache = Arc::clone(&self.cache);
+                tasks.push(Box::new(move || {
+                    let (artifacts, cache_hit) = cache.get_or_build(&dataset);
+                    let ctx = MfcrContext::new(
+                        dataset.db(),
+                        &artifacts.groups,
+                        dataset.profile(),
+                        thresholds,
+                    )
+                    .with_precedence(&artifacts.precedence);
+                    let method = match budget {
+                        Some(nodes) => kind.instantiate_with_nodes(nodes),
+                        None => kind.instantiate(),
+                    };
+                    let started = Instant::now();
+                    let outcome = method.solve(&ctx)?;
+                    Ok(MethodResult {
+                        method: kind,
+                        outcome,
+                        duration: started.elapsed(),
+                        cache_hit,
+                    })
+                }));
+            }
+        }
+        let mut results = self.pool.run_batch(tasks).into_iter();
+
+        // Phase 3: deterministic join back into per-request responses.
+        shapes
+            .into_iter()
+            .map(|(dataset, method_count, validation_error)| {
+                if let Some(error) = validation_error {
+                    // Keep `results` index-aligned with the request's methods
+                    // even on validation failure (minimum one slot so the
+                    // error is visible for an empty method list).
+                    let message = match error {
+                        EngineError::InvalidRequest(message) => message,
+                        other => other.to_string(),
+                    };
+                    let results = (0..method_count.max(1))
+                        .map(|_| Err(EngineError::InvalidRequest(message.clone())))
+                        .collect();
+                    return ConsensusResponse {
+                        dataset,
+                        results,
+                        total_solve_time: Duration::ZERO,
+                    };
+                }
+                let results: Vec<Result<MethodResult, EngineError>> =
+                    results.by_ref().take(method_count).collect();
+                let total_solve_time = results
+                    .iter()
+                    .flatten()
+                    .map(|r| r.duration)
+                    .sum::<Duration>();
+                ConsensusResponse {
+                    dataset,
+                    results,
+                    total_solve_time,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EngineDataset;
+    use mani_core::MethodKind;
+    use mani_fairness::FairnessThresholds;
+    use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
+
+    fn dataset(n: usize, seed: u64) -> Arc<EngineDataset> {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["x", "y"]).unwrap();
+        for i in 0..n {
+            b.add_candidate(format!("c{i}"), [(g, i % 2)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rankings: Vec<Ranking> = (0..6).map(|_| Ranking::random(n, &mut rng)).collect();
+        let profile = RankingProfile::new(rankings).unwrap();
+        Arc::new(EngineDataset::new(format!("ds-{n}-{seed}"), db, profile).unwrap())
+    }
+
+    #[test]
+    fn submit_runs_methods_in_request_order() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 3,
+            default_budget: None,
+        });
+        let methods = [
+            MethodKind::FairBorda,
+            MethodKind::FairCopeland,
+            MethodKind::FairSchulze,
+        ];
+        let response = engine.submit(ConsensusRequest::new(
+            dataset(10, 1),
+            methods,
+            FairnessThresholds::uniform(0.3),
+        ));
+        assert!(response.is_complete());
+        let reported: Vec<MethodKind> = response.successes().map(|r| r.method).collect();
+        assert_eq!(reported, methods);
+        assert!(response.outcome(MethodKind::FairBorda).is_some());
+        assert!(response.outcome(MethodKind::Kemeny).is_none());
+    }
+
+    #[test]
+    fn batch_builds_each_dataset_once() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 4,
+            default_budget: None,
+        });
+        let a = dataset(10, 1);
+        let b = dataset(12, 2);
+        let methods = [
+            MethodKind::FairBorda,
+            MethodKind::FairCopeland,
+            MethodKind::FairSchulze,
+            MethodKind::PickFairestPerm,
+        ];
+        let responses = engine.submit_batch(vec![
+            ConsensusRequest::new(a.clone(), methods, FairnessThresholds::uniform(0.25)),
+            ConsensusRequest::new(b, methods, FairnessThresholds::uniform(0.25)),
+            // Same dataset again under another request: still no extra build.
+            ConsensusRequest::new(a, methods, FairnessThresholds::uniform(0.1)),
+        ]);
+        assert_eq!(responses.len(), 3);
+        for response in &responses {
+            assert!(response.is_complete(), "{:?}", response.results);
+        }
+        let stats = engine.cache().stats();
+        assert_eq!(stats.builds, 2, "two distinct datasets, two builds");
+        // Every method task hit the warmed cache.
+        assert!(responses
+            .iter()
+            .flat_map(ConsensusResponse::successes)
+            .all(|r| r.cache_hit));
+    }
+
+    #[test]
+    fn invalid_request_yields_an_error_response_without_blocking_others() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 2,
+            default_budget: None,
+        });
+        let responses = engine.submit_batch(vec![
+            ConsensusRequest::new(dataset(8, 3), [], FairnessThresholds::uniform(0.2)),
+            ConsensusRequest::new(
+                dataset(8, 4),
+                [MethodKind::FairBorda],
+                FairnessThresholds::uniform(0.2),
+            ),
+        ]);
+        assert!(!responses[0].is_complete());
+        assert!(matches!(
+            responses[0].results[0],
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert!(responses[1].is_complete());
+    }
+
+    #[test]
+    fn default_budget_applies_to_exact_methods() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 2,
+            default_budget: Some(3),
+        });
+        let response = engine.submit(ConsensusRequest::new(
+            dataset(14, 5),
+            [MethodKind::FairKemeny],
+            FairnessThresholds::uniform(0.3),
+        ));
+        let outcome = response.outcome(MethodKind::FairKemeny).unwrap();
+        assert!(
+            !outcome.optimal,
+            "a 3-node budget cannot close n = 14, so the result must be anytime"
+        );
+    }
+}

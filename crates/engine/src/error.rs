@@ -1,0 +1,89 @@
+//! Engine-level error type.
+
+use mani_ranking::RankingError;
+
+/// Errors surfaced by the engine, its CSV front-end, and the CLI.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An underlying ranking/consensus primitive failed.
+    Ranking(RankingError),
+    /// A CSV file could not be parsed.
+    Csv {
+        /// 1-based line number of the offending record (0 for file-level problems).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Reading or writing a file failed.
+    Io(std::io::Error),
+    /// A request was structurally invalid (empty method list, unknown method name, ...).
+    InvalidRequest(String),
+}
+
+impl EngineError {
+    /// Convenience constructor for CSV errors.
+    pub fn csv(line: usize, message: impl Into<String>) -> Self {
+        EngineError::Csv {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for invalid-request errors.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        EngineError::InvalidRequest(message.into())
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Ranking(e) => write!(f, "ranking error: {e}"),
+            EngineError::Csv { line: 0, message } => write!(f, "csv error: {message}"),
+            EngineError::Csv { line, message } => write!(f, "csv error (line {line}): {message}"),
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+            EngineError::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Ranking(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RankingError> for EngineError {
+    fn from(e: RankingError) -> Self {
+        EngineError::Ranking(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        let e = EngineError::csv(3, "bad cell");
+        assert_eq!(e.to_string(), "csv error (line 3): bad cell");
+        let e = EngineError::csv(0, "empty file");
+        assert_eq!(e.to_string(), "csv error: empty file");
+        let e = EngineError::invalid("no methods");
+        assert_eq!(e.to_string(), "invalid request: no methods");
+        let e: EngineError = RankingError::EmptyProfile.into();
+        assert!(e.to_string().starts_with("ranking error"));
+        let e: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,212 @@
+//! A small fixed-size worker thread pool built on `std` threads and channels.
+//!
+//! The engine deliberately avoids external executor crates: jobs are boxed
+//! closures pushed down an [`mpsc`] channel that every worker drains through a
+//! shared receiver. [`WorkerPool::run_batch`] layers deterministic result
+//! collection on top — tasks are indexed at submission and results re-ordered
+//! on arrival, so callers observe request order no matter which worker
+//! finished first.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of worker threads executing boxed jobs.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("mani-worker-{index}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning worker thread failed")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available core.
+    pub fn with_default_size() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one fire-and-forget job.
+    pub fn execute(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("worker threads terminated early");
+    }
+
+    /// Runs every task on the pool and returns their outputs **in submission
+    /// order**, blocking until all have finished.
+    ///
+    /// # Panics
+    /// Panics if any task panicked (the panic is reported, not swallowed).
+    pub fn run_batch<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let count = tasks.len();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, T)>();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            self.execute(Box::new(move || {
+                let output = task();
+                // The receiver only disappears if `run_batch`'s caller panicked
+                // while collecting; nothing useful to do with the result then.
+                let _ = result_tx.send((index, output));
+            }));
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (index, output) in result_rx {
+            slots[index] = Some(output);
+        }
+        let missing = slots.iter().filter(|s| s.is_none()).count();
+        assert!(
+            missing == 0,
+            "{missing} of {count} pool tasks panicked before producing a result"
+        );
+        slots
+            .into_iter()
+            .map(|s| s.expect("checked above"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool receiver lock poisoned");
+            guard.recv()
+        };
+        match job {
+            // A panicking job must not kill the worker: remaining queued jobs
+            // still need a thread. The panic surfaces in `run_batch` as a
+            // missing result.
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}
+
+/// One worker per available core (minimum one).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    // Stagger so completion order differs from submission order.
+                    std::thread::sleep(std::time::Duration::from_millis((32 - i as u64) % 7));
+                    i * 10
+                }
+            })
+            .collect();
+        let results = pool.run_batch(tasks);
+        assert_eq!(results, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.num_threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = counter.clone();
+                move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+        let results = pool.run_batch(vec![|| 7usize]);
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool tasks panicked")]
+    fn panicking_task_is_reported_not_hung() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task exploded")),
+            Box::new(|| 3),
+        ];
+        pool.run_batch(tasks);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send>])
+        }));
+        assert!(outcome.is_err());
+        // The single worker must still be alive to run this.
+        let results = pool.run_batch(vec![|| 42usize]);
+        assert_eq!(results, vec![42]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

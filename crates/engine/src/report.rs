@@ -1,0 +1,243 @@
+//! Table-style text reports for engine responses and fairness audits.
+
+use mani_fairness::FairnessAudit;
+use mani_ranking::CandidateDb;
+
+use crate::request::ConsensusResponse;
+
+/// A minimal aligned-text table (title, headers, string rows).
+#[derive(Debug, Clone)]
+pub struct ReportTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row, padded or truncated to the header width.
+    pub fn push_row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_line(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One row per method of one response: PD loss, ARPs, IRP, criteria verdict,
+/// correction swaps, optimality, and solve time.
+pub fn response_table(response: &ConsensusResponse, attributes: &[String]) -> ReportTable {
+    let mut headers: Vec<String> = vec!["method".into()];
+    headers.push("pd_loss".into());
+    for attribute in attributes {
+        headers.push(format!("ARP_{attribute}"));
+    }
+    headers.extend(
+        ["IRP", "fair", "swaps", "optimal", "time_ms", "cache"]
+            .into_iter()
+            .map(String::from),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ReportTable::new(format!("consensus: {}", response.dataset), &header_refs);
+
+    for result in &response.results {
+        match result {
+            Ok(r) => {
+                let parity = r.outcome.criteria.parity();
+                let mut cells = vec![
+                    r.outcome.method.to_string(),
+                    format!("{:.4}", r.outcome.pd_loss),
+                ];
+                for arp in parity.arps() {
+                    cells.push(format!("{arp:.4}"));
+                }
+                cells.push(format!("{:.4}", parity.irp()));
+                cells.push(if r.outcome.criteria.is_satisfied() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                });
+                cells.push(r.outcome.correction_swaps.to_string());
+                cells.push(if r.outcome.optimal { "yes" } else { "no" }.into());
+                cells.push(format!("{:.1}", r.duration.as_secs_f64() * 1e3));
+                cells.push(if r.cache_hit { "hit" } else { "miss" }.into());
+                table.push_row(cells);
+            }
+            Err(e) => table.push_row(vec!["<error>".into(), e.to_string()]),
+        }
+    }
+    table
+}
+
+/// Per-group FPR table for one fairness audit.
+pub fn audit_table(audit: &FairnessAudit) -> ReportTable {
+    let mut table = ReportTable::new(
+        format!("audit: {}", audit.label),
+        &["attribute", "group", "size", "FPR", "ARP"],
+    );
+    for attribute in &audit.attributes {
+        for group in &attribute.groups {
+            table.push_row(vec![
+                attribute.attribute.clone(),
+                group.group.clone(),
+                group.size.to_string(),
+                group
+                    .fpr
+                    .map(|f| format!("{f:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.4}", attribute.arp),
+            ]);
+        }
+    }
+    for group in &audit.intersection_groups {
+        table.push_row(vec![
+            "Intersection".into(),
+            group.group.clone(),
+            group.size.to_string(),
+            group
+                .fpr
+                .map(|f| format!("{f:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.4}", audit.irp),
+        ]);
+    }
+    table
+}
+
+/// Attribute names of a database in schema order (column labels for
+/// [`response_table`]).
+pub fn attribute_labels(db: &CandidateDb) -> Vec<String> {
+    db.schema()
+        .attributes()
+        .map(|(_, a)| a.name().to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EngineDataset;
+    use crate::engine::{ConsensusEngine, EngineConfig};
+    use crate::request::ConsensusRequest;
+    use mani_fairness::FairnessThresholds;
+    use mani_ranking::{CandidateDbBuilder, GroupIndex, Ranking, RankingProfile};
+    use std::sync::Arc;
+
+    fn dataset() -> Arc<EngineDataset> {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("Gender", ["M", "W"]).unwrap();
+        for i in 0..8 {
+            b.add_candidate(format!("c{i}"), [(g, i % 2)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let profile = RankingProfile::new(vec![
+            Ranking::identity(8),
+            Ranking::identity(8).reversed(),
+            Ranking::identity(8),
+        ])
+        .unwrap();
+        Arc::new(EngineDataset::new("unit", db, profile).unwrap())
+    }
+
+    #[test]
+    fn table_renders_title_headers_and_alignment() {
+        let mut t = ReportTable::new("demo", &["a", "long-header"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("long-header"));
+    }
+
+    #[test]
+    fn response_table_reports_every_method() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 2,
+            default_budget: None,
+        });
+        let ds = dataset();
+        let response = engine.submit(ConsensusRequest::new(
+            ds.clone(),
+            [
+                mani_core::MethodKind::FairBorda,
+                mani_core::MethodKind::FairCopeland,
+            ],
+            FairnessThresholds::uniform(0.3),
+        ));
+        let table = response_table(&response, &attribute_labels(ds.db()));
+        assert_eq!(table.len(), 2);
+        let text = table.render();
+        assert!(text.contains("Fair-Borda"));
+        assert!(text.contains("ARP_Gender"));
+    }
+
+    #[test]
+    fn audit_table_lists_groups_and_intersection() {
+        let ds = dataset();
+        let groups = GroupIndex::new(ds.db());
+        let audit = FairnessAudit::new("base-0", &ds.profile().rankings()[0], ds.db(), &groups);
+        let table = audit_table(&audit);
+        assert!(table.len() >= 2);
+        let text = table.render();
+        assert!(text.contains("Gender"));
+    }
+
+    #[test]
+    fn method_kind_name_is_used_in_rows() {
+        assert_eq!(mani_core::MethodKind::FairBorda.name(), "Fair-Borda");
+    }
+}

@@ -2,13 +2,19 @@
 //!
 //! Usage: `run_all_experiments [--scale smoke|paper]`
 
-use mani_experiments::{datasets, fig3, fig4, fig5, fig6, fig7, table2, table3, table4, table5, Scale};
+use mani_experiments::{
+    datasets, fig3, fig4, fig5, fig6, fig7, table2, table3, table4, table5, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(&args);
     let dir = scale.output_dir();
-    println!("Running all experiments at scale `{}`; CSV output in {}\n", scale.name, dir.display());
+    println!(
+        "Running all experiments at scale `{}`; CSV output in {}\n",
+        scale.name,
+        dir.display()
+    );
 
     let emit = |name: &str, table: mani_experiments::TextTable| {
         print!("{}", table.render());
@@ -19,16 +25,40 @@ fn main() {
     };
 
     emit("table1_datasets.csv", datasets::table1(&scale));
-    emit("fig3_constraint_comparison.csv", fig3::run(&scale).expect("fig3"));
-    emit("fig4_method_comparison.csv", fig4::run(&scale).expect("fig4"));
+    emit(
+        "fig3_constraint_comparison.csv",
+        fig3::run(&scale).expect("fig3"),
+    );
+    emit(
+        "fig4_method_comparison.csv",
+        fig4::run(&scale).expect("fig4"),
+    );
     let fig5_output = fig5::run(&scale).expect("fig5");
     emit("fig5_pof_vs_theta.csv", fig5_output.theta_panel);
     emit("fig5_pof_vs_delta.csv", fig5_output.delta_panel);
-    emit("fig6_scalability_rankers.csv", fig6::run(&scale).expect("fig6"));
-    emit("fig7_scalability_candidates.csv", fig7::run(&scale).expect("fig7"));
-    emit("table2_fair_borda_rankers.csv", table2::run(&scale).expect("table2"));
-    emit("table3_fair_borda_candidates.csv", table3::run(&scale).expect("table3"));
-    emit("table4_exam_case_study.csv", table4::run(&scale).expect("table4"));
-    emit("table5_csrankings_case_study.csv", table5::run(&scale).expect("table5"));
+    emit(
+        "fig6_scalability_rankers.csv",
+        fig6::run(&scale).expect("fig6"),
+    );
+    emit(
+        "fig7_scalability_candidates.csv",
+        fig7::run(&scale).expect("fig7"),
+    );
+    emit(
+        "table2_fair_borda_rankers.csv",
+        table2::run(&scale).expect("table2"),
+    );
+    emit(
+        "table3_fair_borda_candidates.csv",
+        table3::run(&scale).expect("table3"),
+    );
+    emit(
+        "table4_exam_case_study.csv",
+        table4::run(&scale).expect("table4"),
+    );
+    emit(
+        "table5_csrankings_case_study.csv",
+        table5::run(&scale).expect("table5"),
+    );
     println!("All experiments complete.");
 }

@@ -1,8 +1,7 @@
 //! Table I — the Mallows datasets with Low-/Medium-/High-Fair modal rankings.
 
 use mani_datagen::{
-    compact_population, gender_race_population, FairnessTarget, MallowsModel,
-    ModalRankingBuilder,
+    compact_population, gender_race_population, FairnessTarget, MallowsModel, ModalRankingBuilder,
 };
 use mani_fairness::ParityScores;
 use mani_ranking::{CandidateDb, GroupIndex, Ranking, RankingProfile};
@@ -111,10 +110,8 @@ impl MallowsDataset {
 
     /// Samples a profile of base rankings at dispersion θ.
     pub fn profile(&self, theta: f64) -> RankingProfile {
-        MallowsModel::new(self.modal.clone(), theta).sample_profile(
-            self.num_rankings,
-            self.seed ^ (theta * 1e6) as u64,
-        )
+        MallowsModel::new(self.modal.clone(), theta)
+            .sample_profile(self.num_rankings, self.seed ^ (theta * 1e6) as u64)
     }
 
     /// Parity scores of the modal ranking (the values reported in Table I).
@@ -201,6 +198,9 @@ mod tests {
     fn level_metadata_is_consistent() {
         assert_eq!(FairnessLevel::all().len(), 3);
         assert_eq!(FairnessLevel::LowFair.name(), "Low-Fair");
-        assert_eq!(FairnessLevel::HighFair.target().attribute_arp, vec![0.3, 0.3]);
+        assert_eq!(
+            FairnessLevel::HighFair.target().attribute_arp,
+            vec![0.3, 0.3]
+        );
     }
 }

@@ -88,7 +88,13 @@ pub fn run(scale: &Scale) -> Result<TextTable> {
     let mut table = TextTable::new(
         format!("Figure 3 — group fairness approaches (Δ = {FIG3_DELTA})"),
         &[
-            "dataset", "theta", "approach", "ARP_Gender", "ARP_Race", "IRP", "meets_delta",
+            "dataset",
+            "theta",
+            "approach",
+            "ARP_Gender",
+            "ARP_Race",
+            "IRP",
+            "meets_delta",
         ],
     );
     for level in FairnessLevel::all() {
@@ -126,7 +132,9 @@ mod tests {
     #[test]
     fn approaches_metadata() {
         assert_eq!(ConstraintApproach::all().len(), 4);
-        assert!(ConstraintApproach::Unconstrained.thresholds().is_unconstrained());
+        assert!(ConstraintApproach::Unconstrained
+            .thresholds()
+            .is_unconstrained());
         assert_eq!(
             ConstraintApproach::ManiRank.thresholds().default_delta(),
             FIG3_DELTA
@@ -152,7 +160,10 @@ mod tests {
                 assert!(meets, "row {i}: MANI-Rank must satisfy all axes");
             }
             if approach == ConstraintApproach::Unconstrained.name() && row[0] == "Low-Fair" {
-                assert!(!meets, "row {i}: unconstrained Kemeny on Low-Fair must violate Δ");
+                assert!(
+                    !meets,
+                    "row {i}: unconstrained Kemeny on Low-Fair must violate Δ"
+                );
             }
         }
     }

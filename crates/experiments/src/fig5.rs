@@ -38,7 +38,8 @@ pub fn run(scale: &Scale) -> Result<Fig5Output> {
         for &theta in &scale.thetas {
             let owned = OwnedContext::new(dataset.db.clone(), dataset.profile(theta));
             let ctx = owned.context(FairnessThresholds::uniform(0.1));
-            let fair = run_method_with_budget(MethodKind::FairKemeny, &ctx, Some(scale.solver_max_nodes))?;
+            let fair =
+                run_method_with_budget(MethodKind::FairKemeny, &ctx, Some(scale.solver_max_nodes))?;
             let unfair = ExactKemeny::with_config(solver_config.clone()).solve(&ctx)?;
             let pof = fair.outcome.pd_loss - unfair.pd_loss;
             theta_panel.push_row(vec![

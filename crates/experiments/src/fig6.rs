@@ -33,7 +33,13 @@ pub fn run(scale: &Scale) -> Result<TextTable> {
             "Figure 6 — runtime vs number of base rankings (n = {}, Δ = {FIG6_DELTA})",
             scale.fig6_candidates
         ),
-        &["num_rankings", "method", "runtime_s", "pd_loss", "satisfies_mani_rank"],
+        &[
+            "num_rankings",
+            "method",
+            "runtime_s",
+            "pd_loss",
+            "satisfies_mani_rank",
+        ],
     );
     let db = binary_population(scale.fig6_candidates, 0.5, 0.5, scale.seed);
     let modal = ModalRankingBuilder::new(&db).build(&fig6_target());

@@ -31,7 +31,14 @@ pub fn run(scale: &Scale) -> Result<TextTable> {
             "Figure 7 — runtime vs number of candidates (|R| = {})",
             scale.fig7_rankings
         ),
-        &["delta", "num_candidates", "method", "runtime_s", "pd_loss", "satisfies_mani_rank"],
+        &[
+            "delta",
+            "num_candidates",
+            "method",
+            "runtime_s",
+            "pd_loss",
+            "satisfies_mani_rank",
+        ],
     );
     for &delta in &FIG7_DELTAS {
         for &n in &scale.fig7_candidate_counts {

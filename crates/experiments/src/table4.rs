@@ -32,7 +32,10 @@ fn audit_row(audit: &FairnessAudit) -> Vec<String> {
             .unwrap_or_else(|| "n/a".to_string())
     };
     let arp = |attr: &str| -> String {
-        audit.arp_of(attr).map(fmt3).unwrap_or_else(|| "n/a".to_string())
+        audit
+            .arp_of(attr)
+            .map(fmt3)
+            .unwrap_or_else(|| "n/a".to_string())
     };
     vec![
         audit.label.clone(),
@@ -73,7 +76,12 @@ pub fn run(scale: &Scale) -> Result<TextTable> {
     let borda = BordaAggregator::new().consensus(&dataset.profile);
     let (kemeny_ranking, _): (Ranking, u64) =
         kemeny_local_search(&matrix, &borda, LocalSearchConfig::default())?;
-    let audit = FairnessAudit::new("Kemeny (local search)", &kemeny_ranking, &dataset.db, &groups);
+    let audit = FairnessAudit::new(
+        "Kemeny (local search)",
+        &kemeny_ranking,
+        &dataset.db,
+        &groups,
+    );
     table.push_row(audit_row(&audit));
 
     // The four proposed Fair-* methods (Fair-Kemeny runs in anytime mode at this size).
@@ -117,7 +125,10 @@ mod tests {
         // Subject rankings and the unfair consensus carry substantial Lunch bias.
         for row_idx in 0..4 {
             let lunch_arp: f64 = table.cell(row_idx, "Lunch").unwrap().parse().unwrap();
-            assert!(lunch_arp > TABLE4_DELTA, "row {row_idx} lunch ARP {lunch_arp}");
+            assert!(
+                lunch_arp > TABLE4_DELTA,
+                "row {row_idx} lunch ARP {lunch_arp}"
+            );
         }
         // Every Fair-* row is at or below delta on every reported axis.
         for row_idx in 4..8 {

@@ -27,7 +27,10 @@ fn audit_row(audit: &FairnessAudit) -> Vec<String> {
             .unwrap_or_else(|| "n/a".to_string())
     };
     let arp = |attr: &str| -> String {
-        audit.arp_of(attr).map(fmt3).unwrap_or_else(|| "n/a".to_string())
+        audit
+            .arp_of(attr)
+            .map(fmt3)
+            .unwrap_or_else(|| "n/a".to_string())
     };
     vec![
         audit.label.clone(),
@@ -76,7 +79,12 @@ pub fn run(scale: &Scale) -> Result<TextTable> {
     let matrix = dataset.profile.precedence_matrix();
     let borda = BordaAggregator::new().consensus(&dataset.profile);
     let (kemeny_ranking, _) = kemeny_local_search(&matrix, &borda, LocalSearchConfig::default())?;
-    let audit = FairnessAudit::new("Kemeny (local search)", &kemeny_ranking, &dataset.db, &groups);
+    let audit = FairnessAudit::new(
+        "Kemeny (local search)",
+        &kemeny_ranking,
+        &dataset.db,
+        &groups,
+    );
     table.push_row(audit_row(&audit));
 
     let ctx = MfcrContext::new(

@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn uniform_thresholds_apply_everywhere() {
         let t = FairnessThresholds::uniform(0.2);
-        assert_eq!(t.attribute_delta(AttributeId::from_index_for_tests(0)), Some(0.2));
+        assert_eq!(
+            t.attribute_delta(AttributeId::from_index_for_tests(0)),
+            Some(0.2)
+        );
         assert_eq!(t.intersection_delta(), Some(0.2));
         assert!(!t.is_unconstrained());
     }
@@ -295,8 +298,7 @@ mod tests {
         let mut order: Vec<u32> = (0..8u32).filter(|i| i % 2 == 0).collect();
         order.extend((0..8u32).filter(|i| i % 2 == 1));
         let ranking = Ranking::from_ids(order).unwrap();
-        let result =
-            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(0.1));
+        let result = ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(0.1));
         assert!(!result.is_satisfied());
         assert!(!result.violations().is_empty());
         let worst = result.worst_violation().unwrap();
@@ -308,8 +310,7 @@ mod tests {
     fn loose_delta_is_always_satisfied() {
         let (_db, idx) = db();
         let ranking = Ranking::identity(8);
-        let result =
-            ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(1.0));
+        let result = ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(1.0));
         assert!(result.is_satisfied());
         assert!(result.violations().is_empty());
         assert!(result.worst_violation().is_none());
@@ -344,7 +345,8 @@ mod tests {
             (0, 1),
         ];
         for (i, (gv, rv)) in spec.iter().enumerate() {
-            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)]).unwrap();
+            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)])
+                .unwrap();
         }
         let db = b.build().unwrap();
         let idx = GroupIndex::new(&db);
@@ -352,10 +354,16 @@ mod tests {
 
         let attrs_only =
             ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::attributes_only(0.4));
-        assert!(attrs_only.is_satisfied(), "attribute-only check should pass");
+        assert!(
+            attrs_only.is_satisfied(),
+            "attribute-only check should pass"
+        );
 
         let full = ManiRankCriteria::evaluate(&ranking, &idx, &FairnessThresholds::uniform(0.4));
-        assert!(!full.is_satisfied(), "full MANI-Rank check should catch the intersection");
+        assert!(
+            !full.is_satisfied(),
+            "full MANI-Rank check should catch the intersection"
+        );
         assert!(full
             .violations()
             .iter()
@@ -370,7 +378,10 @@ mod tests {
             delta: 0.1,
         };
         assert!((v.excess() - 0.4).abs() < 1e-12);
-        let v = Violation::Intersection { irp: 0.3, delta: 0.05 };
+        let v = Violation::Intersection {
+            irp: 0.3,
+            delta: 0.05,
+        };
         assert!((v.excess() - 0.25).abs() < 1e-12);
     }
 

@@ -93,6 +93,7 @@ impl FprScores {
 /// # Panics
 /// Panics if the ranking and membership table cover different numbers of candidates;
 /// that is a programming error (they must come from the same database).
+#[allow(clippy::explicit_counter_loop)] // seen_total counts candidates walked, not loop turns
 pub fn group_fprs(ranking: &Ranking, membership: &GroupMembership) -> FprScores {
     assert_eq!(
         ranking.len(),

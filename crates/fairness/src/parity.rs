@@ -85,10 +85,7 @@ impl ParityScores {
 
     /// The largest parity violation across all attributes and the intersection.
     pub fn max_violation(&self) -> f64 {
-        self.arp
-            .iter()
-            .copied()
-            .fold(self.irp, f64::max)
+        self.arp.iter().copied().fold(self.irp, f64::max)
     }
 }
 
@@ -142,7 +139,10 @@ mod tests {
         let r = Ranking::identity(12);
         // Alternating M/W over 12 candidates gives FPR gap of exactly 1/6.
         let arp = attribute_rank_parity(&r, &idx, gender);
-        assert!(arp < 0.2, "alternating order should be near parity, got {arp}");
+        assert!(
+            arp < 0.2,
+            "alternating order should be near parity, got {arp}"
+        );
     }
 
     #[test]
@@ -165,7 +165,8 @@ mod tests {
             (0, 1),
         ];
         for (i, (gv, rv)) in spec.iter().enumerate() {
-            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)]).unwrap();
+            b.add_candidate(format!("c{i}"), [(g, *gv), (r, *rv)])
+                .unwrap();
         }
         let db = b.build().unwrap();
         let idx = GroupIndex::new(&db);
@@ -203,10 +204,7 @@ mod tests {
         let max = max_parity_violation(&ranking, &idx);
         let gender = db.schema().attribute_id("Gender").unwrap();
         let race = db.schema().attribute_id("Race").unwrap();
-        let expected = scores
-            .arp(gender)
-            .max(scores.arp(race))
-            .max(scores.irp());
+        let expected = scores.arp(gender).max(scores.arp(race)).max(scores.irp());
         assert!((max - expected).abs() < 1e-12);
     }
 

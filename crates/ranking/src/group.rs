@@ -169,7 +169,9 @@ impl GroupIndex {
 
     fn resolve(&self, key: GroupKey) -> (&GroupMembership, usize) {
         match key {
-            GroupKey::Attribute { attribute, value } => (&self.attributes[attribute.index()], value),
+            GroupKey::Attribute { attribute, value } => {
+                (&self.attributes[attribute.index()], value)
+            }
             GroupKey::Intersection { code } => (&self.intersection, code),
         }
     }

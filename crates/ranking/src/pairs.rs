@@ -158,7 +158,10 @@ mod tests {
         let a = Ranking::identity(4);
         let b = a.reversed();
         // reversed ranking disagrees on every pair
-        assert_eq!(count_disagreements_where(&a, &b, |_, _| true), total_pairs(4));
+        assert_eq!(
+            count_disagreements_where(&a, &b, |_, _| true),
+            total_pairs(4)
+        );
         // excluding pairs containing candidate 0 leaves C(3,2)=3 pairs
         assert_eq!(
             count_disagreements_where(&a, &b, |x, y| x.0 != 0 && y.0 != 0),

@@ -143,6 +143,7 @@ impl PrecedenceMatrix {
 
     /// Copeland wins for each candidate: the number of pairwise contests the candidate wins,
     /// counting ties as wins for both sides (as in the paper's Fair-Copeland description).
+    #[allow(clippy::needless_range_loop)] // dense n*n scan: indices are the clearer idiom
     pub fn copeland_wins(&self) -> Vec<u32> {
         let mut wins = vec![0u32; self.n];
         for a in 0..self.n {
@@ -162,6 +163,7 @@ impl PrecedenceMatrix {
 
     /// Borda-style score for each candidate derived from the matrix: total support the
     /// candidate receives across all pairwise contests.
+    #[allow(clippy::needless_range_loop)]
     pub fn pairwise_support_scores(&self) -> Vec<u64> {
         let mut scores = vec![0u64; self.n];
         for a in 0..self.n {
@@ -169,8 +171,7 @@ impl PrecedenceMatrix {
                 if a == b {
                     continue;
                 }
-                scores[a] +=
-                    self.support_for(CandidateId(a as u32), CandidateId(b as u32)) as u64;
+                scores[a] += self.support_for(CandidateId(a as u32), CandidateId(b as u32)) as u64;
             }
         }
         scores

@@ -31,7 +31,12 @@ pub struct AxisConstraint {
 
 impl AxisConstraint {
     /// Builds a constraint from a membership vector and a Δ threshold.
-    pub fn new(label: impl Into<String>, membership: Vec<usize>, num_groups: usize, delta: f64) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        membership: Vec<usize>,
+        num_groups: usize,
+        delta: f64,
+    ) -> Self {
         let n = membership.len();
         let mut group_sizes = vec![0usize; num_groups];
         for &g in &membership {
@@ -77,6 +82,7 @@ impl AxisConstraint {
     }
 
     /// Favored mixed pair counts per group for a complete ranking (single O(n) pass).
+    #[allow(clippy::explicit_counter_loop)] // seen_total counts candidates, not loop turns
     pub fn favored_counts(&self, ranking: &Ranking) -> Vec<u64> {
         let n = ranking.len();
         let mut favored = vec![0u64; self.num_groups];
@@ -93,6 +99,7 @@ impl AxisConstraint {
     }
 
     /// FPR gap computed from favored counts.
+    #[allow(clippy::needless_range_loop)]
     pub fn gap_from_counts(&self, favored: &[u64]) -> f64 {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
@@ -306,7 +313,7 @@ mod tests {
             }
             for prefix_len in 0..10 {
                 let mut favored = vec![0u64; 2];
-                let mut placed = vec![false; 10];
+                let mut placed = [false; 10];
                 for p in 0..prefix_len {
                     let cand = ranking.candidate_at(p);
                     placed[cand.index()] = true;

@@ -112,8 +112,7 @@ mod tests {
     fn constrained_problem_checks_axes() {
         let profile = RankingProfile::new(vec![Ranking::identity(4)]).unwrap();
         let constraint = AxisConstraint::new("G", vec![0, 0, 1, 1], 2, 0.1);
-        let problem =
-            KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint]);
+        let problem = KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint]);
         // identity puts group 0 entirely on top -> infeasible under delta 0.1
         assert!(!problem.is_feasible(&Ranking::identity(4)));
         // the "sandwich" order 0,2,3,1 gives both groups an FPR of exactly 0.5

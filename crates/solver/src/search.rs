@@ -65,9 +65,7 @@ pub fn solve(
         None => {
             // No feasible solution found within the budget: fall back to the incumbent or,
             // failing that, the identity ranking (documented best-effort behaviour).
-            let fallback = incumbent
-                .cloned()
-                .unwrap_or_else(|| Ranking::identity(n));
+            let fallback = incumbent.cloned().unwrap_or_else(|| Ranking::identity(n));
             let cost = problem.cost(&fallback);
             (fallback, cost)
         }
@@ -382,8 +380,11 @@ mod tests {
         let constraint = AxisConstraint::new("G", membership.clone(), 2, 0.2);
         let matrix = profile.precedence_matrix();
 
-        let unconstrained =
-            solve(&KemenyProblem::unconstrained(matrix.clone()), None, &SolverConfig::default());
+        let unconstrained = solve(
+            &KemenyProblem::unconstrained(matrix.clone()),
+            None,
+            &SolverConfig::default(),
+        );
         assert_eq!(unconstrained.ranking, biased);
 
         let constrained_problem = KemenyProblem::constrained(matrix, vec![constraint.clone()]);
@@ -401,7 +402,8 @@ mod tests {
         let profile = RankingProfile::new(rankings).unwrap();
         let membership: Vec<usize> = (0..6).map(|i| usize::from(i >= 3)).collect();
         let constraint = AxisConstraint::new("G", membership, 2, 0.25);
-        let problem = KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint.clone()]);
+        let problem =
+            KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint.clone()]);
         let outcome = solve(&problem, None, &SolverConfig::default());
         assert!(outcome.optimal);
 

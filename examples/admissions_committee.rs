@@ -22,7 +22,12 @@ fn main() {
         .sample_profile(3, 7)
         .rankings()
         .to_vec();
-    rankings.push(MallowsModel::new(fair_modal, 1.2).sample_profile(1, 8).rankings()[0].clone());
+    rankings.push(
+        MallowsModel::new(fair_modal, 1.2)
+            .sample_profile(1, 8)
+            .rankings()[0]
+            .clone(),
+    );
     let profile = RankingProfile::for_database(&db, rankings).unwrap();
 
     println!("Base rankings (committee members):");
@@ -48,11 +53,16 @@ fn main() {
 
     // MANI-Rank consensus at Δ = 0.1 (Figure 2b). Fair-Copeland keeps this example fast.
     let fair_ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.1));
-    let fair = FairCopeland::new().solve(&fair_ctx).expect("Fair-Copeland run");
+    let fair = FairCopeland::new()
+        .solve(&fair_ctx)
+        .expect("Fair-Copeland run");
     let fair_parity = fair.criteria.parity();
 
     println!("\nGroup fairness results (paper Figure 2):");
-    println!("{:<16} {:>16} {:>18}", "", "Kemeny consensus", "MANI-Rank consensus");
+    println!(
+        "{:<16} {:>16} {:>18}",
+        "", "Kemeny consensus", "MANI-Rank consensus"
+    );
     println!(
         "{:<16} {:>16.2} {:>18.2}",
         "ARP(Gender)",

@@ -41,7 +41,9 @@ fn main() {
         counts
     };
     let (no_sub, sub) = awards(&borda);
-    println!("\nTop-50 awards without fairness: {no_sub} full-price vs {sub} subsidised-lunch students");
+    println!(
+        "\nTop-50 awards without fairness: {no_sub} full-price vs {sub} subsidised-lunch students"
+    );
 
     // MANI-Rank consensus at Δ = 0.05 with each of the scalable Fair-* methods.
     let ctx = MfcrContext::new(

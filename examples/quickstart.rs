@@ -16,7 +16,10 @@ fn main() {
         .expect("valid attribute");
     for i in 0..24usize {
         builder
-            .add_candidate(format!("applicant-{i:02}"), [(gender, i % 3), (race, i % 2)])
+            .add_candidate(
+                format!("applicant-{i:02}"),
+                [(gender, i % 3), (race, i % 2)],
+            )
             .expect("valid candidate");
     }
     let db = builder.build().expect("non-empty database");
@@ -31,7 +34,10 @@ fn main() {
     //    Gender, Race, and their intersection.
     let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(0.15));
 
-    println!("{:<22} {:>8} {:>12} {:>12} {:>8} {:>10}", "method", "PD loss", "ARP(Gender)", "ARP(Race)", "IRP", "fair?");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>8} {:>10}",
+        "method", "PD loss", "ARP(Gender)", "ARP(Race)", "IRP", "fair?"
+    );
     for kind in MethodKind::all() {
         // A modest node budget keeps the exact methods fast in debug builds.
         let outcome = kind

@@ -9,7 +9,11 @@ use std::time::Instant;
 
 use mani_rank::prelude::*;
 
-fn workload(num_candidates: usize, num_rankings: usize, seed: u64) -> (CandidateDb, RankingProfile) {
+fn workload(
+    num_candidates: usize,
+    num_rankings: usize,
+    seed: u64,
+) -> (CandidateDb, RankingProfile) {
     let db = mani_rank::datagen::binary_population(num_candidates, 0.5, 0.5, seed);
     let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
     let profile = MallowsModel::new(modal, 0.6).sample_profile(num_rankings, seed ^ 0xF00D);

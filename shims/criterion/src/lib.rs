@@ -1,0 +1,300 @@
+//! Offline stub of the subset of the `criterion` API used by this workspace's
+//! bench targets: `Criterion`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once, then
+//! timed over enough iterations to fill a small time budget, and the mean,
+//! minimum, and maximum iteration times are printed. There are no HTML
+//! reports, statistics, or baselines — just honest wall-clock numbers suitable
+//! for relative comparisons such as "batched vs sequential".
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &name.into(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget for this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.measurement_time = budget;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut |bencher| f(bencher, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, e.g. `kendall_tau/100`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label used in output.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    /// Mean/min/max per-iteration durations recorded by [`Bencher::iter`].
+    result: Option<(Duration, Duration, Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times the routine, recording per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: time one iteration to size the batches.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let per_sample = (self.budget.as_nanos() / self.sample_size.max(1) as u128).max(1);
+        let iters_per_sample = (per_sample / first.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let sample = start.elapsed() / iters_per_sample as u32;
+            total += sample;
+            min = min.min(sample);
+            max = max.max(sample);
+            iterations += iters_per_sample;
+            if total > self.budget * 4 {
+                break;
+            }
+        }
+        let samples = (iterations / iters_per_sample).max(1) as u32;
+        self.result = Some((total / samples, min, max, iterations));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    budget: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        budget,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max, iters)) => println!(
+            "  {label:<50} mean {:>12?}  min {:>12?}  max {:>12?}  ({iters} iters)",
+            mean, min, max
+        ),
+        None => println!("  {label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags such as `--bench`;
+            // the shim has no filtering, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_benches() {
+        benches();
+    }
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -18,6 +18,8 @@
 //!   Fair-Schulze, Fair-Borda, and the paper's baselines ([`mani_core`]).
 //! * [`datagen`] — Mallows model workloads, fairness-targeted modal rankings, and the
 //!   synthetic case-study datasets ([`mani_datagen`]).
+//! * [`engine`] — the multi-threaded batch consensus engine: typed requests, a worker
+//!   pool, per-dataset precedence caching, and the `mani` CLI ([`mani_engine`]).
 //! * [`experiments`] — the harness regenerating every table and figure of the paper
 //!   ([`mani_experiments`]).
 //!
@@ -46,6 +48,7 @@
 pub use mani_aggregation as aggregation;
 pub use mani_core as core;
 pub use mani_datagen as datagen;
+pub use mani_engine as engine;
 pub use mani_experiments as experiments;
 pub use mani_fairness as fairness;
 pub use mani_ranking as ranking;
@@ -61,6 +64,10 @@ pub mod prelude {
     pub use mani_datagen::{
         binary_population, paper_population_90, CsRankingsDataset, ExamDataset, FairnessTarget,
         MallowsModel, ModalRankingBuilder,
+    };
+    pub use mani_engine::{
+        ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset,
+        PrecedenceCache,
     };
     pub use mani_fairness::{
         attribute_rank_parity, intersectional_rank_parity, pairwise_disagreement_loss,

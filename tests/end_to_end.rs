@@ -66,7 +66,10 @@ fn price_of_fairness_is_nonnegative_and_decreases_with_delta() {
         let ctx = MfcrContext::new(&db, &groups, &profile, FairnessThresholds::uniform(delta));
         let fair = FairBorda::new().solve(&ctx).unwrap();
         let pof = price_of_fairness(&profile, &fair.ranking, &unfair.ranking).unwrap();
-        assert!(pof >= -1e-9, "PoF must be non-negative, got {pof} at delta {delta}");
+        assert!(
+            pof >= -1e-9,
+            "PoF must be non-negative, got {pof} at delta {delta}"
+        );
         assert!(
             pof <= previous_pof + 0.05,
             "PoF should broadly decrease as delta loosens"
@@ -112,7 +115,12 @@ fn exam_case_study_end_to_end() {
     for attr in &audit.attributes {
         for group in &attr.groups {
             if let Some(fpr) = group.fpr {
-                assert!((fpr - 0.5).abs() <= 0.06, "{}:{} fpr {fpr}", attr.attribute, group.group);
+                assert!(
+                    (fpr - 0.5).abs() <= 0.06,
+                    "{}:{} fpr {fpr}",
+                    attr.attribute,
+                    group.group
+                );
             }
         }
     }
@@ -143,7 +151,10 @@ fn experiment_harness_smoke_tables_have_expected_shape() {
     let scale = Scale::smoke();
     let table1 = datasets::table1(&scale);
     assert_eq!(table1.len(), 3);
-    assert_eq!(table1.headers(), &["Dataset", "ARP_Gender", "ARP_Race", "IRP"]);
+    assert_eq!(
+        table1.headers(),
+        &["Dataset", "ARP_Gender", "ARP_Race", "IRP"]
+    );
     // Low-Fair row is less fair than High-Fair row on every metric.
     let low_irp: f64 = table1.cell(0, "IRP").unwrap().parse().unwrap();
     let high_irp: f64 = table1.cell(2, "IRP").unwrap().parse().unwrap();

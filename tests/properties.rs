@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn workload(n: usize, m: usize, theta: f64, seed: u64) -> (CandidateDb, GroupIndex, RankingProfile) {
+fn workload(
+    n: usize,
+    m: usize,
+    theta: f64,
+    seed: u64,
+) -> (CandidateDb, GroupIndex, RankingProfile) {
     let db = mani_rank::datagen::binary_population(n.max(8), 0.5, 0.5, seed);
     let groups = GroupIndex::new(&db);
     let modal = ModalRankingBuilder::new(&db).build(&FairnessTarget::low_fair(2));
