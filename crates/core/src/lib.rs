@@ -14,9 +14,9 @@
 //! | Method | Strategy | Paper section |
 //! |---|---|---|
 //! | [`FairKemeny`] | exact constrained Kemeny optimisation (via `mani-solver`) | III-A |
-//! | [`FairCopeland`] | Copeland consensus + [`make_mr_fair`] correction | III-B |
-//! | [`FairSchulze`] | Schulze consensus + [`make_mr_fair`] correction | III-B |
-//! | [`FairBorda`] | Borda consensus + [`make_mr_fair`] correction | III-B |
+//! | [`FairCopeland`] | Copeland consensus + [`make_mr_fair()`] correction | III-B |
+//! | [`FairSchulze`] | Schulze consensus + [`make_mr_fair()`] correction | III-B |
+//! | [`FairBorda`] | Borda consensus + [`make_mr_fair()`] correction | III-B |
 //!
 //! plus the comparison baselines of Section IV-B in [`baselines`]: exact (unfair) Kemeny,
 //! Kemeny-Weighted, Pick-Fairest-Perm, and Correct-Fairest-Perm.

@@ -1,16 +1,35 @@
-//! The batch consensus engine: fans requests out across a worker pool, shares
+//! The consensus engine: fans requests out across a worker pool, shares
 //! per-dataset precedence matrices through the [`PrecedenceCache`], and joins
 //! results back in deterministic request order.
+//!
+//! Two submission styles share one execution path:
+//!
+//! * **Blocking** — [`ConsensusEngine::submit`] / [`ConsensusEngine::submit_batch`]
+//!   join the batch and return completed responses.
+//! * **Non-blocking** — [`ConsensusEngine::submit_async`] /
+//!   [`ConsensusEngine::submit_batch_async`] return a [`JobHandle`] immediately.
+//!   Async submissions pass through a bounded queue
+//!   ([`EngineConfig::queue_depth`]); when the queue is full the engine rejects
+//!   the request with [`EngineError::Overloaded`] instead of growing without
+//!   bound, which is the backpressure signal the HTTP front-end turns into
+//!   `429 Too Many Requests`.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mani_core::MfcrContext;
+use mani_core::{MethodKind, MfcrContext};
+use mani_fairness::FairnessThresholds;
 
 use crate::cache::PrecedenceCache;
+use crate::dataset::EngineDataset;
 use crate::error::EngineError;
+use crate::jobs::{JobHandle, JobId, JobState};
 use crate::pool::{default_threads, WorkerPool};
 use crate::request::{ConsensusRequest, ConsensusResponse, MethodResult};
+
+/// Queue depth used when [`EngineConfig::queue_depth`] is `0`.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone, Default)]
@@ -19,9 +38,46 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Node budget applied to exact methods when a request does not set one.
     pub default_budget: Option<u64>,
+    /// Maximum number of async jobs submitted but not yet completed before
+    /// [`ConsensusEngine::submit_async`] starts rejecting with
+    /// [`EngineError::Overloaded`]; `0` means [`DEFAULT_QUEUE_DEPTH`].
+    /// Blocking submissions are not queued and do not count against the depth.
+    pub queue_depth: usize,
 }
 
-/// A multi-threaded batch executor for MFCR consensus requests.
+/// Submission-queue counters for one engine (see [`ConsensusEngine::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Configured bound on concurrently in-flight async jobs.
+    pub queue_depth: usize,
+    /// Async jobs submitted but not yet completed.
+    pub in_flight: usize,
+    /// Async jobs accepted since the engine was created.
+    pub submitted: u64,
+    /// Async jobs completed since the engine was created.
+    pub completed: u64,
+    /// Async jobs rejected with [`EngineError::Overloaded`].
+    pub rejected: u64,
+}
+
+/// Counters shared between the engine and its in-flight job collectors.
+#[derive(Debug, Default)]
+struct AsyncCounters {
+    in_flight: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AsyncCounters {
+    /// Marks one job finished: bumps `completed`, releases its queue slot.
+    fn finish_one(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A multi-threaded executor for MFCR consensus requests.
 ///
 /// The engine owns a [`WorkerPool`] and a [`PrecedenceCache`]; submitting a
 /// batch fans every `(request, method)` pair out as one task. All methods of
@@ -33,6 +89,9 @@ pub struct ConsensusEngine {
     pool: WorkerPool,
     cache: Arc<PrecedenceCache>,
     config: EngineConfig,
+    queue_depth: usize,
+    next_job_id: AtomicU64,
+    counters: Arc<AsyncCounters>,
 }
 
 impl Default for ConsensusEngine {
@@ -54,10 +113,18 @@ impl ConsensusEngine {
         } else {
             config.threads
         };
+        let queue_depth = if config.queue_depth == 0 {
+            DEFAULT_QUEUE_DEPTH
+        } else {
+            config.queue_depth
+        };
         Self {
             pool: WorkerPool::new(threads),
             cache: Arc::new(PrecedenceCache::new()),
             config,
+            queue_depth,
+            next_job_id: AtomicU64::new(1),
+            counters: Arc::new(AsyncCounters::default()),
         }
     }
 
@@ -66,12 +133,28 @@ impl ConsensusEngine {
         self.pool.num_threads()
     }
 
+    /// The resolved bound on concurrently in-flight async jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
     /// The shared precedence cache (inspect [`crate::CacheStats`] here).
     pub fn cache(&self) -> &PrecedenceCache {
         &self.cache
     }
 
-    /// Runs one request (a batch of size one).
+    /// Current submission-queue counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queue_depth: self.queue_depth,
+            in_flight: self.counters.in_flight.load(Ordering::Acquire),
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one request (a batch of size one), blocking until it completes.
     pub fn submit(&self, request: ConsensusRequest) -> ConsensusResponse {
         self.submit_batch(vec![request])
             .into_iter()
@@ -81,7 +164,7 @@ impl ConsensusEngine {
 
     /// Runs a batch of requests across the worker pool and returns one
     /// response per request, in request order, with per-method results in each
-    /// request's method order.
+    /// request's method order. Blocks until the whole batch completes.
     pub fn submit_batch(&self, requests: Vec<ConsensusRequest>) -> Vec<ConsensusResponse> {
         // Phase 1: warm the cache — one build task per distinct dataset, in
         // parallel. Method tasks then always hit.
@@ -120,26 +203,7 @@ impl ConsensusEngine {
                 let thresholds = request.thresholds.clone();
                 let cache = Arc::clone(&self.cache);
                 tasks.push(Box::new(move || {
-                    let (artifacts, cache_hit) = cache.get_or_build(&dataset);
-                    let ctx = MfcrContext::new(
-                        dataset.db(),
-                        &artifacts.groups,
-                        dataset.profile(),
-                        thresholds,
-                    )
-                    .with_precedence(&artifacts.precedence);
-                    let method = match budget {
-                        Some(nodes) => kind.instantiate_with_nodes(nodes),
-                        None => kind.instantiate(),
-                    };
-                    let started = Instant::now();
-                    let outcome = method.solve(&ctx)?;
-                    Ok(MethodResult {
-                        method: kind,
-                        outcome,
-                        duration: started.elapsed(),
-                        cache_hit,
-                    })
+                    solve_one(&cache, &dataset, thresholds, kind, budget)
                 }));
             }
         }
@@ -150,36 +214,211 @@ impl ConsensusEngine {
             .into_iter()
             .map(|(dataset, method_count, validation_error)| {
                 if let Some(error) = validation_error {
-                    // Keep `results` index-aligned with the request's methods
-                    // even on validation failure (minimum one slot so the
-                    // error is visible for an empty method list).
-                    let message = match error {
-                        EngineError::InvalidRequest(message) => message,
-                        other => other.to_string(),
-                    };
-                    let results = (0..method_count.max(1))
-                        .map(|_| Err(EngineError::InvalidRequest(message.clone())))
-                        .collect();
-                    return ConsensusResponse {
-                        dataset,
-                        results,
-                        total_solve_time: Duration::ZERO,
-                    };
+                    return error_response(dataset, method_count, error);
                 }
-                let results: Vec<Result<MethodResult, EngineError>> =
-                    results.by_ref().take(method_count).collect();
-                let total_solve_time = results
-                    .iter()
-                    .flatten()
-                    .map(|r| r.duration)
-                    .sum::<Duration>();
-                ConsensusResponse {
-                    dataset,
-                    results,
-                    total_solve_time,
-                }
+                assemble_response(dataset, results.by_ref().take(method_count).collect())
             })
             .collect()
+    }
+
+    /// Submits one request without blocking and returns a [`JobHandle`] that
+    /// can be polled or waited on.
+    ///
+    /// The handle's response is bit-identical to what [`ConsensusEngine::submit`]
+    /// would return for the same request. Fails with [`EngineError::Overloaded`]
+    /// when [`EngineConfig::queue_depth`] jobs are already in flight.
+    pub fn submit_async(&self, request: ConsensusRequest) -> Result<JobHandle, EngineError> {
+        self.reserve(1)?;
+        Ok(self.spawn_job(request))
+    }
+
+    /// Submits several requests without blocking, all or nothing: when the
+    /// queue cannot absorb the whole batch, no job is enqueued and
+    /// [`EngineError::Overloaded`] is returned. Handles are in request order.
+    pub fn submit_batch_async(
+        &self,
+        requests: Vec<ConsensusRequest>,
+    ) -> Result<Vec<JobHandle>, EngineError> {
+        self.reserve(requests.len())?;
+        Ok(requests
+            .into_iter()
+            .map(|request| self.spawn_job(request))
+            .collect())
+    }
+
+    /// Reserves `slots` queue places or rejects with [`EngineError::Overloaded`].
+    fn reserve(&self, slots: usize) -> Result<(), EngineError> {
+        let mut current = self.counters.in_flight.load(Ordering::Acquire);
+        loop {
+            if current + slots > self.queue_depth {
+                self.counters
+                    .rejected
+                    .fetch_add(slots as u64, Ordering::Relaxed);
+                return Err(EngineError::Overloaded {
+                    in_flight: current,
+                    queue_depth: self.queue_depth,
+                });
+            }
+            match self.counters.in_flight.compare_exchange_weak(
+                current,
+                current + slots,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Fans one reserved request out as method tasks and returns its handle.
+    fn spawn_job(&self, request: ConsensusRequest) -> JobHandle {
+        let id = JobId::from_raw(self.next_job_id.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(JobState::new());
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if let Err(error) = request.validate() {
+            // Invalid requests complete immediately (same response shape as the
+            // blocking path) without occupying a worker.
+            self.counters.finish_one();
+            state.complete(error_response(
+                request.dataset.name().to_string(),
+                request.methods.len(),
+                error,
+            ));
+            return JobHandle::new(id, state);
+        }
+
+        let budget = request.budget.or(self.config.default_budget);
+        let method_count = request.methods.len();
+        let collector = Arc::new(JobCollector {
+            dataset: request.dataset.name().to_string(),
+            slots: Mutex::new((0..method_count).map(|_| None).collect()),
+            remaining: AtomicUsize::new(method_count),
+            state: Arc::clone(&state),
+            counters: Arc::clone(&self.counters),
+        });
+        for (index, kind) in request.methods.iter().copied().enumerate() {
+            let dataset = Arc::clone(&request.dataset);
+            let thresholds = request.thresholds.clone();
+            let cache = Arc::clone(&self.cache);
+            let collector = Arc::clone(&collector);
+            self.pool.execute(Box::new(move || {
+                collector.state.mark_running();
+                // A panicking solver must not leak the job's queue slot: turn
+                // the panic into an error result so the job still completes.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solve_one(&cache, &dataset, thresholds, kind, budget)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(EngineError::invalid(format!(
+                        "method `{}` panicked",
+                        kind.name()
+                    )))
+                });
+                collector.finish(index, result);
+            }));
+        }
+        JobHandle::new(id, state)
+    }
+}
+
+/// Per-job result collector: method tasks deposit into `slots`; the task that
+/// drops `remaining` to zero assembles the response, publishes it through the
+/// job's [`JobState`], and releases the job's queue slot.
+#[derive(Debug)]
+struct JobCollector {
+    dataset: String,
+    slots: Mutex<Vec<Option<Result<MethodResult, EngineError>>>>,
+    remaining: AtomicUsize,
+    state: Arc<JobState>,
+    counters: Arc<AsyncCounters>,
+}
+
+impl JobCollector {
+    fn finish(&self, index: usize, result: Result<MethodResult, EngineError>) {
+        {
+            let mut slots = self.slots.lock().expect("job slots lock poisoned");
+            slots[index] = Some(result);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let slots = std::mem::take(&mut *self.slots.lock().expect("job slots lock poisoned"));
+            let results = slots
+                .into_iter()
+                .map(|slot| slot.expect("every method task deposited a result"))
+                .collect();
+            // Release the queue slot *before* publishing: a waiter observing
+            // the completed response must also observe the updated counters.
+            self.counters.finish_one();
+            self.state
+                .complete(assemble_response(self.dataset.clone(), results));
+        }
+    }
+}
+
+/// Runs one method over one dataset against the shared cache — the single
+/// execution path behind both blocking and async submission.
+fn solve_one(
+    cache: &PrecedenceCache,
+    dataset: &EngineDataset,
+    thresholds: FairnessThresholds,
+    kind: MethodKind,
+    budget: Option<u64>,
+) -> Result<MethodResult, EngineError> {
+    let (artifacts, cache_hit) = cache.get_or_build(dataset);
+    let ctx = MfcrContext::new(
+        dataset.db(),
+        &artifacts.groups,
+        dataset.profile(),
+        thresholds,
+    )
+    .with_precedence(&artifacts.precedence);
+    let method = match budget {
+        Some(nodes) => kind.instantiate_with_nodes(nodes),
+        None => kind.instantiate(),
+    };
+    let started = Instant::now();
+    let outcome = method.solve(&ctx)?;
+    Ok(MethodResult {
+        method: kind,
+        outcome,
+        duration: started.elapsed(),
+        cache_hit,
+    })
+}
+
+/// Response for a request that failed validation: every slot carries the
+/// validation error (minimum one slot, so an empty method list still surfaces
+/// its error).
+fn error_response(dataset: String, method_count: usize, error: EngineError) -> ConsensusResponse {
+    let message = match error {
+        EngineError::InvalidRequest(message) => message,
+        other => other.to_string(),
+    };
+    let results = (0..method_count.max(1))
+        .map(|_| Err(EngineError::InvalidRequest(message.clone())))
+        .collect();
+    ConsensusResponse {
+        dataset,
+        results,
+        total_solve_time: Duration::ZERO,
+    }
+}
+
+/// Bundles per-method results into a response, totalling the solve time.
+fn assemble_response(
+    dataset: String,
+    results: Vec<Result<MethodResult, EngineError>>,
+) -> ConsensusResponse {
+    let total_solve_time = results
+        .iter()
+        .flatten()
+        .map(|r| r.duration)
+        .sum::<Duration>();
+    ConsensusResponse {
+        dataset,
+        results,
+        total_solve_time,
     }
 }
 
@@ -187,6 +426,7 @@ impl ConsensusEngine {
 mod tests {
     use super::*;
     use crate::dataset::EngineDataset;
+    use crate::jobs::JobStatus;
     use mani_core::MethodKind;
     use mani_fairness::FairnessThresholds;
     use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
@@ -206,12 +446,16 @@ mod tests {
         Arc::new(EngineDataset::new(format!("ds-{n}-{seed}"), db, profile).unwrap())
     }
 
+    fn config(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
     #[test]
     fn submit_runs_methods_in_request_order() {
-        let engine = ConsensusEngine::with_config(EngineConfig {
-            threads: 3,
-            default_budget: None,
-        });
+        let engine = ConsensusEngine::with_config(config(3));
         let methods = [
             MethodKind::FairBorda,
             MethodKind::FairCopeland,
@@ -231,10 +475,7 @@ mod tests {
 
     #[test]
     fn batch_builds_each_dataset_once() {
-        let engine = ConsensusEngine::with_config(EngineConfig {
-            threads: 4,
-            default_budget: None,
-        });
+        let engine = ConsensusEngine::with_config(config(4));
         let a = dataset(10, 1);
         let b = dataset(12, 2);
         let methods = [
@@ -264,10 +505,7 @@ mod tests {
 
     #[test]
     fn invalid_request_yields_an_error_response_without_blocking_others() {
-        let engine = ConsensusEngine::with_config(EngineConfig {
-            threads: 2,
-            default_budget: None,
-        });
+        let engine = ConsensusEngine::with_config(config(2));
         let responses = engine.submit_batch(vec![
             ConsensusRequest::new(dataset(8, 3), [], FairnessThresholds::uniform(0.2)),
             ConsensusRequest::new(
@@ -289,6 +527,7 @@ mod tests {
         let engine = ConsensusEngine::with_config(EngineConfig {
             threads: 2,
             default_budget: Some(3),
+            ..EngineConfig::default()
         });
         let response = engine.submit(ConsensusRequest::new(
             dataset(14, 5),
@@ -300,5 +539,76 @@ mod tests {
             !outcome.optimal,
             "a 3-node budget cannot close n = 14, so the result must be anytime"
         );
+    }
+
+    #[test]
+    fn async_submission_completes_and_counts() {
+        let engine = ConsensusEngine::with_config(config(2));
+        let handle = engine
+            .submit_async(ConsensusRequest::new(
+                dataset(10, 7),
+                [MethodKind::FairBorda, MethodKind::FairCopeland],
+                FairnessThresholds::uniform(0.2),
+            ))
+            .expect("queue is empty");
+        assert_eq!(handle.id().as_u64(), 1);
+        let response = handle.wait();
+        assert!(response.is_complete());
+        assert_eq!(handle.status(), JobStatus::Done);
+        assert!(handle.try_poll().is_some());
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn async_batch_over_queue_depth_is_rejected_atomically() {
+        let engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 2,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        });
+        let requests: Vec<ConsensusRequest> = (0..3)
+            .map(|i| {
+                ConsensusRequest::new(
+                    dataset(8, 10 + i),
+                    [MethodKind::FairBorda],
+                    FairnessThresholds::uniform(0.2),
+                )
+            })
+            .collect();
+        let err = engine.submit_batch_async(requests).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Overloaded {
+                in_flight: 0,
+                queue_depth: 2,
+            }
+        ));
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 0, "all-or-nothing: nothing was enqueued");
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn invalid_async_request_completes_immediately_with_error() {
+        let engine = ConsensusEngine::with_config(config(1));
+        let handle = engine
+            .submit_async(ConsensusRequest::new(
+                dataset(8, 3),
+                [],
+                FairnessThresholds::uniform(0.2),
+            ))
+            .expect("queue is empty");
+        // No worker involvement: already done.
+        let response = handle.try_poll().expect("validation errors are immediate");
+        assert!(matches!(
+            response.results[0],
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert_eq!(engine.stats().in_flight, 0);
     }
 }

@@ -18,6 +18,15 @@ pub enum EngineError {
     Io(std::io::Error),
     /// A request was structurally invalid (empty method list, unknown method name, ...).
     InvalidRequest(String),
+    /// The engine's bounded submission queue is full; the request was rejected
+    /// instead of growing the queue without bound. Retry after in-flight jobs
+    /// drain (the HTTP front-end maps this to status `429 Too Many Requests`).
+    Overloaded {
+        /// Jobs submitted but not yet completed at rejection time.
+        in_flight: usize,
+        /// The engine's configured queue depth.
+        queue_depth: usize,
+    },
 }
 
 impl EngineError {
@@ -43,6 +52,13 @@ impl std::fmt::Display for EngineError {
             EngineError::Csv { line, message } => write!(f, "csv error (line {line}): {message}"),
             EngineError::Io(e) => write!(f, "io error: {e}"),
             EngineError::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+            EngineError::Overloaded {
+                in_flight,
+                queue_depth,
+            } => write!(
+                f,
+                "engine overloaded: {in_flight} job(s) in flight at queue depth {queue_depth}; retry later"
+            ),
         }
     }
 }
@@ -81,6 +97,11 @@ mod tests {
         assert_eq!(e.to_string(), "csv error: empty file");
         let e = EngineError::invalid("no methods");
         assert_eq!(e.to_string(), "invalid request: no methods");
+        let e = EngineError::Overloaded {
+            in_flight: 4,
+            queue_depth: 4,
+        };
+        assert!(e.to_string().contains("overloaded"), "{e}");
         let e: EngineError = RankingError::EmptyProfile.into();
         assert!(e.to_string().starts_with("ranking error"));
         let e: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();

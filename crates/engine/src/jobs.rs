@@ -1,0 +1,251 @@
+//! Non-blocking job handles for asynchronously submitted consensus requests.
+//!
+//! [`crate::ConsensusEngine::submit_async`] returns a [`JobHandle`] immediately
+//! instead of joining the batch: the caller can poll it ([`JobHandle::try_poll`]),
+//! block on it ([`JobHandle::wait`] / [`JobHandle::wait_timeout`]), or stash it
+//! in a registry keyed by [`JobId`] — which is exactly what the `mani-serve`
+//! HTTP front-end does for its `GET /v1/jobs/{id}` endpoint.
+//!
+//! A job moves through three phases: **queued** (accepted, no worker has picked
+//! up any of its method tasks yet), **running** (at least one method task
+//! started), and **done** (every method task finished and the response was
+//! assembled). Completed responses are shared as
+//! [`std::sync::Arc`]`<`[`ConsensusResponse`]`>` so several pollers can observe
+//! one result without copying it.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::request::ConsensusResponse;
+
+/// Identifier of an asynchronously submitted job, unique within one engine.
+///
+/// Ids are handed out in submission order starting at `1`; they are never
+/// reused by the issuing engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Creates a job id from its raw counter value.
+    pub fn from_raw(raw: u64) -> Self {
+        JobId(raw)
+    }
+
+    /// The raw counter value behind this id.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle phase of an asynchronously submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted into the submission queue; no worker has started it yet.
+    Queued,
+    /// At least one of the job's method tasks is executing.
+    Running,
+    /// Every method task finished; the response is available.
+    Done,
+}
+
+impl JobStatus {
+    /// Lower-case label used by logs and the HTTP API (`"queued"`, `"running"`,
+    /// `"done"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running,
+    Done(Arc<ConsensusResponse>),
+}
+
+/// Shared completion state between the engine's worker tasks and the handle.
+#[derive(Debug)]
+pub(crate) struct JobState {
+    phase: Mutex<Phase>,
+    cond: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Self {
+        Self {
+            phase: Mutex::new(Phase::Queued),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Marks the job running (first method task picked up). Idempotent; a
+    /// completed job stays completed.
+    pub(crate) fn mark_running(&self) {
+        let mut phase = self.phase.lock().expect("job phase lock poisoned");
+        if matches!(*phase, Phase::Queued) {
+            *phase = Phase::Running;
+        }
+    }
+
+    /// Publishes the finished response and wakes every waiter.
+    pub(crate) fn complete(&self, response: ConsensusResponse) {
+        let mut phase = self.phase.lock().expect("job phase lock poisoned");
+        *phase = Phase::Done(Arc::new(response));
+        self.cond.notify_all();
+    }
+}
+
+/// A non-blocking handle to one asynchronously submitted consensus request.
+///
+/// Cloning the handle is cheap; all clones observe the same job.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: JobId,
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: JobId, state: Arc<JobState>) -> Self {
+        Self { id, state }
+    }
+
+    /// The job's engine-unique identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The job's current lifecycle phase.
+    pub fn status(&self) -> JobStatus {
+        match *self.state.phase.lock().expect("job phase lock poisoned") {
+            Phase::Queued => JobStatus::Queued,
+            Phase::Running => JobStatus::Running,
+            Phase::Done(_) => JobStatus::Done,
+        }
+    }
+
+    /// Returns the response if the job already finished, without blocking.
+    pub fn try_poll(&self) -> Option<Arc<ConsensusResponse>> {
+        match *self.state.phase.lock().expect("job phase lock poisoned") {
+            Phase::Done(ref response) => Some(Arc::clone(response)),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job finishes and returns its response.
+    pub fn wait(&self) -> Arc<ConsensusResponse> {
+        let mut phase = self.state.phase.lock().expect("job phase lock poisoned");
+        loop {
+            if let Phase::Done(ref response) = *phase {
+                return Arc::clone(response);
+            }
+            phase = self
+                .state
+                .cond
+                .wait(phase)
+                .expect("job phase lock poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout` for the job to finish; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<ConsensusResponse>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut phase = self.state.phase.lock().expect("job phase lock poisoned");
+        loop {
+            if let Phase::Done(ref response) = *phase {
+                return Some(Arc::clone(response));
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, result) = self
+                .state
+                .cond
+                .wait_timeout(phase, remaining)
+                .expect("job phase lock poisoned");
+            phase = guard;
+            if result.timed_out() {
+                return match *phase {
+                    Phase::Done(ref response) => Some(Arc::clone(response)),
+                    _ => None,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn empty_response() -> ConsensusResponse {
+        ConsensusResponse {
+            dataset: "d".into(),
+            results: Vec::new(),
+            total_solve_time: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn id_formats_and_orders() {
+        let a = JobId::from_raw(1);
+        let b = JobId::from_raw(2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "job-1");
+        assert_eq!(b.as_u64(), 2);
+    }
+
+    #[test]
+    fn status_transitions_and_poll() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(JobId::from_raw(7), Arc::clone(&state));
+        assert_eq!(handle.status(), JobStatus::Queued);
+        assert_eq!(handle.status().label(), "queued");
+        assert!(handle.try_poll().is_none());
+
+        state.mark_running();
+        assert_eq!(handle.status(), JobStatus::Running);
+        // Idempotent while running.
+        state.mark_running();
+        assert_eq!(handle.status(), JobStatus::Running);
+
+        state.complete(empty_response());
+        assert_eq!(handle.status(), JobStatus::Done);
+        // A completed job stays completed even if a late task marks running.
+        state.mark_running();
+        assert_eq!(handle.status(), JobStatus::Done);
+        let first = handle.try_poll().expect("done");
+        let second = handle.try_poll().expect("still done");
+        assert!(Arc::ptr_eq(&first, &second), "pollers share one response");
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(JobId::from_raw(1), Arc::clone(&state));
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait().dataset.clone())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        state.complete(empty_response());
+        assert_eq!(waiter.join().unwrap(), "d");
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_succeeds() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(JobId::from_raw(1), Arc::clone(&state));
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_none());
+        state.complete(empty_response());
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_some());
+    }
+}

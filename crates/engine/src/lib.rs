@@ -10,6 +10,10 @@
 //!   [`mani_core::MfcrOutcome`]s with per-method timings out.
 //! * [`ConsensusEngine`] — fans batches out across a [`WorkerPool`] of `std`
 //!   threads and joins results in deterministic request order.
+//! * [`JobHandle`] — non-blocking submission: [`ConsensusEngine::submit_async`]
+//!   returns a handle backed by a bounded queue ([`EngineConfig::queue_depth`])
+//!   that can be polled, waited on, or registered by [`JobId`]; a full queue
+//!   rejects with [`EngineError::Overloaded`] instead of growing without bound.
 //! * [`PrecedenceCache`] — content-addressed sharing of the `O(n² · |R|)`
 //!   precedence matrix and the [`mani_ranking::GroupIndex`] per dataset: a
 //!   batch over `d` datasets builds exactly `d` matrices no matter how many
@@ -48,7 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod csvio;
@@ -56,14 +60,16 @@ pub mod dataset;
 #[allow(clippy::module_inception)]
 pub mod engine;
 pub mod error;
+pub mod jobs;
 pub mod pool;
 pub mod report;
 pub mod request;
 
 pub use cache::{CacheStats, PrecedenceCache, SharedArtifacts};
 pub use dataset::EngineDataset;
-pub use engine::{ConsensusEngine, EngineConfig};
+pub use engine::{ConsensusEngine, EngineConfig, EngineStats, DEFAULT_QUEUE_DEPTH};
 pub use error::EngineError;
+pub use jobs::{JobHandle, JobId, JobStatus};
 pub use pool::WorkerPool;
 pub use report::{attribute_labels, audit_table, response_table, ReportTable};
 pub use request::{ConsensusRequest, ConsensusResponse, MethodResult};

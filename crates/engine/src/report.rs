@@ -1,81 +1,19 @@
 //! Table-style text reports for engine responses and fairness audits.
+//!
+//! The table type itself is the workspace-shared [`mani_tabular::TextTable`],
+//! re-exported here under its historical `ReportTable` name; this module adds
+//! the engine-specific row builders on top.
 
 use mani_fairness::FairnessAudit;
 use mani_ranking::CandidateDb;
 
 use crate::request::ConsensusResponse;
 
-/// A minimal aligned-text table (title, headers, string rows).
-#[derive(Debug, Clone)]
-pub struct ReportTable {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl ReportTable {
-    /// Creates an empty table.
-    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        Self {
-            title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row, padded or truncated to the header width.
-    pub fn push_row(&mut self, mut cells: Vec<String>) {
-        cells.resize(self.headers.len(), String::new());
-        self.rows.push(cells);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True when no rows were added.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the table as aligned monospace text.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("== {} ==\n", self.title));
-        let fmt_line = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ")
-                .trim_end()
-                .to_string()
-        };
-        out.push_str(&fmt_line(&self.headers));
-        out.push('\n');
-        out.push_str(
-            &widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  "),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_line(row));
-            out.push('\n');
-        }
-        out
-    }
-}
+/// The shared aligned-text table (title, headers, string rows).
+///
+/// An alias for [`mani_tabular::TextTable`] — the same renderer the experiment
+/// harness uses — kept under the engine's historical name.
+pub use mani_tabular::TextTable as ReportTable;
 
 /// One row per method of one response: PD loss, ARPs, IRP, criteria verdict,
 /// correction swaps, optimality, and solve time.
@@ -208,6 +146,7 @@ mod tests {
         let engine = ConsensusEngine::with_config(EngineConfig {
             threads: 2,
             default_budget: None,
+            ..EngineConfig::default()
         });
         let ds = dataset();
         let response = engine.submit(ConsensusRequest::new(

@@ -1,0 +1,196 @@
+//! Integration tests for non-blocking submission: handle lifecycle,
+//! bit-identical equivalence with the blocking path, and bounded-queue
+//! backpressure.
+
+use std::sync::Arc;
+
+use mani_core::MethodKind;
+use mani_engine::{
+    ConsensusEngine, ConsensusRequest, EngineConfig, EngineDataset, EngineError, JobStatus,
+};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize, m: usize, seed: u64) -> Arc<EngineDataset> {
+    let mut builder = CandidateDbBuilder::new();
+    let g = builder.add_attribute("G", ["x", "y"]).unwrap();
+    let r = builder.add_attribute("R", ["p", "q", "r"]).unwrap();
+    for i in 0..n {
+        builder
+            .add_candidate(format!("c{i}"), [(g, i % 2), (r, i % 3)])
+            .unwrap();
+    }
+    let db = builder.build().unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+    let profile = RankingProfile::new(rankings).unwrap();
+    Arc::new(EngineDataset::new(format!("async-{n}-{seed}"), db, profile).unwrap())
+}
+
+const METHODS: [MethodKind; 4] = [
+    MethodKind::FairBorda,
+    MethodKind::FairCopeland,
+    MethodKind::FairSchulze,
+    MethodKind::PickFairestPerm,
+];
+
+#[test]
+fn async_handle_is_bit_identical_to_blocking_submit() {
+    let blocking_engine = ConsensusEngine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    let async_engine = ConsensusEngine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let ds = dataset(18, 8, 42);
+    let request =
+        || ConsensusRequest::new(Arc::clone(&ds), METHODS, FairnessThresholds::uniform(0.15));
+
+    let blocking = blocking_engine.submit(request());
+    let handle = async_engine.submit_async(request()).expect("empty queue");
+    let asynchronous = handle.wait();
+
+    assert!(blocking.is_complete() && asynchronous.is_complete());
+    assert_eq!(blocking.results.len(), asynchronous.results.len());
+    for (b, a) in blocking.successes().zip(asynchronous.successes()) {
+        assert_eq!(b.method, a.method, "methods must arrive in request order");
+        assert_eq!(
+            b.outcome.ranking,
+            a.outcome.ranking,
+            "{}: async ranking differs from blocking submit",
+            b.method.name()
+        );
+        assert_eq!(
+            b.outcome.pd_loss, a.outcome.pd_loss,
+            "bit-identical PD loss"
+        );
+        assert_eq!(
+            b.outcome.criteria.is_satisfied(),
+            a.outcome.criteria.is_satisfied()
+        );
+        assert_eq!(b.outcome.correction_swaps, a.outcome.correction_swaps);
+    }
+}
+
+#[test]
+fn queue_overflow_returns_overloaded_instead_of_blocking() {
+    // One worker, queue depth one: while the first (heavyweight) job holds its
+    // slot, the very next submission must be rejected — not queued, not blocked.
+    let engine = ConsensusEngine::with_config(EngineConfig {
+        threads: 1,
+        queue_depth: 1,
+        ..EngineConfig::default()
+    });
+    // Large enough that its precedence build + O(n³) Schulze outlives the
+    // microseconds until the second submit below.
+    let heavy = dataset(150, 12, 7);
+    let first = engine
+        .submit_async(ConsensusRequest::new(
+            Arc::clone(&heavy),
+            [MethodKind::FairSchulze],
+            FairnessThresholds::uniform(0.2),
+        ))
+        .expect("first job fills the queue");
+
+    let rejected = engine.submit_async(ConsensusRequest::new(
+        dataset(8, 4, 8),
+        [MethodKind::FairBorda],
+        FairnessThresholds::uniform(0.2),
+    ));
+    match rejected {
+        Err(EngineError::Overloaded {
+            in_flight,
+            queue_depth,
+        }) => {
+            assert_eq!(in_flight, 1);
+            assert_eq!(queue_depth, 1);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.in_flight, 1);
+
+    // Draining the queue restores capacity.
+    assert!(first.wait().is_complete());
+    assert_eq!(engine.stats().in_flight, 0);
+    let accepted = engine
+        .submit_async(ConsensusRequest::new(
+            dataset(8, 4, 9),
+            [MethodKind::FairBorda],
+            FairnessThresholds::uniform(0.2),
+        ))
+        .expect("drained queue accepts again");
+    assert!(accepted.wait().is_complete());
+}
+
+#[test]
+fn wait_timeout_expires_on_slow_jobs_and_status_progresses() {
+    let engine = ConsensusEngine::with_config(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let handle = engine
+        .submit_async(ConsensusRequest::new(
+            dataset(150, 12, 11),
+            [MethodKind::FairSchulze],
+            FairnessThresholds::uniform(0.2),
+        ))
+        .expect("empty queue");
+    assert_eq!(handle.id().to_string(), "job-1");
+    // A 1 ms timeout cannot cover an O(n³) solve on n = 150.
+    assert!(handle
+        .wait_timeout(std::time::Duration::from_millis(1))
+        .is_none());
+    assert_ne!(handle.status(), JobStatus::Done);
+
+    let response = handle.wait();
+    assert!(response.is_complete());
+    assert_eq!(handle.status(), JobStatus::Done);
+    assert!(handle
+        .wait_timeout(std::time::Duration::from_millis(1))
+        .is_some());
+    // try_poll keeps returning the same shared response.
+    let a = handle.try_poll().unwrap();
+    let b = handle.try_poll().unwrap();
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn async_jobs_share_the_precedence_cache_across_handles() {
+    let engine = ConsensusEngine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let shared = dataset(16, 6, 99);
+    let handles = engine
+        .submit_batch_async(
+            (0..4)
+                .map(|i| {
+                    ConsensusRequest::new(
+                        Arc::clone(&shared),
+                        [METHODS[i % METHODS.len()]],
+                        FairnessThresholds::uniform(0.2),
+                    )
+                })
+                .collect(),
+        )
+        .expect("four jobs fit the default queue");
+    assert_eq!(handles.len(), 4);
+    for handle in &handles {
+        assert!(handle.wait().is_complete());
+    }
+    assert_eq!(
+        engine.cache().stats().builds,
+        1,
+        "four async jobs over one dataset build one matrix"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.in_flight, 0);
+}

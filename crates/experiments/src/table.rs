@@ -1,145 +1,10 @@
-//! Minimal text/CSV table output used by every experiment binary.
+//! Text/CSV table output used by every experiment binary.
+//!
+//! The table type itself lives in the shared [`mani_tabular`] crate (the
+//! engine's report module renders through the same type); this module re-exports
+//! it and keeps the paper-specific formatting helpers.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::io;
-use std::path::Path;
-
-/// A simple rectangular table with a title, column headers and string cells.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TextTable {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl TextTable {
-    /// Creates an empty table.
-    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        Self {
-            title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row; the row is padded or truncated to the header width.
-    pub fn push_row(&mut self, cells: Vec<String>) {
-        let mut cells = cells;
-        cells.resize(self.headers.len(), String::new());
-        self.rows.push(cells);
-    }
-
-    /// Appends a row of displayable values.
-    pub fn push_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        self.push_row(cells.iter().map(|c| c.to_string()).collect());
-    }
-
-    /// Table title.
-    pub fn title(&self) -> &str {
-        &self.title
-    }
-
-    /// Column headers.
-    pub fn headers(&self) -> &[String] {
-        &self.headers
-    }
-
-    /// Table rows.
-    pub fn rows(&self) -> &[Vec<String>] {
-        &self.rows
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True when the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Looks up a cell by row index and column header.
-    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
-        let col = self.headers.iter().position(|h| h == header)?;
-        self.rows.get(row)?.get(col).map(String::as_str)
-    }
-
-    /// Renders the table as aligned monospace text.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "== {} ==", self.title);
-        let header_line: Vec<String> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
-            .collect();
-        let _ = writeln!(out, "{}", header_line.join("  "));
-        let _ = writeln!(
-            out,
-            "{}",
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  ")
-        );
-        for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
-                .collect();
-            let _ = writeln!(out, "{}", line.join("  "));
-        }
-        out
-    }
-
-    /// Renders the table as CSV (headers + rows, RFC-4180-style quoting of commas/quotes).
-    pub fn to_csv(&self) -> String {
-        let escape = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
-            } else {
-                cell.to_string()
-            }
-        };
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers
-                .iter()
-                .map(|h| escape(h))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-        for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
-            );
-        }
-        out
-    }
-
-    /// Writes the CSV rendering to `dir/<file_name>` creating the directory if needed.
-    pub fn write_csv(&self, dir: &Path, file_name: &str) -> io::Result<std::path::PathBuf> {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(file_name);
-        fs::write(&path, self.to_csv())?;
-        Ok(path)
-    }
-}
+pub use mani_tabular::TextTable;
 
 /// Formats a float with three decimal places (the paper's table precision).
 pub fn fmt3(value: f64) -> String {
@@ -155,50 +20,15 @@ pub fn fmt_secs(duration: std::time::Duration) -> String {
 mod tests {
     use super::*;
 
-    fn sample() -> TextTable {
+    #[test]
+    fn shared_table_renders_for_experiments() {
         let mut t = TextTable::new("Demo", &["method", "pd_loss"]);
         t.push_row(vec!["Fair-Borda".into(), "0.123".into()]);
-        t.push_row(vec!["Kemeny".into(), "0.045".into()]);
-        t
-    }
-
-    #[test]
-    fn render_contains_title_headers_and_rows() {
-        let text = sample().render();
+        let text = t.render();
         assert!(text.contains("== Demo =="));
-        assert!(text.contains("method"));
         assert!(text.contains("Fair-Borda"));
-        assert!(text.contains("0.045"));
-    }
-
-    #[test]
-    fn csv_escapes_commas_and_quotes() {
-        let mut t = TextTable::new("x", &["a", "b"]);
-        t.push_row(vec!["hello, world".into(), "say \"hi\"".into()]);
         let csv = t.to_csv();
-        assert!(csv.contains("\"hello, world\""));
-        assert!(csv.contains("\"say \"\"hi\"\"\""));
-    }
-
-    #[test]
-    fn rows_are_padded_to_header_width() {
-        let mut t = TextTable::new("x", &["a", "b", "c"]);
-        t.push_row(vec!["only-one".into()]);
-        assert_eq!(t.rows()[0].len(), 3);
-        assert_eq!(t.cell(0, "a"), Some("only-one"));
-        assert_eq!(t.cell(0, "c"), Some(""));
-        assert_eq!(t.cell(0, "missing"), None);
-        assert_eq!(t.len(), 1);
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    fn write_csv_creates_file() {
-        let dir = std::env::temp_dir().join("mani-experiments-test");
-        let path = sample().write_csv(&dir, "demo.csv").unwrap();
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.starts_with("method,pd_loss"));
-        std::fs::remove_file(path).ok();
+        assert!(csv.starts_with("method,pd_loss"));
     }
 
     #[test]

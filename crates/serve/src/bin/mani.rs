@@ -5,6 +5,8 @@
 //!                [--methods Fair-Borda,Fair-Copeland] [--delta 0.1] \
 //!                [--threads N] [--budget NODES] [--audit]
 //! mani audit     --candidates cands.csv --rankings ranks.csv [--per-ranking]
+//! mani serve     [--addr 127.0.0.1:8080] [--threads N] [--queue-depth N] \
+//!                [--cache-capacity N] [--budget NODES]
 //! mani sample    --dir DIR [--candidates N] [--rankings M] [--theta T] [--seed S]
 //! mani methods
 //! ```
@@ -21,6 +23,7 @@ use mani_engine::{
 };
 use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_ranking::GroupIndex;
+use mani_serve::{Server, ServerConfig};
 
 const USAGE: &str = "\
 mani — MANI-Rank batch consensus engine
@@ -28,6 +31,7 @@ mani — MANI-Rank batch consensus engine
 USAGE:
     mani consensus --dataset NAME=CANDIDATES.csv:RANKINGS.csv ...  run a consensus batch
     mani audit     --candidates FILE --rankings FILE               audit base rankings
+    mani serve     [--addr HOST:PORT]                              start the HTTP API server
     mani sample    --dir DIR                                       write a demo dataset
     mani methods                                                   list available methods
 
@@ -43,6 +47,13 @@ CONSENSUS OPTIONS:
 
 AUDIT OPTIONS:
     --per-ranking                audit every base ranking, not just the profile consensus
+
+SERVE OPTIONS (see docs/API.md for the JSON wire format):
+    --addr HOST:PORT             listen address (default 127.0.0.1:8080; port 0 picks a free port)
+    --threads N                  engine worker threads (default: one per core)
+    --queue-depth N              max in-flight async jobs before 429 (default 256)
+    --cache-capacity N           response-cache entries (default 1024)
+    --budget NODES               default branch-and-bound budget for exact methods
 
 SAMPLE OPTIONS:
     --dir DIR                    output directory (created if missing)
@@ -70,6 +81,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "consensus" => cmd_consensus(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "sample" => cmd_sample(&args[1..]),
         "methods" => cmd_methods(),
         "help" | "--help" | "-h" => {
@@ -215,6 +227,7 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
     let engine = ConsensusEngine::with_config(EngineConfig {
         threads,
         default_budget: budget,
+        ..EngineConfig::default()
     });
     let requests: Vec<ConsensusRequest> = datasets
         .iter()
@@ -296,6 +309,47 @@ fn cmd_audit(args: &[String]) -> Result<(), EngineError> {
     let unfair_audit = FairnessAudit::new("Copeland (unconstrained)", &unfair, &db, &groups);
     emit(audit_table(&unfair_audit).render());
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(
+        args,
+        &["addr", "threads", "queue-depth", "cache-capacity", "budget"],
+        &[],
+    )?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let queue_depth: usize = flags.get_parsed("queue-depth", 0)?;
+    let cache_capacity: usize = flags.get_parsed("cache-capacity", 0)?;
+    let budget: Option<u64> =
+        match flags.get("budget") {
+            Some(raw) => Some(raw.parse().map_err(|_| {
+                EngineError::invalid(format!("cannot parse --budget value `{raw}`"))
+            })?),
+            None => None,
+        };
+
+    let server = Server::bind(
+        &addr,
+        ServerConfig {
+            engine: EngineConfig {
+                threads,
+                default_budget: budget,
+                queue_depth,
+            },
+            cache_capacity,
+        },
+    )?;
+    let local = server.local_addr()?;
+    let engine = server.state().engine();
+    emit(format!(
+        "mani-serve listening on http://{local} — {} worker(s), queue depth {}, response cache {} entries",
+        engine.threads(),
+        engine.queue_depth(),
+        server.state().response_cache().capacity(),
+    ));
+    emit("endpoints: POST /v1/consensus  POST /v1/audit  GET /v1/jobs/{id}  GET /v1/methods  GET /v1/stats");
+    server.run().map_err(EngineError::from)
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), EngineError> {

@@ -1,0 +1,595 @@
+//! Endpoint implementations over a shared [`AppState`].
+//!
+//! The consensus endpoint checks the [`ResponseCache`] first: a request whose
+//! every method outcome is already cached is answered in `O(1)` without
+//! touching the engine (no queue slot, no precedence build, no solve). Anything
+//! else is submitted through [`mani_engine::ConsensusEngine::submit_batch_async`],
+//! so the engine's bounded queue backpressures the HTTP layer —
+//! [`mani_engine::EngineError::Overloaded`] surfaces as `429 Too Many Requests`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mani_aggregation::CopelandAggregator;
+use mani_core::{MethodKind, MfcrContext};
+use mani_engine::{
+    ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset, EngineError,
+    JobHandle, JobStatus,
+};
+use mani_fairness::{FairnessAudit, FairnessThresholds};
+use mani_ranking::GroupIndex;
+use serde::{Serialize, Value};
+
+use crate::http::{HttpError, HttpRequest, HttpResponse};
+use crate::json::{
+    error_body, method_result_json, obj, parse_body, parse_consensus_spec, parse_dataset, render,
+    s, with_entry, ConsensusSpec,
+};
+use crate::response_cache::ResponseCache;
+use crate::router::{route, Route, Routed};
+
+/// Most jobs tracked by the registry before completed ones are pruned
+/// (oldest first), bounding registry memory under sustained async traffic.
+pub const MAX_TRACKED_JOBS: usize = 4096;
+
+/// Everything the handlers share: the engine, the response cache, and the
+/// async-job registry behind `GET /v1/jobs/{id}`.
+#[derive(Debug)]
+pub struct AppState {
+    engine: ConsensusEngine,
+    cache: ResponseCache,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    started: Instant,
+}
+
+/// One tracked async job: its handle plus what is needed to render and cache
+/// its response when a poll observes completion.
+#[derive(Debug)]
+struct JobEntry {
+    handle: JobHandle,
+    dataset: Arc<EngineDataset>,
+    cache_keys: Vec<String>,
+    cached: AtomicBool,
+}
+
+impl AppState {
+    /// Builds the state: an engine with `engine_config` and a response cache
+    /// bounded to `cache_capacity` entries (`0` = default).
+    pub fn new(engine_config: EngineConfig, cache_capacity: usize) -> Self {
+        Self {
+            engine: ConsensusEngine::with_config(engine_config),
+            cache: ResponseCache::new(cache_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying engine (used by tests and the server banner).
+    pub fn engine(&self) -> &ConsensusEngine {
+        &self.engine
+    }
+
+    /// The response cache (used by tests).
+    pub fn response_cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    /// Dispatches one parsed HTTP request to its handler.
+    pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        let outcome = match route(&request.method, &request.path) {
+            Routed::NotFound => Err(HttpError::new(
+                404,
+                format!("no such endpoint: {} {}", request.method, request.path),
+            )),
+            Routed::MethodNotAllowed => Err(HttpError::new(
+                405,
+                format!("{} does not accept {}", request.path, request.method),
+            )),
+            Routed::Found(Route::Consensus) => self.consensus(request),
+            Routed::Found(Route::Audit) => self.audit(request),
+            Routed::Found(Route::Job(id)) => self.job(&id),
+            Routed::Found(Route::Methods) => Ok(methods_response()),
+            Routed::Found(Route::Stats) => Ok(self.stats_response()),
+        };
+        outcome.unwrap_or_else(|error| {
+            HttpResponse::json(
+                if error.status == 0 { 400 } else { error.status },
+                error_body(&error.message),
+            )
+        })
+    }
+
+    /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch.
+    fn consensus(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
+        let body = parse_body(request.body_utf8()?)?;
+        let (specs, single) = match body.get("requests") {
+            Some(raw) => {
+                let array = raw
+                    .as_array()
+                    .ok_or_else(|| HttpError::bad("`requests` must be an array"))?;
+                if array.is_empty() {
+                    return Err(HttpError::bad("`requests` must not be empty"));
+                }
+                (
+                    array
+                        .iter()
+                        .map(parse_consensus_spec)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    false,
+                )
+            }
+            None => (vec![parse_consensus_spec(&body)?], true),
+        };
+        let wait = match body.get("wait") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(flag)) => *flag,
+            Some(_) => return Err(HttpError::bad("`wait` must be a boolean")),
+        };
+
+        // Probe the response cache per spec: a spec whose every method outcome
+        // is cached never reaches the engine.
+        enum Disposition {
+            Cached(Vec<Arc<Value>>),
+            Submitted(usize),
+        }
+        let mut to_submit: Vec<ConsensusRequest> = Vec::new();
+        let mut dispositions = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let mut hits = Vec::with_capacity(spec.methods.len());
+            let all_cached = !spec.methods.is_empty()
+                && spec.methods.iter().all(|method| {
+                    match self.cache.get(&spec.cache_key(*method)) {
+                        Some(value) => {
+                            hits.push(value);
+                            true
+                        }
+                        None => false,
+                    }
+                });
+            if all_cached {
+                dispositions.push(Disposition::Cached(hits));
+            } else {
+                dispositions.push(Disposition::Submitted(to_submit.len()));
+                to_submit.push(spec.request());
+            }
+        }
+
+        let handles = if to_submit.is_empty() {
+            Vec::new()
+        } else {
+            self.engine.submit_batch_async(to_submit).map_err(|error| {
+                let status = match error {
+                    EngineError::Overloaded { .. } => 429,
+                    _ => 500,
+                };
+                HttpError::new(status, error.to_string())
+            })?
+        };
+
+        let mut any_pending = false;
+        let mut rendered = Vec::with_capacity(specs.len());
+        for (spec, disposition) in specs.iter().zip(dispositions) {
+            rendered.push(match disposition {
+                Disposition::Cached(values) => obj(vec![
+                    ("dataset", s(spec.dataset.name())),
+                    ("status", s(JobStatus::Done.label())),
+                    ("cached", Value::Bool(true)),
+                    (
+                        "results",
+                        Value::Array(
+                            values
+                                .iter()
+                                .map(|v| with_entry((**v).clone(), "cached", Value::Bool(true)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                Disposition::Submitted(index) => {
+                    let handle = &handles[index];
+                    if wait {
+                        let response = handle.wait();
+                        self.rendered_response(spec, &response)
+                    } else {
+                        any_pending = true;
+                        self.register_job(spec, handle.clone());
+                        obj(vec![
+                            ("id", s(handle.id().to_string())),
+                            ("status", s(handle.status().label())),
+                            ("dataset", s(spec.dataset.name())),
+                            ("poll", s(format!("/v1/jobs/{}", handle.id()))),
+                        ])
+                    }
+                }
+            });
+        }
+
+        let status = if any_pending { 202 } else { 200 };
+        let body = if single {
+            rendered
+                .into_iter()
+                .next()
+                .expect("one spec, one rendering")
+        } else {
+            obj(vec![("responses", Value::Array(rendered))])
+        };
+        Ok(HttpResponse::json(status, render(&body)))
+    }
+
+    /// Renders a completed response for `spec`, inserting every successful
+    /// method outcome into the response cache.
+    fn rendered_response(&self, spec: &ConsensusSpec, response: &ConsensusResponse) -> Value {
+        let mut results = Vec::with_capacity(response.results.len());
+        for (index, result) in response.results.iter().enumerate() {
+            results.push(match result {
+                Ok(result) => {
+                    let value = method_result_json(result, spec.dataset.db());
+                    if let Some(method) = spec.methods.get(index) {
+                        self.cache
+                            .insert(spec.cache_key(*method), Arc::new(value.clone()));
+                    }
+                    with_entry(value, "cached", Value::Bool(false))
+                }
+                Err(error) => obj(vec![("error", s(error.to_string()))]),
+            });
+        }
+        obj(vec![
+            ("dataset", s(&response.dataset)),
+            ("status", s(JobStatus::Done.label())),
+            ("cached", Value::Bool(false)),
+            ("results", Value::Array(results)),
+            (
+                "total_solve_time_ms",
+                Value::Float(response.total_solve_time.as_secs_f64() * 1e3),
+            ),
+        ])
+    }
+
+    /// Tracks an async job for `GET /v1/jobs/{id}`, pruning completed entries
+    /// once the registry outgrows [`MAX_TRACKED_JOBS`].
+    fn register_job(&self, spec: &ConsensusSpec, handle: JobHandle) {
+        let entry = JobEntry {
+            dataset: Arc::clone(&spec.dataset),
+            cache_keys: spec
+                .methods
+                .iter()
+                .map(|method| spec.cache_key(*method))
+                .collect(),
+            cached: AtomicBool::new(false),
+            handle,
+        };
+        let mut jobs = self.jobs.lock().expect("job registry lock poisoned");
+        jobs.insert(entry.handle.id().as_u64(), entry);
+        // Only completed jobs are evictable: a queued/running job's poll URL
+        // was just handed to a client and must keep resolving. When every
+        // tracked job is still live the registry temporarily exceeds the
+        // bound (its size is then already bounded by the engine queue depth).
+        while jobs.len() > MAX_TRACKED_JOBS {
+            let oldest_done = jobs
+                .iter()
+                .filter(|(_, e)| e.handle.status() == JobStatus::Done)
+                .map(|(id, _)| *id)
+                .min();
+            match oldest_done {
+                Some(id) => jobs.remove(&id),
+                None => break,
+            };
+        }
+    }
+
+    /// `GET /v1/jobs/{id}`.
+    fn job(&self, raw_id: &str) -> Result<HttpResponse, HttpError> {
+        let id: u64 = raw_id
+            .strip_prefix("job-")
+            .unwrap_or(raw_id)
+            .parse()
+            .map_err(|_| HttpError::bad(format!("malformed job id `{raw_id}`")))?;
+        let (handle, dataset, cache_keys, already_cached) = {
+            let jobs = self.jobs.lock().expect("job registry lock poisoned");
+            let entry = jobs
+                .get(&id)
+                .ok_or_else(|| HttpError::new(404, format!("no such job `job-{id}`")))?;
+            (
+                entry.handle.clone(),
+                Arc::clone(&entry.dataset),
+                entry.cache_keys.clone(),
+                entry.cached.swap(true, Ordering::AcqRel),
+            )
+        };
+        let Some(response) = handle.try_poll() else {
+            // Not done yet: release the would-be cache claim for a later poll.
+            let jobs = self.jobs.lock().expect("job registry lock poisoned");
+            if let Some(entry) = jobs.get(&id) {
+                entry.cached.store(false, Ordering::Release);
+            }
+            return Ok(HttpResponse::json(
+                200,
+                render(&obj(vec![
+                    ("id", s(format!("job-{id}"))),
+                    ("status", s(handle.status().label())),
+                    ("dataset", s(dataset.name())),
+                ])),
+            ));
+        };
+
+        let mut results = Vec::with_capacity(response.results.len());
+        for (index, result) in response.results.iter().enumerate() {
+            results.push(match result {
+                Ok(result) => {
+                    let value = method_result_json(result, dataset.db());
+                    if !already_cached {
+                        if let Some(key) = cache_keys.get(index) {
+                            self.cache.insert(key.clone(), Arc::new(value.clone()));
+                        }
+                    }
+                    with_entry(value, "cached", Value::Bool(false))
+                }
+                Err(error) => obj(vec![("error", s(error.to_string()))]),
+            });
+        }
+        Ok(HttpResponse::json(
+            200,
+            render(&obj(vec![
+                ("id", s(format!("job-{id}"))),
+                ("status", s(JobStatus::Done.label())),
+                ("dataset", s(&response.dataset)),
+                ("results", Value::Array(results)),
+                (
+                    "total_solve_time_ms",
+                    Value::Float(response.total_solve_time.as_secs_f64() * 1e3),
+                ),
+            ])),
+        ))
+    }
+
+    /// `POST /v1/audit` — per-group FPR audit of a dataset: the Fair-Copeland
+    /// consensus under `delta`, the unconstrained Copeland consensus, and
+    /// optionally every base ranking. Runs inline on the connection thread
+    /// (audits are `O(n²)`; they do not occupy the consensus queue).
+    fn audit(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
+        let body = parse_body(request.body_utf8()?)?;
+        let dataset = parse_dataset(
+            body.get("dataset")
+                .ok_or_else(|| HttpError::bad("missing `dataset`"))?,
+        )?;
+        let delta = match body.get("delta") {
+            None | Some(Value::Null) => 0.1,
+            Some(raw) => crate::json::as_f64(raw, "`delta`")?,
+        };
+        let per_ranking = matches!(body.get("per_ranking"), Some(Value::Bool(true)));
+
+        let groups = GroupIndex::new(dataset.db());
+        let ctx = MfcrContext::new(
+            dataset.db(),
+            &groups,
+            dataset.profile(),
+            FairnessThresholds::uniform(delta),
+        );
+        let outcome = MethodKind::FairCopeland
+            .instantiate()
+            .solve(&ctx)
+            .map_err(|e| HttpError::new(500, e.to_string()))?;
+        let fair = FairnessAudit::new("Fair-Copeland", &outcome.ranking, dataset.db(), &groups);
+        let unconstrained = CopelandAggregator::new().consensus(dataset.profile());
+        let unfair = FairnessAudit::new(
+            "Copeland (unconstrained)",
+            &unconstrained,
+            dataset.db(),
+            &groups,
+        );
+
+        let mut entries = vec![
+            ("dataset", s(dataset.name())),
+            ("delta", Value::Float(delta)),
+            ("consensus", fair.serialize_value()),
+            ("unconstrained", unfair.serialize_value()),
+        ];
+        let base_audits;
+        if per_ranking {
+            base_audits = Value::Array(
+                dataset
+                    .profile()
+                    .rankings()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, ranking)| {
+                        FairnessAudit::new(
+                            format!("ranking-{index}"),
+                            ranking,
+                            dataset.db(),
+                            &groups,
+                        )
+                        .serialize_value()
+                    })
+                    .collect(),
+            );
+            entries.push(("rankings", base_audits));
+        }
+        Ok(HttpResponse::json(200, render(&obj(entries))))
+    }
+
+    /// `GET /v1/stats`.
+    fn stats_response(&self) -> HttpResponse {
+        let engine = self.engine.stats();
+        let precedence = self.engine.cache().stats();
+        let responses = self.cache.stats();
+        let jobs_tracked = self.jobs.lock().expect("job registry lock poisoned").len();
+        let body = obj(vec![
+            (
+                "engine",
+                obj(vec![
+                    ("threads", Value::UInt(self.engine.threads() as u64)),
+                    ("queue_depth", Value::UInt(engine.queue_depth as u64)),
+                    ("in_flight", Value::UInt(engine.in_flight as u64)),
+                    ("submitted", Value::UInt(engine.submitted)),
+                    ("completed", Value::UInt(engine.completed)),
+                    ("rejected", Value::UInt(engine.rejected)),
+                ]),
+            ),
+            (
+                "precedence_cache",
+                obj(vec![
+                    ("lookups", Value::UInt(precedence.lookups)),
+                    ("hits", Value::UInt(precedence.hits)),
+                    ("builds", Value::UInt(precedence.builds)),
+                    ("entries", Value::UInt(precedence.entries as u64)),
+                ]),
+            ),
+            (
+                "response_cache",
+                obj(vec![
+                    ("capacity", Value::UInt(responses.capacity as u64)),
+                    ("entries", Value::UInt(responses.entries as u64)),
+                    ("hits", Value::UInt(responses.hits)),
+                    ("misses", Value::UInt(responses.misses)),
+                    ("insertions", Value::UInt(responses.insertions)),
+                    ("evictions", Value::UInt(responses.evictions)),
+                ]),
+            ),
+            ("jobs_tracked", Value::UInt(jobs_tracked as u64)),
+            (
+                "uptime_s",
+                Value::Float(self.started.elapsed().as_secs_f64()),
+            ),
+        ]);
+        HttpResponse::json(200, render(&body))
+    }
+}
+
+/// `GET /v1/methods`.
+fn methods_response() -> HttpResponse {
+    let methods = Value::Array(
+        MethodKind::all()
+            .iter()
+            .map(|kind| {
+                obj(vec![
+                    ("name", s(kind.name())),
+                    ("paper_label", s(kind.paper_label())),
+                    ("proposed", Value::Bool(kind.is_proposed())),
+                ])
+            })
+            .collect(),
+    );
+    HttpResponse::json(200, render(&obj(vec![("methods", methods)])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{demo_consensus_body, get, post};
+
+    fn state() -> AppState {
+        AppState::new(
+            EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+            16,
+        )
+    }
+
+    #[test]
+    fn consensus_wait_and_cache_replay() {
+        let state = state();
+        let first = state.handle(&post("/v1/consensus", &demo_consensus_body(0.2, true)));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("\"cached\":false"));
+        assert!(first.body.contains("\"ranking\""));
+        let builds_after_first = state.engine().cache().stats().builds;
+        assert_eq!(builds_after_first, 1);
+
+        let second = state.handle(&post("/v1/consensus", &demo_consensus_body(0.2, true)));
+        assert_eq!(second.status, 200);
+        assert!(second.body.contains("\"cached\":true"), "{}", second.body);
+        assert_eq!(
+            state.engine().cache().stats().builds,
+            builds_after_first,
+            "replay must not build another precedence matrix"
+        );
+        assert_eq!(
+            state.engine().stats().submitted,
+            1,
+            "replay must not reach the engine queue"
+        );
+    }
+
+    #[test]
+    fn async_job_lifecycle_via_poll() {
+        let state = state();
+        let accepted = state.handle(&post("/v1/consensus", &demo_consensus_body(0.25, false)));
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        assert!(accepted.body.contains("\"poll\":\"/v1/jobs/job-1\""));
+
+        // Poll until done (tiny dataset: effectively immediate).
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let polled = state.handle(&get("/v1/jobs/job-1"));
+            assert_eq!(polled.status, 200, "{}", polled.body);
+            if polled.body.contains("\"status\":\"done\"") {
+                assert!(polled.body.contains("\"ranking\""));
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never completed");
+            std::thread::yield_now();
+        }
+        // Completion populated the response cache: replay is served cached.
+        let replay = state.handle(&post("/v1/consensus", &demo_consensus_body(0.25, true)));
+        assert_eq!(replay.status, 200);
+        assert!(replay.body.contains("\"cached\":true"), "{}", replay.body);
+    }
+
+    #[test]
+    fn unknown_job_and_bad_ids_are_client_errors() {
+        let state = state();
+        assert_eq!(state.handle(&get("/v1/jobs/job-99")).status, 404);
+        assert_eq!(state.handle(&get("/v1/jobs/banana")).status, 400);
+    }
+
+    #[test]
+    fn methods_and_stats_render() {
+        let state = state();
+        let methods = state.handle(&get("/v1/methods"));
+        assert_eq!(methods.status, 200);
+        assert!(methods.body.contains("Fair-Borda"));
+        assert!(methods.body.contains("(B1) Kemeny"));
+        let stats = state.handle(&get("/v1/stats"));
+        assert_eq!(stats.status, 200, "{}", stats.body);
+        assert!(stats.body.contains("\"precedence_cache\""));
+        assert!(stats.body.contains("\"response_cache\""));
+        assert!(stats.body.contains("\"queue_depth\""));
+    }
+
+    #[test]
+    fn router_misses_map_to_http_statuses() {
+        let state = state();
+        assert_eq!(state.handle(&get("/nope")).status, 404);
+        assert_eq!(state.handle(&get("/v1/consensus")).status, 405);
+        let bad = state.handle(&post("/v1/consensus", "{not json"));
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("error"));
+    }
+
+    #[test]
+    fn audit_reports_groups() {
+        let state = state();
+        let body = r#"{
+            "dataset": {
+                "name": "aud",
+                "candidates": [
+                    {"name": "a", "attributes": {"G": "x"}},
+                    {"name": "b", "attributes": {"G": "y"}},
+                    {"name": "c", "attributes": {"G": "x"}},
+                    {"name": "d", "attributes": {"G": "y"}}
+                ],
+                "rankings": [["a","b","c","d"], ["b","a","d","c"]]
+            },
+            "per_ranking": true
+        }"#;
+        let response = state.handle(&post("/v1/audit", body));
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(response.body.contains("\"consensus\""));
+        assert!(response.body.contains("\"unconstrained\""));
+        assert!(response.body.contains("ranking-1"));
+    }
+}

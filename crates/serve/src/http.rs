@@ -1,0 +1,366 @@
+//! Minimal hand-rolled HTTP/1.1 support: request parsing and response
+//! rendering over any buffered stream.
+//!
+//! Deliberately std-only (same spirit as the engine's hand-rolled CSV
+//! front-end): exactly the subset the JSON API needs — a request line, headers,
+//! an optional `Content-Length` body — with hard limits on line length, header
+//! count, and body size so one connection cannot balloon memory. Every
+//! response is `Connection: close`; one connection serves one exchange.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (datasets ride in the body).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Upper-cased request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string stripped (e.g. `/v1/jobs/job-3`).
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("request body is not UTF-8"))
+    }
+
+    /// Reads and parses one request from a buffered stream.
+    pub fn read_from(stream: &mut impl BufRead) -> Result<HttpRequest, HttpError> {
+        Self::read_from_duplex(stream, &mut std::io::sink())
+    }
+
+    /// Like [`HttpRequest::read_from`], but answers `Expect: 100-continue` on
+    /// `interim` before consuming the body — curl sends that header for
+    /// bodies over ~1 KiB and stalls ~1 s waiting for the interim response.
+    pub fn read_from_duplex(
+        stream: &mut impl BufRead,
+        interim: &mut impl Write,
+    ) -> Result<HttpRequest, HttpError> {
+        let request_line = read_line(stream)?;
+        if request_line.is_empty() {
+            return Err(HttpError::closed());
+        }
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::bad("empty request line"))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::bad("request line has no path"))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::bad("request line has no HTTP version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::new(505, format!("unsupported {version}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(stream)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::bad("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::bad("malformed header line"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| HttpError::bad("invalid Content-Length"))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::new(
+                413,
+                format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"),
+            ));
+        }
+        let expects_continue = headers
+            .iter()
+            .any(|(n, v)| n == "expect" && v.to_ascii_lowercase().contains("100-continue"));
+        if expects_continue && content_length > 0 {
+            // A failed interim write means the client is gone; the body read
+            // below surfaces that as the error.
+            let _ = interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            let _ = interim.flush();
+        }
+        let mut body = vec![0u8; content_length];
+        stream
+            .read_exact(&mut body)
+            .map_err(|_| HttpError::bad("body shorter than Content-Length"))?;
+        Ok(HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing [`MAX_LINE_BYTES`].
+fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break, // connection closed
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+                if raw.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::bad("header line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::bad("header line is not UTF-8"))
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 202, 400, 404, 429, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) onto a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// An HTTP-level failure carrying the status it should be reported with.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// Status code to report (`0` marks a silently closed connection).
+    pub status: u16,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl HttpError {
+    /// An error with an explicit status.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// A `400 Bad Request` error.
+    pub fn bad(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+
+    /// Marker for a connection that closed before sending a request; the
+    /// server drops it without answering.
+    pub fn closed() -> Self {
+        Self::new(0, "connection closed before a request arrived")
+    }
+
+    /// True when the peer closed the connection without a request.
+    pub fn is_closed(&self) -> bool {
+        self.status == 0
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The standard reason phrase for a status code.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        HttpRequest::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let request =
+            parse("POST /v1/consensus HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/consensus");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert_eq!(request.body_utf8().unwrap(), "{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_with_query_and_no_body() {
+        let request = parse("GET /v1/jobs/job-3?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/jobs/job-3");
+        assert_eq!(request.query.as_deref(), Some("verbose=1"));
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse("").unwrap_err().is_closed());
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(
+            parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: oops\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Body shorter than declared.
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Oversized declared body.
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert_eq!(parse(&huge).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response() {
+        let raw = "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
+        let mut interim = Vec::new();
+        let request =
+            HttpRequest::read_from_duplex(&mut BufReader::new(raw.as_bytes()), &mut interim)
+                .unwrap();
+        assert_eq!(request.body_utf8().unwrap(), "ok");
+        assert_eq!(
+            String::from_utf8(interim).unwrap(),
+            "HTTP/1.1 100 Continue\r\n\r\n"
+        );
+
+        // No Expect header: nothing interim is written.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut interim = Vec::new();
+        HttpRequest::read_from_duplex(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn response_serializes_with_headers() {
+        let mut out = Vec::new();
+        HttpResponse::json(429, "{\"error\":\"overloaded\"}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"overloaded\"}"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_api_statuses() {
+        for status in [200, 202, 400, 404, 405, 413, 429, 500] {
+            assert_ne!(status_reason(status), "Unknown");
+        }
+        assert_eq!(status_reason(999), "Unknown");
+    }
+}

@@ -1,0 +1,607 @@
+//! JSON body codec: parses API payloads into engine types and renders engine
+//! results back out, all over the workspace's serde shim [`Value`] data model.
+//!
+//! A consensus payload looks like:
+//!
+//! ```json
+//! {
+//!   "dataset": {
+//!     "name": "committee",
+//!     "candidates": [
+//!       {"name": "alice", "attributes": {"Gender": "Woman", "Race": "GroupA"}},
+//!       {"name": "bola",  "attributes": {"Gender": "Man",   "Race": "GroupB"}}
+//!     ],
+//!     "rankings": [["alice", "bola"], ["bola", "alice"]],
+//!     "domains": {"Gender": ["Man", "Woman"]}
+//!   },
+//!   "methods": ["Fair-Borda", "Fair-Copeland"],
+//!   "delta": 0.1,
+//!   "attribute_deltas": {"Gender": 0.05},
+//!   "intersection_delta": 0.2,
+//!   "budget": 100000
+//! }
+//! ```
+//!
+//! Attribute value domains are inferred in first-appearance order across the
+//! candidate list (like the CSV front-end); the optional `domains` object pins
+//! an explicit order so group ids stay stable across clients.
+
+use std::sync::Arc;
+
+use mani_core::MethodKind;
+use mani_engine::{ConsensusRequest, EngineDataset, MethodResult};
+use mani_fairness::FairnessThresholds;
+use mani_ranking::{CandidateDb, CandidateDbBuilder, Ranking, RankingProfile};
+use serde::{Serialize, Value};
+
+use crate::http::HttpError;
+
+/// One fully parsed consensus request spec, ready to submit or cache-key.
+#[derive(Debug, Clone)]
+pub struct ConsensusSpec {
+    /// The parsed dataset.
+    pub dataset: Arc<EngineDataset>,
+    /// Methods to run, in response order.
+    pub methods: Vec<MethodKind>,
+    /// Fairness thresholds Δ.
+    pub thresholds: FairnessThresholds,
+    /// Optional exact-solver node budget.
+    pub budget: Option<u64>,
+}
+
+impl ConsensusSpec {
+    /// The engine request this spec describes.
+    pub fn request(&self) -> ConsensusRequest {
+        let mut request = ConsensusRequest::new(
+            Arc::clone(&self.dataset),
+            self.methods.iter().copied(),
+            self.thresholds.clone(),
+        );
+        if let Some(budget) = self.budget {
+            request = request.with_budget(budget);
+        }
+        request
+    }
+
+    /// Canonical response-cache key for one method of this spec: dataset
+    /// content fingerprint + serialized thresholds + method + budget. Two
+    /// requests with identical content collide on purpose, whatever their
+    /// dataset display names.
+    pub fn cache_key(&self, method: MethodKind) -> String {
+        let thresholds = serde_json::to_string(&self.thresholds)
+            .expect("shim serialization of thresholds cannot fail");
+        format!(
+            "{:016x}|{}|{}|{:?}",
+            self.dataset.fingerprint(),
+            thresholds,
+            method.name(),
+            self.budget
+        )
+    }
+}
+
+/// Parses a request body into a JSON [`Value`].
+pub fn parse_body(text: &str) -> Result<Value, HttpError> {
+    serde_json::from_str(text).map_err(|e| HttpError::bad(format!("invalid JSON body: {e}")))
+}
+
+/// Renders a JSON [`Value`] to compact text.
+pub fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("shim serialization of a Value cannot fail")
+}
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A JSON string value.
+pub fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// The standard error body `{"error": ...}`.
+pub fn error_body(message: &str) -> String {
+    render(&obj(vec![("error", s(message))]))
+}
+
+/// Appends one `(key, value)` entry to a JSON object value.
+pub fn with_entry(value: Value, key: &str, entry: Value) -> Value {
+    match value {
+        Value::Object(mut entries) => {
+            entries.push((key.to_string(), entry));
+            Value::Object(entries)
+        }
+        other => obj(vec![("value", other), (key, entry)]),
+    }
+}
+
+/// Parses one consensus spec (`dataset` + `methods` + thresholds + budget).
+pub fn parse_consensus_spec(value: &Value) -> Result<ConsensusSpec, HttpError> {
+    let dataset = parse_dataset(
+        value
+            .get("dataset")
+            .ok_or_else(|| HttpError::bad("missing `dataset`"))?,
+    )?;
+    let methods = parse_methods(value.get("methods"))?;
+    let thresholds = parse_thresholds(value, dataset.db())?;
+    let budget = match value.get("budget") {
+        None | Some(Value::Null) => None,
+        Some(raw) => Some(
+            u64::deserialize_shim(raw)
+                .map_err(|_| HttpError::bad("`budget` must be an integer"))?,
+        ),
+    };
+    Ok(ConsensusSpec {
+        dataset,
+        methods,
+        thresholds,
+        budget,
+    })
+}
+
+/// Small extension so integers parse uniformly off the shim data model.
+trait DeserializeShim: Sized {
+    fn deserialize_shim(value: &Value) -> Result<Self, ()>;
+}
+
+impl DeserializeShim for u64 {
+    fn deserialize_shim(value: &Value) -> Result<Self, ()> {
+        match value {
+            Value::UInt(u) => Ok(*u),
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Reads an `f64` field off a JSON value.
+pub(crate) fn as_f64(value: &Value, what: &str) -> Result<f64, HttpError> {
+    match value {
+        Value::Float(f) => Ok(*f),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Int(i) => Ok(*i as f64),
+        _ => Err(HttpError::bad(format!("{what} must be a number"))),
+    }
+}
+
+/// Parses the `methods` list (default: the paper's four proposed methods).
+pub fn parse_methods(value: Option<&Value>) -> Result<Vec<MethodKind>, HttpError> {
+    let Some(value) = value else {
+        return Ok(MethodKind::proposed().to_vec());
+    };
+    let names = value
+        .as_array()
+        .ok_or_else(|| HttpError::bad("`methods` must be an array of method names"))?;
+    if names.is_empty() {
+        return Err(HttpError::bad("`methods` must not be empty"));
+    }
+    let methods: Vec<MethodKind> = names
+        .iter()
+        .map(|name| {
+            let name = name
+                .as_str()
+                .ok_or_else(|| HttpError::bad("`methods` entries must be strings"))?;
+            MethodKind::parse(name).ok_or_else(|| {
+                HttpError::bad(format!("unknown method `{name}` (see GET /v1/methods)"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    // Reject duplicates here so the client gets a deterministic 400 (the
+    // engine would reject them too, but only inside an otherwise-200 response,
+    // and a response-cache hit would mask the problem entirely).
+    for (i, kind) in methods.iter().enumerate() {
+        if methods[..i].contains(kind) {
+            return Err(HttpError::bad(format!(
+                "method `{}` listed twice in `methods`",
+                kind.name()
+            )));
+        }
+    }
+    Ok(methods)
+}
+
+/// Parses the threshold fields (`delta`, `attribute_deltas`, `intersection_delta`).
+fn parse_thresholds(value: &Value, db: &CandidateDb) -> Result<FairnessThresholds, HttpError> {
+    let delta = match value.get("delta") {
+        None | Some(Value::Null) => 0.1,
+        Some(raw) => as_f64(raw, "`delta`")?,
+    };
+    let mut thresholds = FairnessThresholds::uniform(delta);
+    if let Some(overrides) = value.get("attribute_deltas") {
+        let entries = overrides
+            .as_object()
+            .ok_or_else(|| HttpError::bad("`attribute_deltas` must be an object"))?;
+        for (attribute, raw) in entries {
+            let id = db.schema().attribute_id(attribute).ok_or_else(|| {
+                HttpError::bad(format!(
+                    "unknown attribute `{attribute}` in `attribute_deltas`"
+                ))
+            })?;
+            thresholds =
+                thresholds.with_attribute_delta(id, as_f64(raw, "`attribute_deltas` value")?);
+        }
+    }
+    if let Some(raw) = value.get("intersection_delta") {
+        if !matches!(raw, Value::Null) {
+            thresholds = thresholds.with_intersection_delta(as_f64(raw, "`intersection_delta`")?);
+        }
+    }
+    Ok(thresholds)
+}
+
+/// Parses an inline dataset: candidates with attribute assignments plus a
+/// profile of rankings over them.
+pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
+    let name = match value.get("name") {
+        Some(raw) => raw
+            .as_str()
+            .ok_or_else(|| HttpError::bad("dataset `name` must be a string"))?
+            .to_string(),
+        None => "dataset".to_string(),
+    };
+    let candidates = value
+        .get("candidates")
+        .and_then(Value::as_array)
+        .ok_or_else(|| HttpError::bad("dataset needs a `candidates` array"))?;
+    if candidates.is_empty() {
+        return Err(HttpError::bad("`candidates` must not be empty"));
+    }
+
+    // Pass 1: attribute order from the first candidate, then value domains in
+    // declared-then-first-appearance order.
+    let first = candidates[0]
+        .get("attributes")
+        .and_then(Value::as_object)
+        .ok_or_else(|| HttpError::bad("every candidate needs an `attributes` object"))?;
+    let attribute_names: Vec<String> = first.iter().map(|(k, _)| k.clone()).collect();
+    if attribute_names.is_empty() {
+        return Err(HttpError::bad(
+            "candidates need at least one protected attribute",
+        ));
+    }
+    let mut domains: Vec<Vec<String>> = attribute_names
+        .iter()
+        .map(|attribute| declared_domain(value, attribute))
+        .collect::<Result<_, _>>()?;
+    let mut rows: Vec<(String, Vec<String>)> = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        let name = candidate
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| HttpError::bad("every candidate needs a string `name`"))?;
+        let attributes = candidate
+            .get("attributes")
+            .and_then(Value::as_object)
+            .ok_or_else(|| HttpError::bad("every candidate needs an `attributes` object"))?;
+        let mut assignment = Vec::with_capacity(attribute_names.len());
+        for (index, attribute) in attribute_names.iter().enumerate() {
+            let raw = attributes
+                .iter()
+                .find(|(k, _)| k == attribute)
+                .map(|(_, v)| v)
+                .ok_or_else(|| {
+                    HttpError::bad(format!(
+                        "candidate `{name}` is missing attribute `{attribute}`"
+                    ))
+                })?;
+            let label = raw.as_str().ok_or_else(|| {
+                HttpError::bad(format!(
+                    "attribute `{attribute}` of `{name}` must be a string"
+                ))
+            })?;
+            if !domains[index].iter().any(|v| v == label) {
+                domains[index].push(label.to_string());
+            }
+            assignment.push(label.to_string());
+        }
+        rows.push((name.to_string(), assignment));
+    }
+
+    // Pass 2: build the database against the settled domains.
+    let mut builder = CandidateDbBuilder::new();
+    let mut attribute_ids = Vec::with_capacity(attribute_names.len());
+    for (attribute, domain) in attribute_names.iter().zip(&domains) {
+        if domain.len() < 2 {
+            return Err(HttpError::bad(format!(
+                "attribute `{attribute}` has {} distinct value(s); protected attributes need at least 2",
+                domain.len()
+            )));
+        }
+        let id = builder
+            .add_attribute(attribute.clone(), domain.iter().map(String::as_str))
+            .map_err(|e| HttpError::bad(e.to_string()))?;
+        attribute_ids.push(id);
+    }
+    for (name, assignment) in rows {
+        builder
+            .add_candidate_named(name, attribute_ids.iter().copied().zip(assignment))
+            .map_err(|e| HttpError::bad(e.to_string()))?;
+    }
+    let db = builder.build().map_err(|e| HttpError::bad(e.to_string()))?;
+
+    // Pass 3: the ranking profile over the built database.
+    let rankings = value
+        .get("rankings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| HttpError::bad("dataset needs a `rankings` array"))?;
+    if rankings.is_empty() {
+        return Err(HttpError::bad("`rankings` must not be empty"));
+    }
+    let mut parsed = Vec::with_capacity(rankings.len());
+    for (index, ranking) in rankings.iter().enumerate() {
+        let names = ranking
+            .as_array()
+            .ok_or_else(|| HttpError::bad(format!("ranking {index} must be an array of names")))?;
+        let mut order = Vec::with_capacity(names.len());
+        for raw in names {
+            let candidate = raw.as_str().ok_or_else(|| {
+                HttpError::bad(format!("ranking {index} entries must be strings"))
+            })?;
+            let id = db.candidate_by_name(candidate).ok_or_else(|| {
+                HttpError::bad(format!(
+                    "ranking {index} names unknown candidate `{candidate}`"
+                ))
+            })?;
+            order.push(id);
+        }
+        parsed.push(
+            Ranking::from_order(order)
+                .map_err(|e| HttpError::bad(format!("ranking {index}: {e}")))?,
+        );
+    }
+    let profile =
+        RankingProfile::for_database(&db, parsed).map_err(|e| HttpError::bad(e.to_string()))?;
+    EngineDataset::new(name, db, profile)
+        .map(Arc::new)
+        .map_err(|e| HttpError::bad(e.to_string()))
+}
+
+/// Values pinned for `attribute` by the optional `domains` object.
+fn declared_domain(dataset: &Value, attribute: &str) -> Result<Vec<String>, HttpError> {
+    let Some(domains) = dataset.get("domains") else {
+        return Ok(Vec::new());
+    };
+    let entries = domains
+        .as_object()
+        .ok_or_else(|| HttpError::bad("`domains` must be an object"))?;
+    let Some(raw) = entries.iter().find(|(k, _)| k == attribute).map(|(_, v)| v) else {
+        return Ok(Vec::new());
+    };
+    let values = raw
+        .as_array()
+        .ok_or_else(|| HttpError::bad(format!("`domains.{attribute}` must be an array")))?;
+    values
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_string).ok_or_else(|| {
+                HttpError::bad(format!("`domains.{attribute}` entries must be strings"))
+            })
+        })
+        .collect()
+}
+
+/// Candidate names of a ranking, best first.
+pub fn ranking_names(ranking: &Ranking, db: &CandidateDb) -> Value {
+    Value::Array(
+        ranking
+            .iter()
+            .map(|id| {
+                s(db.candidate(id)
+                    .map(|c| c.name().to_string())
+                    .unwrap_or_else(|_| "?".to_string()))
+            })
+            .collect(),
+    )
+}
+
+/// Attribute names of a database, in schema order.
+pub fn attribute_names_json(db: &CandidateDb) -> Value {
+    Value::Array(db.schema().attributes().map(|(_, a)| s(a.name())).collect())
+}
+
+/// Renders one successful method result (without the volatile `cached` flag,
+/// which the caller appends when serving).
+pub fn method_result_json(result: &MethodResult, db: &CandidateDb) -> Value {
+    let summary = result.outcome.summary().serialize_value();
+    let mut entries = match summary {
+        Value::Object(entries) => entries,
+        other => vec![("summary".to_string(), other)],
+    };
+    entries.push(("attributes".to_string(), attribute_names_json(db)));
+    entries.push((
+        "ranking".to_string(),
+        ranking_names(&result.outcome.ranking, db),
+    ));
+    entries.push((
+        "duration_ms".to_string(),
+        Value::Float(result.duration.as_secs_f64() * 1e3),
+    ));
+    entries.push((
+        "precedence_cache_hit".to_string(),
+        Value::Bool(result.cache_hit),
+    ));
+    Value::Object(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn demo_spec_value(delta: f64) -> Value {
+        parse_body(&format!(
+            r#"{{
+                "dataset": {{
+                    "name": "demo",
+                    "candidates": [
+                        {{"name": "a", "attributes": {{"G": "x"}}}},
+                        {{"name": "b", "attributes": {{"G": "y"}}}},
+                        {{"name": "c", "attributes": {{"G": "x"}}}},
+                        {{"name": "d", "attributes": {{"G": "y"}}}}
+                    ],
+                    "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
+                }},
+                "methods": ["Fair-Borda"],
+                "delta": {delta}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = parse_consensus_spec(&demo_spec_value(0.2)).unwrap();
+        assert_eq!(spec.dataset.name(), "demo");
+        assert_eq!(spec.dataset.num_candidates(), 4);
+        assert_eq!(spec.dataset.num_rankings(), 3);
+        assert_eq!(spec.methods, vec![MethodKind::FairBorda]);
+        assert_eq!(spec.thresholds.default_delta(), 0.2);
+        assert_eq!(spec.budget, None);
+        let request = spec.request();
+        assert!(request.validate().is_ok());
+    }
+
+    #[test]
+    fn methods_default_to_the_proposed_four() {
+        let methods = parse_methods(None).unwrap();
+        assert_eq!(methods, MethodKind::proposed().to_vec());
+        assert!(parse_methods(Some(&Value::Array(vec![]))).is_err());
+        assert!(parse_methods(Some(&Value::Array(vec![s("Fair-Nope")]))).is_err());
+        let duplicated = Value::Array(vec![s("Fair-Borda"), s("Fair-Borda")]);
+        let err = parse_methods(Some(&duplicated)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn cache_key_sees_content_not_names() {
+        let a = parse_consensus_spec(&demo_spec_value(0.2)).unwrap();
+        let mut renamed = demo_spec_value(0.2);
+        if let Value::Object(ref mut entries) = renamed {
+            if let Some((_, Value::Object(ref mut fields))) =
+                entries.iter_mut().find(|(k, _)| k == "dataset")
+            {
+                for (key, value) in fields.iter_mut() {
+                    if key == "name" {
+                        *value = s("other-name");
+                    }
+                }
+            }
+        }
+        let b = parse_consensus_spec(&renamed).unwrap();
+        assert_eq!(
+            a.cache_key(MethodKind::FairBorda),
+            b.cache_key(MethodKind::FairBorda),
+            "display names must not split the cache"
+        );
+        let c = parse_consensus_spec(&demo_spec_value(0.3)).unwrap();
+        assert_ne!(
+            a.cache_key(MethodKind::FairBorda),
+            c.cache_key(MethodKind::FairBorda),
+            "thresholds must split the cache"
+        );
+        assert_ne!(
+            a.cache_key(MethodKind::FairBorda),
+            a.cache_key(MethodKind::FairCopeland),
+            "methods must split the cache"
+        );
+    }
+
+    #[test]
+    fn dataset_errors_are_descriptive() {
+        let missing = parse_body(r#"{"methods": ["Fair-Borda"]}"#).unwrap();
+        assert!(parse_consensus_spec(&missing)
+            .unwrap_err()
+            .message
+            .contains("dataset"));
+
+        let unknown = parse_body(
+            r#"{"dataset": {"candidates": [
+                {"name": "a", "attributes": {"G": "x"}},
+                {"name": "b", "attributes": {"G": "y"}}
+            ], "rankings": [["a", "nope"]]}}"#,
+        )
+        .unwrap();
+        assert!(parse_consensus_spec(&unknown)
+            .unwrap_err()
+            .message
+            .contains("unknown candidate"));
+
+        let single_valued = parse_body(
+            r#"{"dataset": {"candidates": [
+                {"name": "a", "attributes": {"G": "x"}},
+                {"name": "b", "attributes": {"G": "x"}}
+            ], "rankings": [["a", "b"]]}}"#,
+        )
+        .unwrap();
+        assert!(parse_consensus_spec(&single_valued)
+            .unwrap_err()
+            .message
+            .contains("at least 2"));
+    }
+
+    #[test]
+    fn domains_pin_value_order() {
+        let pinned = parse_body(
+            r#"{"dataset": {
+                "candidates": [
+                    {"name": "a", "attributes": {"G": "y"}},
+                    {"name": "b", "attributes": {"G": "x"}}
+                ],
+                "rankings": [["a", "b"]],
+                "domains": {"G": ["x", "y"]}
+            }}"#,
+        )
+        .unwrap();
+        let spec = parse_consensus_spec(&pinned).unwrap();
+        let db = spec.dataset.db();
+        let g = db.schema().attribute_id("G").unwrap();
+        let values: Vec<&str> = db.schema().attribute(g).unwrap().values().collect();
+        assert_eq!(values, vec!["x", "y"], "declared order wins");
+    }
+
+    #[test]
+    fn attribute_deltas_resolve_against_the_schema() {
+        let mut value = demo_spec_value(0.2);
+        if let Value::Object(ref mut entries) = value {
+            entries.push((
+                "attribute_deltas".to_string(),
+                obj(vec![("G", Value::Float(0.05))]),
+            ));
+            entries.push(("intersection_delta".to_string(), Value::Float(0.4)));
+        }
+        let spec = parse_consensus_spec(&value).unwrap();
+        let g = spec.dataset.db().schema().attribute_id("G").unwrap();
+        assert_eq!(spec.thresholds.attribute_delta(g), Some(0.05));
+        assert_eq!(spec.thresholds.intersection_delta(), Some(0.4));
+
+        let mut bad = demo_spec_value(0.2);
+        if let Value::Object(ref mut entries) = bad {
+            entries.push((
+                "attribute_deltas".to_string(),
+                obj(vec![("Nope", Value::Float(0.05))]),
+            ));
+        }
+        assert!(parse_consensus_spec(&bad)
+            .unwrap_err()
+            .message
+            .contains("unknown attribute"));
+    }
+
+    #[test]
+    fn json_helpers_build_objects() {
+        let value = with_entry(
+            obj(vec![("a", Value::UInt(1))]),
+            "cached",
+            Value::Bool(true),
+        );
+        let text = render(&value);
+        assert_eq!(text, r#"{"a":1,"cached":true}"#);
+        assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
+    }
+}

@@ -1,0 +1,123 @@
+//! # mani-serve
+//!
+//! HTTP front-end for the MANI-Rank consensus engine: a std-only, hand-rolled
+//! HTTP/1.1 server (same spirit as the engine's hand-rolled CSV parser) that
+//! turns [`mani_engine::ConsensusEngine`] into a network service for
+//! decision-makers issuing many small consensus and audit requests against the
+//! same candidate pools.
+//!
+//! * [`http`] — request parsing / response rendering over `TcpStream`.
+//! * [`router`] — `(method, path)` → typed [`router::Route`].
+//! * [`json`] — body codec between API JSON and engine types, over the
+//!   workspace serde shims.
+//! * [`response_cache`] — LRU memoization of whole method outcomes keyed by
+//!   `(dataset fingerprint, thresholds, method, budget)`, layered *above* the
+//!   engine's precedence cache so replayed requests are `O(1)`.
+//! * [`handlers`] — the five `v1` endpoints over one [`handlers::AppState`].
+//! * [`server`] — the accept loop plus a stoppable background-server handle.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, otherwise a job id is returned |
+//! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
+//! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
+//! | `GET /v1/methods` | The eight available consensus methods |
+//! | `GET /v1/stats` | Queue, precedence-cache, and response-cache counters |
+//!
+//! Backpressure: the engine's bounded submission queue rejects excess load
+//! with [`mani_engine::EngineError::Overloaded`], which this layer reports as
+//! HTTP `429 Too Many Requests`. See `docs/API.md` for the full wire format
+//! and a curl quickstart.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod response_cache;
+pub mod router;
+pub mod server;
+
+pub use handlers::AppState;
+pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_CAPACITY};
+pub use router::{route, Route, Routed};
+pub use server::{Server, ServerConfig, ServerHandle};
+
+/// Shared helpers for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::http::HttpRequest;
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// A parsed `POST` request carrying `body`.
+    pub fn post(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            query: None,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// A parsed `GET` request.
+    pub fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A small four-candidate consensus payload (Fair-Borda + Fair-Copeland).
+    pub fn demo_consensus_body(delta: f64, wait: bool) -> String {
+        format!(
+            r#"{{
+                "dataset": {{
+                    "name": "demo",
+                    "candidates": [
+                        {{"name": "a", "attributes": {{"G": "x"}}}},
+                        {{"name": "b", "attributes": {{"G": "y"}}}},
+                        {{"name": "c", "attributes": {{"G": "x"}}}},
+                        {{"name": "d", "attributes": {{"G": "y"}}}}
+                    ],
+                    "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
+                }},
+                "methods": ["Fair-Borda", "Fair-Copeland"],
+                "delta": {delta},
+                "wait": {wait}
+            }}"#
+        )
+    }
+
+    /// Sends one raw HTTP exchange and returns `(status, body)`.
+    pub fn http_roundtrip(addr: SocketAddr, request_line: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        write!(
+            stream,
+            "{request_line}\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+}

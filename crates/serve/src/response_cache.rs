@@ -1,0 +1,199 @@
+//! LRU response cache over `(dataset fingerprint, thresholds, method, budget)`.
+//!
+//! Sits *above* the engine's [`mani_engine::PrecedenceCache`]: the precedence
+//! cache shares the `O(n²·|R|)` matrix between methods of one dataset, while
+//! this cache memoizes entire **method outcomes** (as rendered JSON values), so
+//! a replayed request is served in `O(1)` without touching the engine at all —
+//! no queue slot, no worker task, no matrix build, no solve.
+//!
+//! Eviction is least-recently-used with a fixed entry capacity, so a server
+//! replaying an unbounded stream of distinct requests holds a bounded number
+//! of cached outcomes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+
+/// Entry capacity used when a [`ResponseCache`] is built with capacity `0`.
+pub const DEFAULT_RESPONSE_CACHE_CAPACITY: usize = 1024;
+
+/// Effectiveness counters of a [`ResponseCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseCacheStats {
+    /// Maximum number of entries held at once.
+    pub capacity: usize,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Key → (value, last-used tick). The tick implements LRU recency.
+    map: HashMap<String, (Arc<Value>, u64)>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache from canonical request keys to rendered outcomes.
+#[derive(Debug)]
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache bounded to `capacity` entries (`0` means
+    /// [`DEFAULT_RESPONSE_CACHE_CAPACITY`]).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = if capacity == 0 {
+            DEFAULT_RESPONSE_CACHE_CAPACITY
+        } else {
+            capacity
+        };
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks a key up, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<Value>> {
+        let mut inner = self.inner.lock().expect("response cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a value, evicting the least-recently-used entries when the
+    /// capacity would be exceeded.
+    pub fn insert(&self, key: impl Into<String>, value: Arc<Value>) {
+        let mut inner = self.inner.lock().expect("response cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key.into(), (value, tick));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| key.clone())
+                .expect("non-empty map over capacity");
+            inner.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> ResponseCacheStats {
+        ResponseCacheStats {
+            capacity: self.capacity,
+            entries: self
+                .inner
+                .lock()
+                .expect("response cache lock poisoned")
+                .map
+                .len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(tag: u64) -> Arc<Value> {
+        Arc::new(Value::UInt(tag))
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache = ResponseCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", value(1));
+        let got = cache.get("a").expect("hit");
+        assert_eq!(*got, Value::UInt(1));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, 4);
+    }
+
+    #[test]
+    fn zero_capacity_uses_default() {
+        assert_eq!(
+            ResponseCache::new(0).capacity(),
+            DEFAULT_RESPONSE_CACHE_CAPACITY
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        cache.insert("a", value(1));
+        cache.insert("b", value(2));
+        // Touch `a` so `b` is the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", value(3));
+        assert!(cache.get("b").is_none(), "LRU entry was evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_under_churn() {
+        let cache = ResponseCache::new(8);
+        for i in 0..100u64 {
+            cache.insert(format!("k{i}"), value(i));
+            assert!(cache.stats().entries <= 8, "capacity must bound memory");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.insertions, 100);
+        assert_eq!(stats.evictions, 92);
+        // The newest keys survived.
+        assert!(cache.get("k99").is_some());
+        assert!(cache.get("k0").is_none());
+    }
+}

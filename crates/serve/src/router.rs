@@ -1,0 +1,76 @@
+//! Maps `(method, path)` pairs onto the API's typed routes.
+
+/// One recognized endpoint of the v1 API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/consensus` — submit one request or a batch.
+    Consensus,
+    /// `POST /v1/audit` — fairness audit of a dataset.
+    Audit,
+    /// `GET /v1/jobs/{id}` — poll an async job.
+    Job(String),
+    /// `GET /v1/methods` — list available consensus methods.
+    Methods,
+    /// `GET /v1/stats` — engine, cache, and queue counters.
+    Stats,
+}
+
+/// Outcome of routing one request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routed {
+    /// The request matched an endpoint.
+    Found(Route),
+    /// The path exists but not under this method (`405`).
+    MethodNotAllowed,
+    /// No such path (`404`).
+    NotFound,
+}
+
+/// Routes a request by method and path (query string already stripped).
+pub fn route(method: &str, path: &str) -> Routed {
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    let endpoint = match segments.as_slice() {
+        ["v1", "consensus"] => Some(("POST", Route::Consensus)),
+        ["v1", "audit"] => Some(("POST", Route::Audit)),
+        ["v1", "jobs", id] if !id.is_empty() => Some(("GET", Route::Job((*id).to_string()))),
+        ["v1", "methods"] => Some(("GET", Route::Methods)),
+        ["v1", "stats"] => Some(("GET", Route::Stats)),
+        _ => None,
+    };
+    match endpoint {
+        Some((expected, found)) if expected == method => Routed::Found(found),
+        Some(_) => Routed::MethodNotAllowed,
+        None => Routed::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_endpoint() {
+        assert_eq!(
+            route("POST", "/v1/consensus"),
+            Routed::Found(Route::Consensus)
+        );
+        assert_eq!(route("POST", "/v1/audit"), Routed::Found(Route::Audit));
+        assert_eq!(
+            route("GET", "/v1/jobs/job-17"),
+            Routed::Found(Route::Job("job-17".into()))
+        );
+        assert_eq!(route("GET", "/v1/methods"), Routed::Found(Route::Methods));
+        assert_eq!(route("GET", "/v1/stats"), Routed::Found(Route::Stats));
+        // Trailing slash tolerated.
+        assert_eq!(route("GET", "/v1/stats/"), Routed::Found(Route::Stats));
+    }
+
+    #[test]
+    fn wrong_method_is_distinguished_from_unknown_path() {
+        assert_eq!(route("GET", "/v1/consensus"), Routed::MethodNotAllowed);
+        assert_eq!(route("POST", "/v1/stats"), Routed::MethodNotAllowed);
+        assert_eq!(route("GET", "/v2/stats"), Routed::NotFound);
+        assert_eq!(route("GET", "/v1/jobs"), Routed::NotFound);
+        assert_eq!(route("GET", "/"), Routed::NotFound);
+    }
+}

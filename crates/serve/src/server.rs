@@ -1,0 +1,185 @@
+//! The TCP accept loop: binds a listener, parses one HTTP request per
+//! connection, dispatches it through [`AppState::handle`], and writes the
+//! response. Connections are handled on detached threads; heavy lifting
+//! happens inside the engine's worker pool, so connection threads mostly
+//! parse, enqueue, and serialize.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mani_engine::EngineConfig;
+
+use crate::handlers::AppState;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::json::error_body;
+
+/// How long one connection may take to deliver its request.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Engine configuration (threads, queue depth, default budget).
+    pub engine: EngineConfig,
+    /// Response-cache entry bound (`0` = default).
+    pub cache_capacity: usize,
+}
+
+/// A bound (but not yet accepting) HTTP server over one [`AppState`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:8080`; port `0` picks a free port) and
+    /// builds the engine behind it.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(AppState::new(config.engine, config.cache_capacity)),
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared application state.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Serves connections until the process exits.
+    pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Serves connections on a background thread, returning a handle that can
+    /// stop the loop (used by tests and embedding callers).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::clone(&self.state);
+        let loop_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("mani-serve-accept".into())
+            .spawn(move || {
+                let _ = self.accept_loop(&loop_stop);
+            })?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            thread,
+        })
+    }
+
+    fn accept_loop(&self, stop: &AtomicBool) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    // Detached: a slow client must not block the accept loop.
+                    let _ = std::thread::Builder::new()
+                        .name("mani-serve-conn".into())
+                        .spawn(move || handle_connection(&state, stream));
+                }
+                Err(e) => {
+                    // Transient accept errors (aborted handshakes, fd
+                    // exhaustion) must not take the server down — but they
+                    // also must not busy-spin a core while the condition
+                    // persists, so back off briefly before retrying.
+                    if e.kind() != std::io::ErrorKind::Interrupted {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A running server: address, state, and a way to stop the accept loop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (for stats assertions in tests).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connections finish on their own threads.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Parses one request off a fresh connection, dispatches, answers, closes.
+fn handle_connection(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let response = match HttpRequest::read_from_duplex(&mut reader, &mut writer) {
+        Ok(request) => state.handle(&request),
+        Err(error) if error.is_closed() => return,
+        Err(error) => HttpResponse::json(error.status, error_body(&error.message)),
+    };
+    let _ = response.write_to(&mut writer);
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::http_roundtrip;
+
+    #[test]
+    fn spawned_server_answers_and_stops() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                engine: EngineConfig {
+                    threads: 1,
+                    ..EngineConfig::default()
+                },
+                cache_capacity: 4,
+            },
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let (status, body) = http_roundtrip(handle.addr(), "GET /v1/methods HTTP/1.1", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("Fair-Schulze"));
+        let (status, _) = http_roundtrip(handle.addr(), "GET /nope HTTP/1.1", "");
+        assert_eq!(status, 404);
+        handle.stop();
+    }
+}

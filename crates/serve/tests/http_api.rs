@@ -1,0 +1,287 @@
+//! End-to-end tests of the HTTP API over real TCP sockets: submit → poll →
+//! cached replay, queue overflow as 429, and LRU bounding of the response
+//! cache — asserted through `GET /v1/stats` like an external operator would.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use mani_engine::EngineConfig;
+use mani_serve::{Server, ServerConfig, ServerHandle};
+use serde::Value;
+
+fn spawn_server(threads: usize, queue_depth: usize, cache_capacity: usize) -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig {
+                threads,
+                queue_depth,
+                ..EngineConfig::default()
+            },
+            cache_capacity,
+        },
+    )
+    .expect("bind an ephemeral port")
+    .spawn()
+    .expect("spawn the accept loop")
+}
+
+/// One HTTP exchange; returns `(status, parsed JSON body)`.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let value = serde_json::from_str(body).unwrap_or(Value::Null);
+    (status, value)
+}
+
+fn get_u64(value: &Value, path: &[&str]) -> u64 {
+    let mut current = value;
+    for key in path {
+        current = current.get(key).unwrap_or(&Value::Null);
+    }
+    match current {
+        Value::UInt(u) => *u,
+        Value::Int(i) => *i as u64,
+        other => panic!("expected integer at {path:?}, found {other:?}"),
+    }
+}
+
+fn consensus_body(name: &str, methods: &str, delta: f64, wait: bool) -> String {
+    format!(
+        r#"{{
+            "dataset": {{
+                "name": "{name}",
+                "candidates": [
+                    {{"name": "a", "attributes": {{"G": "x"}}}},
+                    {{"name": "b", "attributes": {{"G": "y"}}}},
+                    {{"name": "c", "attributes": {{"G": "x"}}}},
+                    {{"name": "d", "attributes": {{"G": "y"}}}},
+                    {{"name": "e", "attributes": {{"G": "x"}}}},
+                    {{"name": "f", "attributes": {{"G": "y"}}}}
+                ],
+                "rankings": [
+                    ["a","b","c","d","e","f"],
+                    ["f","e","d","c","b","a"],
+                    ["b","a","c","e","d","f"]
+                ]
+            }},
+            "methods": [{methods}],
+            "delta": {delta},
+            "wait": {wait}
+        }}"#
+    )
+}
+
+#[test]
+fn consensus_and_jobs_end_to_end_with_cached_replay() {
+    let handle = spawn_server(2, 0, 16);
+    let addr = handle.addr();
+
+    // --- Blocking submission ------------------------------------------------
+    let body = consensus_body("e2e", r#""Fair-Borda", "Fair-Copeland""#, 0.2, true);
+    let (status, first) = exchange(addr, "POST", "/v1/consensus", &body);
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.get("status").and_then(Value::as_str), Some("done"));
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    let results = first.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].get("ranking").is_some());
+
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    let builds = get_u64(&stats, &["precedence_cache", "builds"]);
+    let submitted = get_u64(&stats, &["engine", "submitted"]);
+    assert_eq!(builds, 1);
+    assert_eq!(submitted, 1);
+
+    // --- Identical replay: served from the response cache, zero new solves --
+    let (status, replay) = exchange(addr, "POST", "/v1/consensus", &body);
+    assert_eq!(status, 200);
+    assert_eq!(replay.get("cached"), Some(&Value::Bool(true)), "{replay:?}");
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(
+        get_u64(&stats, &["precedence_cache", "builds"]),
+        builds,
+        "replay must not build a precedence matrix"
+    );
+    assert_eq!(
+        get_u64(&stats, &["engine", "submitted"]),
+        submitted,
+        "replay must not submit an engine job"
+    );
+    assert!(get_u64(&stats, &["response_cache", "hits"]) >= 2);
+
+    // --- Async submission + poll -------------------------------------------
+    let body = consensus_body("e2e-async", r#""Fair-Schulze""#, 0.25, false);
+    let (status, accepted) = exchange(addr, "POST", "/v1/consensus", &body);
+    assert_eq!(status, 202, "{accepted:?}");
+    let poll = accepted
+        .get("poll")
+        .and_then(Value::as_str)
+        .expect("poll URL")
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let done = loop {
+        let (status, polled) = exchange(addr, "GET", &poll, "");
+        assert_eq!(status, 200, "{polled:?}");
+        match polled.get("status").and_then(Value::as_str) {
+            Some("done") => break polled,
+            Some("queued" | "running") => {
+                assert!(Instant::now() < deadline, "job never completed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("unexpected job status {other:?}"),
+        }
+    };
+    let results = done.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        results[0].get("method").and_then(Value::as_str),
+        Some("Fair-Schulze")
+    );
+
+    // Completion through the poll populated the cache: a waiting replay of the
+    // same spec is served without another solve.
+    let body = consensus_body("e2e-async", r#""Fair-Schulze""#, 0.25, true);
+    let (_, stats_before) = exchange(addr, "GET", "/v1/stats", "");
+    let (status, replay) = exchange(addr, "POST", "/v1/consensus", &body);
+    assert_eq!(status, 200);
+    assert_eq!(replay.get("cached"), Some(&Value::Bool(true)), "{replay:?}");
+    let (_, stats_after) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(
+        get_u64(&stats_after, &["engine", "submitted"]),
+        get_u64(&stats_before, &["engine", "submitted"]),
+    );
+
+    // Unknown jobs are 404.
+    let (status, _) = exchange(addr, "GET", "/v1/jobs/job-4040", "");
+    assert_eq!(status, 404);
+
+    handle.stop();
+}
+
+#[test]
+fn queue_overflow_surfaces_as_http_429() {
+    // Queue depth 1: a two-request batch cannot be absorbed atomically, so the
+    // server must answer 429 immediately — deterministically, no timing.
+    let handle = spawn_server(1, 1, 16);
+    let addr = handle.addr();
+    let spec_a = consensus_body("load-a", r#""Fair-Borda""#, 0.2, false);
+    let spec_b = consensus_body("load-b", r#""Fair-Borda""#, 0.3, false);
+    let batch = format!(r#"{{"requests": [{spec_a}, {spec_b}], "wait": false}}"#);
+    // `wait`/dataset wrappers inside requests are ignored fields; the batch
+    // carries two fresh specs that both need queue slots.
+    let (status, body) = exchange(addr, "POST", "/v1/consensus", &batch);
+    assert_eq!(status, 429, "{body:?}");
+    let message = body.get("error").and_then(Value::as_str).unwrap();
+    assert!(message.contains("overloaded"), "{message}");
+
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(get_u64(&stats, &["engine", "rejected"]), 2);
+    assert_eq!(get_u64(&stats, &["engine", "submitted"]), 0);
+
+    // A single request still fits and completes.
+    let single = consensus_body("load-a", r#""Fair-Borda""#, 0.2, true);
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &single);
+    assert_eq!(status, 200);
+    handle.stop();
+}
+
+#[test]
+fn lru_eviction_bounds_the_response_cache() {
+    let handle = spawn_server(2, 0, 2);
+    let addr = handle.addr();
+    // Three distinct cache keys (distinct deltas) through a capacity-2 cache.
+    for delta in ["0.11", "0.22", "0.33"] {
+        let body = consensus_body("lru", r#""Fair-Borda""#, delta.parse().unwrap(), true);
+        let (status, _) = exchange(addr, "POST", "/v1/consensus", &body);
+        assert_eq!(status, 200);
+    }
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(
+        get_u64(&stats, &["response_cache", "capacity"]),
+        2,
+        "{stats:?}"
+    );
+    assert!(get_u64(&stats, &["response_cache", "entries"]) <= 2);
+    assert_eq!(get_u64(&stats, &["response_cache", "evictions"]), 1);
+
+    // The newest entry is still cached; the evicted oldest resolves again.
+    let newest = consensus_body("lru", r#""Fair-Borda""#, 0.33, true);
+    let (_, replay) = exchange(addr, "POST", "/v1/consensus", &newest);
+    assert_eq!(replay.get("cached"), Some(&Value::Bool(true)));
+    let submitted_before = {
+        let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+        get_u64(&stats, &["engine", "submitted"])
+    };
+    let oldest = consensus_body("lru", r#""Fair-Borda""#, 0.11, true);
+    let (_, resolved) = exchange(addr, "POST", "/v1/consensus", &oldest);
+    assert_eq!(
+        resolved.get("cached"),
+        Some(&Value::Bool(false)),
+        "evicted entries must be recomputed"
+    );
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(
+        get_u64(&stats, &["engine", "submitted"]),
+        submitted_before + 1
+    );
+    handle.stop();
+}
+
+#[test]
+fn audit_methods_and_errors_over_the_wire() {
+    let handle = spawn_server(1, 0, 4);
+    let addr = handle.addr();
+
+    let (status, methods) = exchange(addr, "GET", "/v1/methods", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        methods
+            .get("methods")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(8)
+    );
+
+    let audit_body = r#"{
+        "dataset": {
+            "candidates": [
+                {"name": "a", "attributes": {"G": "x"}},
+                {"name": "b", "attributes": {"G": "y"}},
+                {"name": "c", "attributes": {"G": "x"}},
+                {"name": "d", "attributes": {"G": "y"}}
+            ],
+            "rankings": [["a","b","c","d"], ["b","a","d","c"]]
+        }
+    }"#;
+    let (status, audit) = exchange(addr, "POST", "/v1/audit", audit_body);
+    assert_eq!(status, 200, "{audit:?}");
+    assert!(audit.get("consensus").is_some());
+    assert!(audit.get("unconstrained").is_some());
+
+    let (status, error) = exchange(addr, "POST", "/v1/consensus", r#"{"methods": []}"#);
+    assert_eq!(status, 400);
+    assert!(error.get("error").is_some());
+    let (status, _) = exchange(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = exchange(addr, "DELETE", "/v1/consensus", "");
+    assert_eq!(status, 405);
+    handle.stop();
+}

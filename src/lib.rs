@@ -18,8 +18,12 @@
 //!   Fair-Schulze, Fair-Borda, and the paper's baselines ([`mani_core`]).
 //! * [`datagen`] — Mallows model workloads, fairness-targeted modal rankings, and the
 //!   synthetic case-study datasets ([`mani_datagen`]).
-//! * [`engine`] — the multi-threaded batch consensus engine: typed requests, a worker
-//!   pool, per-dataset precedence caching, and the `mani` CLI ([`mani_engine`]).
+//! * [`engine`] — the multi-threaded batch consensus engine: typed requests, async
+//!   [`mani_engine::JobHandle`]s with bounded-queue backpressure, a worker pool, and
+//!   per-dataset precedence caching ([`mani_engine`]).
+//! * [`serve`] — the HTTP front-end over the engine: hand-rolled HTTP/1.1 server, JSON
+//!   API, LRU response cache, and the `mani` CLI ([`mani_serve`]; see `docs/API.md`).
+//! * [`tabular`] — the shared aligned-text/CSV table renderer ([`mani_tabular`]).
 //! * [`experiments`] — the harness regenerating every table and figure of the paper
 //!   ([`mani_experiments`]).
 //!
@@ -52,7 +56,9 @@ pub use mani_engine as engine;
 pub use mani_experiments as experiments;
 pub use mani_fairness as fairness;
 pub use mani_ranking as ranking;
+pub use mani_serve as serve;
 pub use mani_solver as solver;
+pub use mani_tabular as tabular;
 
 /// Commonly used items, importable with `use mani_rank::prelude::*`.
 pub mod prelude {
@@ -67,7 +73,7 @@ pub mod prelude {
     };
     pub use mani_engine::{
         ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset,
-        PrecedenceCache,
+        JobHandle, JobId, JobStatus, PrecedenceCache,
     };
     pub use mani_fairness::{
         attribute_rank_parity, intersectional_rank_parity, pairwise_disagreement_loss,

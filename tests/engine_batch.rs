@@ -39,6 +39,7 @@ fn batched_results_are_bit_identical_to_direct_solve_with_one_build_per_dataset(
     let engine = ConsensusEngine::with_config(EngineConfig {
         threads: 4,
         default_budget: None,
+        ..EngineConfig::default()
     });
     let datasets = [dataset(24, 12, 0.8, 5), dataset(30, 15, 0.6, 9)];
     let delta = 0.15;
@@ -102,6 +103,7 @@ fn batch_ordering_is_deterministic_across_thread_counts() {
         let engine = ConsensusEngine::with_config(EngineConfig {
             threads,
             default_budget: None,
+            ..EngineConfig::default()
         });
         let responses = engine.submit_batch(
             datasets
