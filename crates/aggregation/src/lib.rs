@@ -36,6 +36,6 @@ pub use borda::BordaAggregator;
 pub use copeland::CopelandAggregator;
 pub use local_search::{kemeny_local_search, LocalSearchConfig};
 pub use pick_a_perm::PickAPerm;
-pub use schulze::SchulzeAggregator;
+pub use schulze::{PathMatrix, SchulzeAggregator};
 pub use traits::ConsensusMethod;
 pub use weighted::{weighted_precedence_matrix, WeightedProfile};

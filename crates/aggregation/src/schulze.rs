@@ -6,11 +6,58 @@
 //! `b`, computed with a Floyd–Warshall variant in O(n³). Candidates are then ordered by how
 //! many opponents they beat in the strongest-path comparison (`p[a][b] > p[b][a]`), which
 //! yields a complete, Condorcet-consistent order; ties are broken by candidate id.
+//!
+//! Two kernels implement the strongest-path computation:
+//!
+//! * [`SchulzeAggregator::strongest_paths`] — the straightforward nested-`Vec`
+//!   reference implementation, retained for differential tests and as the
+//!   serial baseline in `mani-bench`'s kernel benchmarks.
+//! * [`SchulzeAggregator::strongest_paths_matrix`] — the production kernel: a
+//!   flat row-major [`PathMatrix`], matrix rows read as slices, entire
+//!   relaxation rows skipped when `p[a][k] == 0`, and the Floyd–Warshall
+//!   `k`-step optionally parallelised by row blocks (rows are independent for
+//!   a fixed `k`). Both kernels produce bit-identical strengths.
 
-use mani_ranking::{CandidateId, PrecedenceMatrix, Ranking, RankingProfile, Result};
+use std::sync::{Barrier, Mutex};
+
+use mani_ranking::{
+    shard_ranges, CandidateId, Parallelism, PrecedenceMatrix, Ranking, RankingProfile, Result,
+};
 
 use crate::borda::ranking_from_points;
 use crate::traits::ConsensusMethod;
+
+/// Flat row-major matrix of strongest path strengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathMatrix {
+    n: usize,
+    strengths: Vec<u64>,
+}
+
+impl PathMatrix {
+    /// Number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.n
+    }
+
+    /// Strength of the strongest path from `a` to `b`.
+    pub fn strength(&self, a: usize, b: usize) -> u64 {
+        self.strengths[a * self.n + b]
+    }
+
+    /// Row `a`: strengths of the strongest paths from `a` to every candidate.
+    pub fn row(&self, a: usize) -> &[u64] {
+        &self.strengths[a * self.n..][..self.n]
+    }
+
+    /// The strengths in the legacy nested layout.
+    pub fn to_nested(&self) -> Vec<Vec<u64>> {
+        self.strengths
+            .chunks_exact(self.n)
+            .map(<[u64]>::to_vec)
+            .collect()
+    }
+}
 
 /// The Schulze consensus method.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,10 +69,15 @@ impl SchulzeAggregator {
         Self
     }
 
-    /// Computes the matrix of strongest path strengths `p[a][b]`.
+    /// Computes the matrix of strongest path strengths `p[a][b]` — reference
+    /// implementation in the legacy nested layout.
     ///
     /// Only edges with positive support participate (the standard "winning votes" variant:
     /// an edge exists from `a` to `b` when more rankings prefer `a` to `b` than vice versa).
+    ///
+    /// This is the differential-testing reference and the serial baseline of
+    /// the kernel benchmarks; production call sites use
+    /// [`SchulzeAggregator::strongest_paths_matrix`].
     #[allow(clippy::needless_range_loop)] // Floyd-Warshall style: indices are the clearer idiom
     pub fn strongest_paths(&self, matrix: &PrecedenceMatrix) -> Vec<Vec<u64>> {
         let n = matrix.num_candidates();
@@ -62,17 +114,66 @@ impl SchulzeAggregator {
         p
     }
 
-    /// Computes the Schulze consensus from a precomputed precedence matrix.
-    #[allow(clippy::needless_range_loop)]
-    pub fn consensus_from_matrix(&self, matrix: &PrecedenceMatrix) -> Ranking {
+    /// Computes strongest path strengths into a flat [`PathMatrix`],
+    /// parallelising the Floyd–Warshall `k`-step by row blocks when
+    /// `parallelism` allows it for this `n`.
+    ///
+    /// Bit-identical to [`SchulzeAggregator::strongest_paths`] for every
+    /// thread count: row blocks partition independent rows, and the per-`k`
+    /// arithmetic is unchanged.
+    pub fn strongest_paths_matrix(
+        &self,
+        matrix: &PrecedenceMatrix,
+        parallelism: &Parallelism,
+    ) -> PathMatrix {
         let n = matrix.num_candidates();
-        let p = self.strongest_paths(matrix);
+        let mut strengths = vec![0u64; n * n];
+        // Initial direct edges: p[a][b] = support(a, b) when it beats the
+        // opposing support. support_for(a, b) is row(b)[a] in the precedence
+        // layout, so the inner read of `against` walks row `a` sequentially.
+        for a in 0..n {
+            let row_a = matrix.row(CandidateId(a as u32));
+            let dst = &mut strengths[a * n..][..n];
+            for (b, (slot, &against)) in dst.iter_mut().zip(row_a).enumerate() {
+                if b == a {
+                    continue;
+                }
+                let support = matrix.row(CandidateId(b as u32))[a];
+                if support > against {
+                    *slot = support as u64;
+                }
+            }
+        }
+        let threads = parallelism.kernel_threads(n);
+        if threads > 1 && n >= 2 {
+            floyd_warshall_parallel(&mut strengths, n, threads);
+        } else {
+            floyd_warshall_serial(&mut strengths, n);
+        }
+        PathMatrix { n, strengths }
+    }
+
+    /// Computes the Schulze consensus from a precomputed precedence matrix.
+    pub fn consensus_from_matrix(&self, matrix: &PrecedenceMatrix) -> Ranking {
+        self.consensus_from_matrix_with(matrix, &Parallelism::serial())
+    }
+
+    /// Computes the Schulze consensus from a precedence matrix under an
+    /// explicit kernel-parallelism budget.
+    pub fn consensus_from_matrix_with(
+        &self,
+        matrix: &PrecedenceMatrix,
+        parallelism: &Parallelism,
+    ) -> Ranking {
+        let n = matrix.num_candidates();
+        let p = self.strongest_paths_matrix(matrix, parallelism);
         // Score = number of opponents beaten in the strongest-path relation.
         let mut scores = vec![0u64; n];
-        for a in 0..n {
-            for b in 0..n {
-                if a != b && p[a][b] > p[b][a] {
-                    scores[a] += 1;
+        for (a, score) in scores.iter_mut().enumerate() {
+            let row_a = p.row(a);
+            for (b, &forward) in row_a.iter().enumerate() {
+                if b != a && forward > p.strength(b, a) {
+                    *score += 1;
                 }
             }
         }
@@ -83,6 +184,100 @@ impl SchulzeAggregator {
     pub fn consensus(&self, profile: &RankingProfile) -> Ranking {
         self.consensus_from_matrix(&profile.precedence_matrix())
     }
+}
+
+/// One Floyd–Warshall relaxation of row `a` through pivot `k`.
+///
+/// `row_a` is row `a` of the strength matrix, `row_k` a snapshot of row `k`,
+/// and `pak` the current `p[a][k]`. Entries `b == k` are harmless
+/// (`min(pak, p[k][k] = 0) = 0` never improves), and the `b == a` diagonal
+/// write is undone afterwards — cheaper than branching in the hot loop.
+fn relax_row(row_a: &mut [u64], row_k: &[u64], pak: u64, a: usize) {
+    for (slot, &pkb) in row_a.iter_mut().zip(row_k) {
+        let through_k = pak.min(pkb);
+        if through_k > *slot {
+            *slot = through_k;
+        }
+    }
+    row_a[a] = 0;
+}
+
+/// Serial Floyd–Warshall over the flat strength buffer.
+fn floyd_warshall_serial(p: &mut [u64], n: usize) {
+    let mut row_k = vec![0u64; n];
+    for k in 0..n {
+        // Row k is stable during step k (p[k][k] = 0 relaxes nothing), so one
+        // snapshot lets every other row read it without aliasing `p`.
+        row_k.copy_from_slice(&p[k * n..][..n]);
+        for a in 0..n {
+            if a == k {
+                continue;
+            }
+            let pak = p[a * n + k];
+            if pak == 0 {
+                // min(0, ·) can never improve a non-negative strength: the
+                // whole relaxation row is a no-op. On realistic profiles this
+                // skips roughly half of all (a, k) pairs.
+                continue;
+            }
+            relax_row(&mut p[a * n..][..n], &row_k, pak, a);
+        }
+    }
+}
+
+/// Row-block-parallel Floyd–Warshall: for a fixed `k` every row is updated
+/// independently, so `threads` workers each own a contiguous block of rows and
+/// synchronise twice per `k`-step on a barrier (once after the pivot row is
+/// published, once before the next pivot is written).
+fn floyd_warshall_parallel(p: &mut [u64], n: usize, threads: usize) {
+    let ranges = shard_ranges(n, threads);
+    if ranges.len() <= 1 {
+        floyd_warshall_serial(p, n);
+        return;
+    }
+    let barrier = Barrier::new(ranges.len());
+    let pivot_row = Mutex::new(vec![0u64; n]);
+    // Split the flat buffer into per-worker row blocks.
+    let mut blocks: Vec<(usize, &mut [u64])> = Vec::with_capacity(ranges.len());
+    let mut rest = p;
+    for range in &ranges {
+        let (block, tail) = rest.split_at_mut(range.len() * n);
+        blocks.push((range.start, block));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (start, block) in blocks {
+            let barrier = &barrier;
+            let pivot_row = &pivot_row;
+            scope.spawn(move || {
+                let rows = block.len() / n;
+                let mut row_k = vec![0u64; n];
+                for k in 0..n {
+                    if (start..start + rows).contains(&k) {
+                        let mut shared = pivot_row.lock().expect("pivot row lock poisoned");
+                        shared.copy_from_slice(&block[(k - start) * n..][..n]);
+                    }
+                    // All workers see the published pivot row before relaxing.
+                    barrier.wait();
+                    row_k.copy_from_slice(&pivot_row.lock().expect("pivot row lock poisoned"));
+                    for (local, row_a) in block.chunks_exact_mut(n).enumerate() {
+                        let a = start + local;
+                        if a == k {
+                            continue;
+                        }
+                        let pak = row_a[k];
+                        if pak == 0 {
+                            continue;
+                        }
+                        relax_row(row_a, &row_k, pak, a);
+                    }
+                    // Nobody may publish pivot k+1 while a worker still reads
+                    // the shared buffer for pivot k.
+                    barrier.wait();
+                }
+            });
+        }
+    });
 }
 
 impl ConsensusMethod for SchulzeAggregator {
@@ -171,7 +366,42 @@ mod tests {
         }
     }
 
+    #[test]
+    fn flat_kernel_matches_reference_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [1usize, 2, 3, 7, 12, 25] {
+            let rankings: Vec<Ranking> = (0..9).map(|_| Ranking::random(n, &mut rng)).collect();
+            let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+            let reference = SchulzeAggregator::new().strongest_paths(&matrix);
+            for threads in [1usize, 2, 3, 8] {
+                let par = Parallelism::new(threads).with_min_candidates(0);
+                let flat = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
+                assert_eq!(flat.num_candidates(), n);
+                assert_eq!(flat.to_nested(), reference, "n = {n}, threads = {threads}");
+                assert_eq!(
+                    SchulzeAggregator::new().consensus_from_matrix_with(&matrix, &par),
+                    SchulzeAggregator::new().consensus_from_matrix(&matrix),
+                );
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_flat_kernel_bit_identical_to_reference(
+            n in 1usize..14,
+            m in 1usize..8,
+            threads in 1usize..9,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+            let par = Parallelism::new(threads).with_min_candidates(0);
+            let flat = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
+            prop_assert_eq!(flat.to_nested(), SchulzeAggregator::new().strongest_paths(&matrix));
+        }
+
         #[test]
         fn prop_schulze_is_valid_permutation(n in 1usize..15, m in 1usize..8, seed in any::<u64>()) {
             let mut rng = StdRng::seed_from_u64(seed);

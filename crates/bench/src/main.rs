@@ -1,0 +1,262 @@
+//! `mani-bench` — JSON kernel-benchmark emitter.
+//!
+//! ```text
+//! cargo run -p mani-bench --release -- --json [--out BENCH_kernels.json] [--smoke]
+//! ```
+//!
+//! Measures the three intra-request kernels the engine's hot path is made of —
+//! precedence-matrix construction, Schulze strongest paths, and the
+//! Fair-Kemeny branch and bound — at a grid of `(n, |R|)` points, serial
+//! versus parallel, and (for Schulze) against the legacy nested-`Vec` kernel
+//! kept as the in-tree baseline. Results are written as JSON so successive
+//! PRs have a trajectory to compare against; CI smoke-runs the tiny grid
+//! (`--smoke`) to keep this harness compiling and running.
+//!
+//! All timings are best-of-`iters` wall-clock nanoseconds measured in the same
+//! process run, so speedup ratios compare like with like.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mani_aggregation::SchulzeAggregator;
+use mani_bench::BenchFixture;
+use mani_core::{FairKemeny, MfcrMethod};
+use mani_ranking::{available_threads, Parallelism};
+use mani_solver::SolverConfig;
+
+/// One benchmark row, rendered as a JSON object.
+struct Entry {
+    kernel: &'static str,
+    n: usize,
+    rankings: usize,
+    fields: Vec<(String, String)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut smoke = false;
+    let mut out = String::from("BENCH_kernels.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("mani-bench: --out needs a value");
+                    std::process::exit(1);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mani-bench --json [--out FILE] [--smoke]\n\
+                     writes kernel throughput/latency for matrix-build, Schulze and\n\
+                     Fair-Kemeny at (n, |R|) grid points to FILE (default BENCH_kernels.json)"
+                );
+                return;
+            }
+            other => {
+                eprintln!("mani-bench: unknown flag `{other}` (try --help)");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !json {
+        eprintln!("mani-bench: pass --json to run the kernel grid (see --help)");
+        std::process::exit(1);
+    }
+
+    let threads = available_threads();
+    let parallel = Parallelism::new(threads).with_min_candidates(0);
+    let mut entries = Vec::new();
+
+    // (n, |R|) grid points per kernel; the smoke grid keeps CI runs in seconds.
+    let (matrix_grid, schulze_grid, kemeny_grid, iters) = if smoke {
+        (vec![(24, 16)], vec![(24, 12)], vec![(10, 8)], 1usize)
+    } else {
+        (
+            vec![(160, 400), (240, 240)],
+            vec![(160, 40), (256, 40), (384, 40)],
+            vec![(20, 12), (26, 12)],
+            3usize,
+        )
+    };
+
+    for &(n, r) in &matrix_grid {
+        eprintln!("matrix-build n={n} |R|={r} ...");
+        entries.push(bench_matrix_build(n, r, &parallel, iters));
+    }
+    for &(n, r) in &schulze_grid {
+        eprintln!("schulze n={n} |R|={r} ...");
+        entries.push(bench_schulze(n, r, &parallel, iters));
+    }
+    for &(n, r) in &kemeny_grid {
+        eprintln!("fair-kemeny n={n} |R|={r} ...");
+        entries.push(bench_fair_kemeny(n, r, &parallel, iters.min(2), smoke));
+    }
+
+    let body = render_json(threads, iters, smoke, &entries);
+    if let Err(error) = std::fs::write(&out, &body) {
+        eprintln!("mani-bench: cannot write {out}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} entries to {out}", entries.len());
+}
+
+/// Best-of-`iters` wall-clock nanoseconds for `work`, which must return a
+/// value (kept alive so the optimiser cannot delete the computation).
+fn time_best<R>(iters: usize, mut work: impl FnMut() -> R) -> (u64, R) {
+    let mut best = u64::MAX;
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let started = Instant::now();
+        let result = work();
+        best = best.min(started.elapsed().as_nanos() as u64);
+        last = Some(result);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn ratio(baseline: u64, candidate: u64) -> f64 {
+    if candidate == 0 {
+        0.0
+    } else {
+        baseline as f64 / candidate as f64
+    }
+}
+
+fn bench_matrix_build(n: usize, r: usize, parallel: &Parallelism, iters: usize) -> Entry {
+    let fixture = BenchFixture::low_fair(n, r, 0.6, 0xA11CE);
+    let (serial_ns, serial) = time_best(iters, || fixture.profile.precedence_matrix());
+    let (parallel_ns, sharded) =
+        time_best(iters, || fixture.profile.precedence_matrix_with(parallel));
+    assert_eq!(serial, sharded, "sharded build must be bit-identical");
+    Entry {
+        kernel: "matrix_build",
+        n,
+        rankings: r,
+        fields: vec![
+            ("serial_ns".into(), serial_ns.to_string()),
+            ("parallel_ns".into(), parallel_ns.to_string()),
+            (
+                "speedup_parallel_vs_serial".into(),
+                format!("{:.3}", ratio(serial_ns, parallel_ns)),
+            ),
+        ],
+    }
+}
+
+fn bench_schulze(n: usize, r: usize, parallel: &Parallelism, iters: usize) -> Entry {
+    let fixture = BenchFixture::low_fair(n, r, 0.6, 0xB0B);
+    let matrix = fixture.profile.precedence_matrix();
+    let aggregator = SchulzeAggregator::new();
+    let serial = Parallelism::serial();
+    let (legacy_ns, reference) = time_best(iters, || aggregator.strongest_paths(&matrix));
+    let (flat_ns, flat) = time_best(iters, || {
+        aggregator.strongest_paths_matrix(&matrix, &serial)
+    });
+    let (parallel_ns, flat_par) = time_best(iters, || {
+        aggregator.strongest_paths_matrix(&matrix, parallel)
+    });
+    assert_eq!(
+        flat.to_nested(),
+        reference,
+        "flat kernel must be bit-identical"
+    );
+    assert_eq!(flat_par, flat, "parallel kernel must be bit-identical");
+    Entry {
+        kernel: "schulze_strongest_paths",
+        n,
+        rankings: r,
+        fields: vec![
+            ("legacy_serial_ns".into(), legacy_ns.to_string()),
+            ("flat_serial_ns".into(), flat_ns.to_string()),
+            ("parallel_ns".into(), parallel_ns.to_string()),
+            (
+                "speedup_flat_vs_legacy".into(),
+                format!("{:.3}", ratio(legacy_ns, flat_ns)),
+            ),
+            (
+                "speedup_parallel_vs_legacy".into(),
+                format!("{:.3}", ratio(legacy_ns, parallel_ns)),
+            ),
+        ],
+    }
+}
+
+fn bench_fair_kemeny(
+    n: usize,
+    r: usize,
+    parallel: &Parallelism,
+    iters: usize,
+    smoke: bool,
+) -> Entry {
+    let fixture = BenchFixture::low_fair(n, r, 1.0, 0xFA18);
+    let ctx = fixture.context(0.25);
+    let budget = if smoke { 20_000 } else { 250_000 };
+    let serial_config = SolverConfig::with_max_nodes(budget);
+    let parallel_config = SolverConfig::with_max_nodes(budget).with_parallelism(*parallel);
+    let (serial_ns, serial) = time_best(iters, || {
+        FairKemeny::with_config(serial_config.clone())
+            .solve(&ctx)
+            .expect("Fair-Kemeny solve")
+    });
+    let (parallel_ns, outcome) = time_best(iters, || {
+        FairKemeny::with_config(parallel_config.clone())
+            .solve(&ctx)
+            .expect("Fair-Kemeny solve")
+    });
+    if serial.optimal && outcome.optimal {
+        assert_eq!(
+            serial.ranking, outcome.ranking,
+            "completed searches must agree"
+        );
+    }
+    Entry {
+        kernel: "fair_kemeny",
+        n,
+        rankings: r,
+        fields: vec![
+            ("serial_ns".into(), serial_ns.to_string()),
+            ("parallel_ns".into(), parallel_ns.to_string()),
+            (
+                "speedup_parallel_vs_serial".into(),
+                format!("{:.3}", ratio(serial_ns, parallel_ns)),
+            ),
+            ("nodes_explored".into(), serial.nodes_explored.to_string()),
+            ("optimal".into(), serial.optimal.to_string()),
+        ],
+    }
+}
+
+fn render_json(threads: usize, iters: usize, smoke: bool, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"generated_by\": \"mani-bench --json\",");
+    let _ = writeln!(
+        out,
+        "  \"grid\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"threads_available\": {threads},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "  \"entries\": [");
+    for (index, entry) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"rankings\": {}",
+            entry.kernel, entry.n, entry.rankings
+        );
+        for (key, value) in &entry.fields {
+            let _ = write!(out, ", \"{key}\": {value}");
+        }
+        let _ = writeln!(
+            out,
+            "}}{}",
+            if index + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

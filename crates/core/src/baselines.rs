@@ -19,7 +19,7 @@ use mani_fairness::ParityScores;
 use mani_ranking::{Ranking, Result};
 use mani_solver::{KemenyProblem, SolverConfig};
 
-use crate::context::MfcrContext;
+use crate::context::{solver_config_for_ctx, MfcrContext};
 use crate::make_mr_fair::make_mr_fair;
 use crate::methods::MfcrMethod;
 use crate::report::MfcrOutcome;
@@ -73,8 +73,12 @@ impl MfcrMethod for ExactKemeny {
         let borda = BordaAggregator::new().consensus(ctx.profile);
         let (incumbent, _) = kemeny_local_search(&matrix, &borda, LocalSearchConfig::default())?;
         let problem = KemenyProblem::unconstrained(matrix);
-        let outcome = mani_solver::solve(&problem, Some(&incumbent), &self.solver_config);
-        MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)
+        let config = solver_config_for_ctx(&self.solver_config, ctx);
+        let outcome = mani_solver::solve(&problem, Some(&incumbent), &config);
+        Ok(
+            MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)?
+                .with_nodes(outcome.nodes_explored),
+        )
     }
 }
 
@@ -132,8 +136,12 @@ impl MfcrMethod for KemenyWeighted {
         let borda = BordaAggregator::new().consensus(ctx.profile);
         let (incumbent, _) = kemeny_local_search(&matrix, &borda, LocalSearchConfig::default())?;
         let problem = KemenyProblem::unconstrained(matrix);
-        let outcome = mani_solver::solve(&problem, Some(&incumbent), &self.solver_config);
-        MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)
+        let config = solver_config_for_ctx(&self.solver_config, ctx);
+        let outcome = mani_solver::solve(&problem, Some(&incumbent), &config);
+        Ok(
+            MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)?
+                .with_nodes(outcome.nodes_explored),
+        )
     }
 }
 

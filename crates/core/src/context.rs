@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 
 use mani_fairness::FairnessThresholds;
-use mani_ranking::{CandidateDb, GroupIndex, PrecedenceMatrix, RankingProfile};
+use mani_ranking::{CandidateDb, GroupIndex, Parallelism, PrecedenceMatrix, RankingProfile};
 
 /// Everything an MFCR method needs: the candidate database, its group index, the base
 /// rankings, and the fairness thresholds Δ.
@@ -24,6 +24,8 @@ pub struct MfcrContext<'a> {
     pub thresholds: FairnessThresholds,
     /// Precomputed precedence matrix for `profile`, if the caller already has one.
     precedence: Option<&'a PrecedenceMatrix>,
+    /// Kernel-parallelism budget for this solve (serial by default).
+    parallelism: Parallelism,
 }
 
 impl<'a> MfcrContext<'a> {
@@ -54,7 +56,23 @@ impl<'a> MfcrContext<'a> {
             profile,
             thresholds,
             precedence: None,
+            parallelism: Parallelism::serial(),
         }
+    }
+
+    /// Sets the kernel-parallelism budget for every method run against this
+    /// context. Parallel kernels are bit-identical to their serial
+    /// counterparts, so this only changes how fast methods run — never what
+    /// they return (except solver-anytime results when the node budget is
+    /// exhausted mid-search).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The kernel-parallelism budget for this context.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Attaches a precomputed precedence matrix for this context's profile.
@@ -82,7 +100,9 @@ impl<'a> MfcrContext<'a> {
     pub fn precedence_matrix(&self) -> Cow<'a, PrecedenceMatrix> {
         match self.precedence {
             Some(matrix) => Cow::Borrowed(matrix),
-            None => Cow::Owned(self.profile.precedence_matrix()),
+            // The sharded build is bit-identical to the serial one, so the
+            // context's parallelism budget can be applied transparently here.
+            None => Cow::Owned(self.profile.precedence_matrix_with(&self.parallelism)),
         }
     }
 
@@ -99,6 +119,20 @@ impl<'a> MfcrContext<'a> {
             .map(|(_, a)| a.name().to_string())
             .collect()
     }
+}
+
+/// Resolves the solver config for a context: a config whose parallelism was
+/// left serial inherits the context's budget (set by the engine layer); a
+/// config with explicit parallelism wins.
+pub(crate) fn solver_config_for_ctx(
+    config: &mani_solver::SolverConfig,
+    ctx: &MfcrContext<'_>,
+) -> mani_solver::SolverConfig {
+    let mut resolved = config.clone();
+    if resolved.parallelism.is_serial() {
+        resolved.parallelism = ctx.parallelism();
+    }
+    resolved
 }
 
 #[cfg(test)]

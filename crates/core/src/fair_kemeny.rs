@@ -10,7 +10,7 @@
 use mani_ranking::Result;
 use mani_solver::{constraints::constraints_from_thresholds, KemenyProblem, SolverConfig};
 
-use crate::context::MfcrContext;
+use crate::context::{solver_config_for_ctx, MfcrContext};
 use crate::fair_borda::FairBorda;
 use crate::methods::MfcrMethod;
 use crate::report::MfcrOutcome;
@@ -48,8 +48,12 @@ impl MfcrMethod for FairKemeny {
         // Seed the search with the Fair-Borda consensus: feasible whenever Make-MR-Fair
         // reached the threshold, which gives the branch and bound an immediate upper bound.
         let incumbent = FairBorda::new().solve(ctx)?;
-        let outcome = mani_solver::solve(&problem, Some(&incumbent.ranking), &self.solver_config);
-        MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)
+        let config = solver_config_for_ctx(&self.solver_config, ctx);
+        let outcome = mani_solver::solve(&problem, Some(&incumbent.ranking), &config);
+        Ok(
+            MfcrOutcome::evaluate(self.name(), ctx, outcome.ranking, 0, outcome.optimal)?
+                .with_nodes(outcome.nodes_explored),
+        )
     }
 }
 

@@ -24,6 +24,9 @@ pub struct MfcrOutcome {
     /// Whether the producing algorithm proved optimality (only meaningful for Fair-Kemeny
     /// and the exact Kemeny baseline; heuristic methods report `true`).
     pub optimal: bool,
+    /// Branch-and-bound nodes expanded by the producing algorithm (zero for
+    /// the polynomial methods, which do not search).
+    pub nodes_explored: u64,
 }
 
 impl MfcrOutcome {
@@ -61,7 +64,15 @@ impl MfcrOutcome {
             pd_loss,
             correction_swaps,
             optimal,
+            nodes_explored: 0,
         })
+    }
+
+    /// Records how many search nodes the producing algorithm expanded (used by
+    /// the exact solver methods; polynomial methods keep the zero default).
+    pub fn with_nodes(mut self, nodes_explored: u64) -> Self {
+        self.nodes_explored = nodes_explored;
+        self
     }
 
     /// Full fairness audit of the consensus ranking (per-group FPR scores).

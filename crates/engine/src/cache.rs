@@ -13,8 +13,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
-use mani_ranking::{GroupIndex, PrecedenceMatrix};
+use mani_ranking::{GroupIndex, Parallelism, PrecedenceMatrix};
 
 use crate::dataset::EngineDataset;
 
@@ -37,6 +38,9 @@ pub struct CacheStats {
     /// Number of times artifacts were actually constructed (one per distinct
     /// dataset, however many threads raced on it).
     pub builds: u64,
+    /// Total wall-clock nanoseconds spent building artifacts (matrix +
+    /// group-index construction), summed over all builds.
+    pub build_ns: u64,
     /// Number of cached datasets.
     pub entries: usize,
 }
@@ -67,6 +71,7 @@ pub struct PrecedenceCache {
     lookups: AtomicU64,
     hits: AtomicU64,
     builds: AtomicU64,
+    build_ns: AtomicU64,
 }
 
 impl PrecedenceCache {
@@ -79,6 +84,18 @@ impl PrecedenceCache {
     /// distinct dataset. The boolean is `true` when the artifacts were already
     /// built (a cache hit).
     pub fn get_or_build(&self, dataset: &EngineDataset) -> (SharedArtifacts, bool) {
+        self.get_or_build_with(dataset, &Parallelism::serial())
+    }
+
+    /// [`PrecedenceCache::get_or_build`] with a kernel-parallelism budget:
+    /// misses build the precedence matrix with sharded parallel construction
+    /// (bit-identical to the serial build, so mixed callers share entries
+    /// safely).
+    pub fn get_or_build_with(
+        &self,
+        dataset: &EngineDataset,
+        parallelism: &Parallelism,
+    ) -> (SharedArtifacts, bool) {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let key = dataset.fingerprint();
         let cell = {
@@ -86,34 +103,38 @@ impl PrecedenceCache {
             entries.entry(key).or_default().clone()
         };
         let hit = cell.get().is_some();
-        let entry = cell.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            CacheEntry {
-                db: Arc::clone(dataset.db()),
-                profile: Arc::clone(dataset.profile()),
-                artifacts: SharedArtifacts {
-                    groups: Arc::new(GroupIndex::new(dataset.db())),
-                    precedence: Arc::new(dataset.profile().precedence_matrix()),
-                },
-            }
+        let entry = cell.get_or_init(|| CacheEntry {
+            db: Arc::clone(dataset.db()),
+            profile: Arc::clone(dataset.profile()),
+            artifacts: self.build_artifacts(dataset, parallelism),
         });
         // A 64-bit fingerprint can (astronomically rarely) collide; serving
         // another dataset's matrix would corrupt every downstream result, so
         // verify the content and fall back to an uncached build on mismatch.
         if !entry.matches(dataset) {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            return (
-                SharedArtifacts {
-                    groups: Arc::new(GroupIndex::new(dataset.db())),
-                    precedence: Arc::new(dataset.profile().precedence_matrix()),
-                },
-                false,
-            );
+            return (self.build_artifacts(dataset, parallelism), false);
         }
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         (entry.artifacts.clone(), hit)
+    }
+
+    /// Builds artifacts for a dataset, charging the build counters.
+    fn build_artifacts(
+        &self,
+        dataset: &EngineDataset,
+        parallelism: &Parallelism,
+    ) -> SharedArtifacts {
+        let started = Instant::now();
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let artifacts = SharedArtifacts {
+            groups: Arc::new(GroupIndex::new(dataset.db())),
+            precedence: Arc::new(dataset.profile().precedence_matrix_with(parallelism)),
+        };
+        self.build_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        artifacts
     }
 
     /// Current effectiveness counters.
@@ -122,6 +143,7 @@ impl PrecedenceCache {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            build_ns: self.build_ns.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("cache lock poisoned").len(),
         }
     }

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use mani_core::{MethodKind, MfcrContext};
 use mani_fairness::FairnessThresholds;
+use mani_ranking::Parallelism;
 
 use crate::cache::PrecedenceCache;
 use crate::dataset::EngineDataset;
@@ -32,7 +33,7 @@ use crate::request::{ConsensusRequest, ConsensusResponse, MethodResult};
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
 /// Engine construction parameters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker thread count; `0` means one per available core.
     pub threads: usize,
@@ -43,6 +44,52 @@ pub struct EngineConfig {
     /// [`EngineError::Overloaded`]; `0` means [`DEFAULT_QUEUE_DEPTH`].
     /// Blocking submissions are not queued and do not count against the depth.
     pub queue_depth: usize,
+    /// Kernel-level threads *within* one method solve (sharded matrix builds,
+    /// blocked Schulze, subtree-parallel branch and bound); `0` means one per
+    /// available core, `1` — the default — keeps kernels serial. Composes
+    /// with `threads`: batch parallelism spreads requests, kernel parallelism
+    /// accelerates each large request.
+    ///
+    /// Kernel fan-out is **opt-in** for two reasons: completed solves are
+    /// bit-identical but *anytime* exact solves (node budget exhausted) are
+    /// not, because subtree workers race the shared budget — the serial
+    /// default keeps default engine results reproducible run-to-run; and
+    /// `threads × kernel_threads` can oversubscribe cores under a batch of
+    /// concurrently large requests, which an operator should choose
+    /// deliberately.
+    pub kernel_threads: usize,
+    /// Candidate count below which kernels stay serial regardless of
+    /// `kernel_threads` (small solves finish faster than threads spawn);
+    /// `0` means the default threshold
+    /// ([`mani_ranking::parallel::DEFAULT_MIN_CANDIDATES`]).
+    pub kernel_min_candidates: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            default_budget: None,
+            queue_depth: 0,
+            kernel_threads: 1,
+            kernel_min_candidates: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The kernel [`Parallelism`] this config resolves to (`kernel_threads`
+    /// of `0` means one per available core).
+    pub fn kernel_parallelism(&self) -> Parallelism {
+        let parallelism = match self.kernel_threads {
+            0 => Parallelism::auto(),
+            threads => Parallelism::new(threads),
+        };
+        match self.kernel_min_candidates {
+            0 => parallelism,
+            min => parallelism.with_min_candidates(min),
+        }
+    }
 }
 
 /// Submission-queue counters for one engine (see [`ConsensusEngine::stats`]).
@@ -58,6 +105,14 @@ pub struct EngineStats {
     pub completed: u64,
     /// Async jobs rejected with [`EngineError::Overloaded`].
     pub rejected: u64,
+    /// Wall-clock nanoseconds spent building precedence matrices and group
+    /// indexes (cache misses only — replays cost nothing here).
+    pub matrix_build_ns: u64,
+    /// Wall-clock nanoseconds spent inside method solves, summed across all
+    /// workers (CPU-side view of where engine time goes).
+    pub solve_ns: u64,
+    /// Branch-and-bound nodes expanded by exact methods across all solves.
+    pub nodes_expanded: u64,
 }
 
 /// Counters shared between the engine and its in-flight job collectors.
@@ -67,6 +122,14 @@ struct AsyncCounters {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+}
+
+/// Kernel timing counters shared with every solve task (matrix-build time
+/// lives in [`crate::CacheStats::build_ns`]).
+#[derive(Debug, Default)]
+struct KernelCounters {
+    solve_ns: AtomicU64,
+    nodes_expanded: AtomicU64,
 }
 
 impl AsyncCounters {
@@ -90,8 +153,10 @@ pub struct ConsensusEngine {
     cache: Arc<PrecedenceCache>,
     config: EngineConfig,
     queue_depth: usize,
+    kernel: Parallelism,
     next_job_id: AtomicU64,
     counters: Arc<AsyncCounters>,
+    kernel_counters: Arc<KernelCounters>,
 }
 
 impl Default for ConsensusEngine {
@@ -118,19 +183,27 @@ impl ConsensusEngine {
         } else {
             config.queue_depth
         };
+        let kernel = config.kernel_parallelism();
         Self {
             pool: WorkerPool::new(threads),
             cache: Arc::new(PrecedenceCache::new()),
             config,
             queue_depth,
+            kernel,
             next_job_id: AtomicU64::new(1),
             counters: Arc::new(AsyncCounters::default()),
+            kernel_counters: Arc::new(KernelCounters::default()),
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.pool.num_threads()
+    }
+
+    /// The kernel-parallelism budget applied to each method solve.
+    pub fn kernel_parallelism(&self) -> Parallelism {
+        self.kernel
     }
 
     /// The resolved bound on concurrently in-flight async jobs.
@@ -143,7 +216,7 @@ impl ConsensusEngine {
         &self.cache
     }
 
-    /// Current submission-queue counters.
+    /// Current submission-queue and kernel-timing counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             queue_depth: self.queue_depth,
@@ -151,6 +224,9 @@ impl ConsensusEngine {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
+            matrix_build_ns: self.cache.stats().build_ns,
+            solve_ns: self.kernel_counters.solve_ns.load(Ordering::Relaxed),
+            nodes_expanded: self.kernel_counters.nodes_expanded.load(Ordering::Relaxed),
         }
     }
 
@@ -166,8 +242,9 @@ impl ConsensusEngine {
     /// response per request, in request order, with per-method results in each
     /// request's method order. Blocks until the whole batch completes.
     pub fn submit_batch(&self, requests: Vec<ConsensusRequest>) -> Vec<ConsensusResponse> {
-        // Phase 1: warm the cache — one build task per distinct dataset, in
-        // parallel. Method tasks then always hit.
+        // Phase 1: warm the cache — one build task per distinct dataset,
+        // shared between the pool and this thread via `run_parts`. Method
+        // tasks then always hit.
         let mut seen = std::collections::HashSet::new();
         let warm_tasks: Vec<_> = requests
             .iter()
@@ -175,12 +252,13 @@ impl ConsensusEngine {
             .map(|r| {
                 let cache = Arc::clone(&self.cache);
                 let dataset = Arc::clone(&r.dataset);
+                let kernel = self.kernel;
                 move || {
-                    cache.get_or_build(&dataset);
+                    cache.get_or_build_with(&dataset, &kernel);
                 }
             })
             .collect();
-        self.pool.run_batch(warm_tasks);
+        self.pool.run_parts(warm_tasks);
 
         // Phase 2: fan out one task per (request, method) pair.
         let mut shapes = Vec::with_capacity(requests.len());
@@ -202,8 +280,18 @@ impl ConsensusEngine {
                 let dataset = Arc::clone(&request.dataset);
                 let thresholds = request.thresholds.clone();
                 let cache = Arc::clone(&self.cache);
+                let kernel = self.kernel;
+                let kernel_counters = Arc::clone(&self.kernel_counters);
                 tasks.push(Box::new(move || {
-                    solve_one(&cache, &dataset, thresholds, kind, budget)
+                    solve_one(
+                        &cache,
+                        &dataset,
+                        thresholds,
+                        kind,
+                        budget,
+                        kernel,
+                        &kernel_counters,
+                    )
                 }));
             }
         }
@@ -302,13 +390,23 @@ impl ConsensusEngine {
             let dataset = Arc::clone(&request.dataset);
             let thresholds = request.thresholds.clone();
             let cache = Arc::clone(&self.cache);
+            let kernel = self.kernel;
+            let kernel_counters = Arc::clone(&self.kernel_counters);
             let collector = Arc::clone(&collector);
             self.pool.execute(Box::new(move || {
                 collector.state.mark_running();
                 // A panicking solver must not leak the job's queue slot: turn
                 // the panic into an error result so the job still completes.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    solve_one(&cache, &dataset, thresholds, kind, budget)
+                    solve_one(
+                        &cache,
+                        &dataset,
+                        thresholds,
+                        kind,
+                        budget,
+                        kernel,
+                        &kernel_counters,
+                    )
                 }))
                 .unwrap_or_else(|_| {
                     Err(EngineError::invalid(format!(
@@ -364,25 +462,35 @@ fn solve_one(
     thresholds: FairnessThresholds,
     kind: MethodKind,
     budget: Option<u64>,
+    kernel: Parallelism,
+    kernel_counters: &KernelCounters,
 ) -> Result<MethodResult, EngineError> {
-    let (artifacts, cache_hit) = cache.get_or_build(dataset);
+    let (artifacts, cache_hit) = cache.get_or_build_with(dataset, &kernel);
     let ctx = MfcrContext::new(
         dataset.db(),
         &artifacts.groups,
         dataset.profile(),
         thresholds,
     )
-    .with_precedence(&artifacts.precedence);
+    .with_precedence(&artifacts.precedence)
+    .with_parallelism(kernel);
     let method = match budget {
         Some(nodes) => kind.instantiate_with_nodes(nodes),
         None => kind.instantiate(),
     };
     let started = Instant::now();
     let outcome = method.solve(&ctx)?;
+    let duration = started.elapsed();
+    kernel_counters
+        .solve_ns
+        .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+    kernel_counters
+        .nodes_expanded
+        .fetch_add(outcome.nodes_explored, Ordering::Relaxed);
     Ok(MethodResult {
         method: kind,
         outcome,
-        duration: started.elapsed(),
+        duration,
         cache_hit,
     })
 }
@@ -539,6 +647,76 @@ mod tests {
             !outcome.optimal,
             "a 3-node budget cannot close n = 14, so the result must be anytime"
         );
+    }
+
+    #[test]
+    fn kernel_threads_do_not_change_results() {
+        // Force kernel parallelism on even for these small datasets and check
+        // every method result is bit-identical to the serial-kernel engine.
+        let methods = [
+            MethodKind::FairBorda,
+            MethodKind::FairCopeland,
+            MethodKind::FairSchulze,
+            MethodKind::FairKemeny,
+        ];
+        let serial_engine = ConsensusEngine::with_config(EngineConfig {
+            threads: 2,
+            kernel_threads: 1,
+            ..EngineConfig::default()
+        });
+        let baseline = serial_engine.submit(ConsensusRequest::new(
+            dataset(12, 9),
+            methods,
+            FairnessThresholds::uniform(0.25),
+        ));
+        assert!(baseline.is_complete());
+        for kernel_threads in [2usize, 8] {
+            let engine = ConsensusEngine::with_config(EngineConfig {
+                threads: 2,
+                kernel_threads,
+                kernel_min_candidates: 2,
+                ..EngineConfig::default()
+            });
+            assert_eq!(engine.kernel_parallelism().max_threads(), kernel_threads);
+            let response = engine.submit(ConsensusRequest::new(
+                dataset(12, 9),
+                methods,
+                FairnessThresholds::uniform(0.25),
+            ));
+            assert!(response.is_complete());
+            for (serial, parallel) in baseline.successes().zip(response.successes()) {
+                assert_eq!(serial.method, parallel.method);
+                assert_eq!(
+                    serial.outcome.ranking,
+                    parallel.outcome.ranking,
+                    "{} changed under kernel_threads = {kernel_threads}",
+                    serial.method.name()
+                );
+                assert_eq!(serial.outcome.pd_loss, parallel.outcome.pd_loss);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_timing_counters_accumulate() {
+        let engine = ConsensusEngine::with_config(config(2));
+        let response = engine.submit(ConsensusRequest::new(
+            dataset(12, 3),
+            [MethodKind::FairBorda, MethodKind::FairKemeny],
+            FairnessThresholds::uniform(0.3),
+        ));
+        assert!(response.is_complete());
+        let stats = engine.stats();
+        assert!(stats.matrix_build_ns > 0, "one matrix build must be timed");
+        assert!(stats.solve_ns > 0, "method solves must be timed");
+        assert!(
+            stats.nodes_expanded > 0,
+            "Fair-Kemeny must report expanded nodes"
+        );
+        let kemeny = response.outcome(MethodKind::FairKemeny).unwrap();
+        assert!(kemeny.nodes_explored > 0);
+        let borda = response.outcome(MethodKind::FairBorda).unwrap();
+        assert_eq!(borda.nodes_explored, 0, "polynomial methods do not search");
     }
 
     #[test]

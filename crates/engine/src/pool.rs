@@ -5,9 +5,13 @@
 //! shared receiver. [`WorkerPool::run_batch`] layers deterministic result
 //! collection on top — tasks are indexed at submission and results re-ordered
 //! on arrival, so callers observe request order no matter which worker
-//! finished first.
+//! finished first. [`WorkerPool::run_parts`] is the lightweight scoped
+//! variant for splitting *one* computation: the calling thread co-executes,
+//! so it makes progress even when every worker is busy (or when called from a
+//! worker itself).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -96,6 +100,102 @@ impl WorkerPool {
         slots
             .into_iter()
             .map(|s| s.expect("checked above"))
+            .collect()
+    }
+
+    /// Runs the parts of one divisible computation, sharing them between the
+    /// pool and the **calling thread**, and returns the outputs in part order.
+    ///
+    /// Unlike [`WorkerPool::run_batch`], the caller claims and executes every
+    /// part the pool has not yet started, so:
+    ///
+    /// * a busy pool degrades to inline execution instead of queueing delay;
+    /// * a worker thread may call `run_parts` itself without deadlocking (the
+    ///   nested call's parts are drained by that worker inline).
+    ///
+    /// This is the engine-level shard/merge primitive; kernels that need to
+    /// borrow request-local data use `mani_ranking::run_parts` (scoped
+    /// threads) instead.
+    ///
+    /// # Panics
+    /// Panics if any part panicked (the panic is reported, not swallowed).
+    pub fn run_parts<T, F>(&self, parts: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        struct Slot<F> {
+            claimed: AtomicBool,
+            part: Mutex<Option<F>>,
+        }
+        fn claim<F>(slot: &Slot<F>) -> Option<F> {
+            if slot.claimed.swap(true, Ordering::AcqRel) {
+                return None;
+            }
+            Some(
+                slot.part
+                    .lock()
+                    .expect("part slot lock poisoned")
+                    .take()
+                    .expect("a freshly claimed part is present"),
+            )
+        }
+
+        let count = parts.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let slots: Arc<Vec<Slot<F>>> = Arc::new(
+            parts
+                .into_iter()
+                .map(|part| Slot {
+                    claimed: AtomicBool::new(false),
+                    part: Mutex::new(Some(part)),
+                })
+                .collect(),
+        );
+        let (result_tx, result_rx) = mpsc::channel::<(usize, T)>();
+        for index in 0..count {
+            let slots = Arc::clone(&slots);
+            let result_tx = result_tx.clone();
+            self.execute(Box::new(move || {
+                if let Some(part) = claim(&slots[index]) {
+                    let _ = result_tx.send((index, part()));
+                }
+            }));
+        }
+
+        // Claim from the back while workers drain the queue from the front:
+        // by the time the caller reaches a part, it either runs it inline or
+        // a worker is already executing it (never merely queued).
+        let mut outputs: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut worker_claimed = count;
+        for index in (0..count).rev() {
+            if let Some(part) = claim(&slots[index]) {
+                outputs[index] = Some(part());
+                worker_claimed -= 1;
+            }
+        }
+        drop(result_tx);
+        // After the sweep every part is claimed, so exactly `worker_claimed`
+        // results arrive from the pool. Receiving by count — never by channel
+        // close — matters for liveness: queued no-op wrappers for
+        // caller-claimed parts still hold senders, and when the caller *is*
+        // the pool's only worker (nested call) they would never drop. The
+        // iterator still terminates early if a worker part panics (its wrapper
+        // sends nothing and all senders eventually drop), surfacing the panic
+        // through the missing-result check below.
+        for (index, output) in result_rx.iter().take(worker_claimed) {
+            outputs[index] = Some(output);
+        }
+        let missing = outputs.iter().filter(|o| o.is_none()).count();
+        assert!(
+            missing == 0,
+            "{missing} of {count} pool parts panicked before producing a result"
+        );
+        outputs
+            .into_iter()
+            .map(|o| o.expect("checked above"))
             .collect()
     }
 }
@@ -208,5 +308,61 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn run_parts_preserves_order_and_runs_everything_once() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let parts: Vec<_> = (0..24usize)
+            .map(|i| {
+                let counter = counter.clone();
+                move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i * 2
+                }
+            })
+            .collect();
+        let results = pool.run_parts(parts);
+        assert_eq!(results, (0..24).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            24,
+            "each part ran exactly once"
+        );
+    }
+
+    #[test]
+    fn nested_run_parts_from_a_worker_does_not_deadlock() {
+        // A single-worker pool: the worker itself calls run_parts, so every
+        // nested part must be drained inline by that worker.
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner_pool = Arc::clone(&pool);
+        let results = pool.run_parts(vec![move || {
+            let inner: Vec<usize> = inner_pool.run_parts((0..8usize).map(|i| move || i).collect());
+            inner.iter().sum::<usize>()
+        }]);
+        assert_eq!(results, vec![28]);
+    }
+
+    #[test]
+    fn run_parts_handles_empty_input() {
+        let pool = WorkerPool::new(2);
+        let parts: Vec<fn() -> u32> = Vec::new();
+        assert!(pool.run_parts(parts).is_empty());
+    }
+
+    // No expected message: the panic surfaces directly when the caller claimed
+    // the part inline, and as the missing-result report when a worker did.
+    #[test]
+    #[should_panic]
+    fn run_parts_reports_panicking_parts() {
+        let pool = WorkerPool::new(2);
+        let parts: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("part exploded")),
+            Box::new(|| 3),
+        ];
+        pool.run_parts(parts);
     }
 }

@@ -41,6 +41,7 @@ pub mod error;
 pub mod group;
 pub mod kendall;
 pub mod pairs;
+pub mod parallel;
 pub mod precedence;
 pub mod profile;
 pub mod ranking;
@@ -51,6 +52,7 @@ pub use error::RankingError;
 pub use group::{GroupIndex, GroupKey, GroupMembership};
 pub use kendall::{kendall_tau, kendall_tau_naive, normalized_kendall_tau};
 pub use pairs::{mixed_pairs_for_group, total_mixed_pairs, total_pairs};
+pub use parallel::{available_threads, run_parts, shard_ranges, Parallelism};
 pub use precedence::PrecedenceMatrix;
 pub use profile::RankingProfile;
 pub use ranking::Ranking;

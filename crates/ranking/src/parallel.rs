@@ -1,0 +1,272 @@
+//! Kernel-level parallelism primitives shared by every compute kernel in the
+//! workspace.
+//!
+//! Request-level parallelism (many jobs across a worker pool) lives in
+//! `mani-engine`; this module provides the complementary *intra-kernel* layer:
+//! splitting one large computation — a precedence-matrix build, a Schulze
+//! Floyd–Warshall sweep, a branch-and-bound search — across short-lived scoped
+//! threads that may borrow the caller's data. Scoped threads are used instead
+//! of a long-lived pool because kernels operate on borrowed, request-local
+//! buffers that cannot be sent to `'static` pool jobs without copying.
+//!
+//! The [`Parallelism`] config carries two decisions every kernel needs:
+//! how many threads it may use, and the problem-size threshold below which
+//! threading overhead outweighs the win (small inputs stay serial).
+//!
+//! Every kernel built on these primitives is **bit-identical** to its serial
+//! counterpart: work is split so that either the per-shard results are summed
+//! with integer arithmetic (order-insensitive) or the partition itself does not
+//! change the arithmetic (row-block Floyd–Warshall, index-ordered subtree
+//! merges).
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// Default candidate-count threshold below which kernels stay serial.
+///
+/// Thread spawn plus join costs a few tens of microseconds; kernels at
+/// `n < 48` finish in comparable time, so threading them is pure overhead.
+pub const DEFAULT_MIN_CANDIDATES: usize = 48;
+
+/// Kernel parallelism budget: how many threads one solve may use, and the
+/// problem-size gate that keeps small solves serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Parallelism {
+    /// Maximum worker threads a single kernel may occupy (minimum one).
+    threads: usize,
+    /// Candidate count below which kernels run serially regardless of
+    /// `threads`.
+    min_candidates: usize,
+}
+
+// Manual impl rather than derive: wire payloads must not be able to bypass
+// the `threads >= 1` invariant every constructor enforces, so the field is
+// clamped on the way in exactly like `Parallelism::new` does.
+impl Deserialize for Parallelism {
+    fn deserialize_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::new(format!("Parallelism: missing field `{name}`")))
+                .and_then(usize::deserialize_value)
+        };
+        Ok(Self {
+            threads: field("threads")?.max(1),
+            min_candidates: field("min_candidates")?,
+        })
+    }
+}
+
+impl Default for Parallelism {
+    /// The default is **serial**: library callers opt in explicitly, and the
+    /// engine layer decides how per-request threads compose with its batch
+    /// pool.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Parallelism {
+    /// Strictly serial execution (the default).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_candidates: DEFAULT_MIN_CANDIDATES,
+        }
+    }
+
+    /// Up to `threads` threads per kernel (clamped to at least one), with the
+    /// default size threshold.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_candidates: DEFAULT_MIN_CANDIDATES,
+        }
+    }
+
+    /// One thread per available core, with the default size threshold.
+    pub fn auto() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// Overrides the candidate-count threshold (`0` forces parallelism for
+    /// every input size — useful in tests).
+    pub fn with_min_candidates(mut self, min_candidates: usize) -> Self {
+        self.min_candidates = min_candidates;
+        self
+    }
+
+    /// The configured maximum thread count.
+    pub fn max_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The candidate-count threshold below which kernels stay serial.
+    pub fn min_candidates(&self) -> usize {
+        self.min_candidates
+    }
+
+    /// True when this config never fans out.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Number of threads a kernel over `n` candidates should use: `1` when the
+    /// input is below the threshold, the configured budget otherwise.
+    pub fn kernel_threads(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < self.min_candidates {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// One worker per available core (minimum one).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
+/// ranges (fewer when `len < parts`). The generic shard step of every
+/// shard/merge kernel: shard boundaries never change results because merges
+/// are order-insensitive integer sums.
+pub fn shard_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for index in 0..parts {
+        let size = base + usize::from(index < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Runs every part and returns the outputs **in part order**, fanning the
+/// parts out across up to `threads` scoped threads.
+///
+/// Unlike a pool, parts may borrow from the caller's stack — this is the
+/// primitive kernels use to process shards of borrowed matrices and profiles.
+/// With `threads <= 1` (or a single part) everything runs inline on the
+/// calling thread, in order, with zero threading overhead.
+///
+/// # Panics
+/// Propagates the first panic of any part after all threads have joined.
+pub fn run_parts<T, F>(threads: usize, parts: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = threads.max(1).min(parts.len());
+    if threads <= 1 {
+        return parts.into_iter().map(|part| part()).collect();
+    }
+    // Contiguous grouping keeps outputs trivially reorderable: group `g`
+    // produces the results for its own slice of part indices.
+    let ranges = shard_ranges(parts.len(), threads);
+    let mut parts = parts.into_iter();
+    let groups: Vec<Vec<F>> = ranges
+        .iter()
+        .map(|range| parts.by_ref().take(range.len()).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                scope.spawn(move || group.into_iter().map(|part| part()).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("run_parts worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_is_default_and_stays_serial() {
+        let par = Parallelism::default();
+        assert!(par.is_serial());
+        assert_eq!(par.kernel_threads(10_000), 1);
+        assert_eq!(par.min_candidates(), DEFAULT_MIN_CANDIDATES);
+    }
+
+    #[test]
+    fn threshold_gates_threading() {
+        let par = Parallelism::new(8);
+        assert_eq!(par.max_threads(), 8);
+        assert_eq!(par.kernel_threads(DEFAULT_MIN_CANDIDATES - 1), 1);
+        assert_eq!(par.kernel_threads(DEFAULT_MIN_CANDIDATES), 8);
+        let eager = Parallelism::new(4).with_min_candidates(0);
+        assert_eq!(eager.kernel_threads(1), 4);
+        assert!(!eager.is_serial());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).max_threads(), 1);
+        assert!(available_threads() >= 1);
+        assert!(Parallelism::auto().max_threads() >= 1);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_without_empties() {
+        for len in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = shard_ranges(len, parts);
+                assert!(ranges.len() <= parts);
+                let mut expected_start = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, expected_start);
+                    assert!(!range.is_empty(), "len={len} parts={parts}");
+                    expected_start = range.end;
+                }
+                assert_eq!(expected_start, len);
+                // Near-equal: sizes differ by at most one.
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_parts_preserves_order_across_thread_counts() {
+        for threads in [1usize, 2, 3, 8] {
+            let parts: Vec<_> = (0..17usize).map(|i| move || i * 3).collect();
+            let results = run_parts(threads, parts);
+            assert_eq!(results, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_parts_may_borrow_caller_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let slices: Vec<&[u64]> = data.chunks(30).collect();
+        let parts: Vec<_> = slices
+            .iter()
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let sums = run_parts(4, parts);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_parts_handles_empty_input() {
+        let parts: Vec<fn() -> u32> = Vec::new();
+        assert!(run_parts(4, parts).is_empty());
+    }
+}

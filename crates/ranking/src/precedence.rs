@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::candidate::CandidateId;
 use crate::error::RankingError;
+use crate::parallel::{run_parts, shard_ranges, Parallelism};
 use crate::ranking::Ranking;
 use crate::Result;
 
@@ -22,35 +23,109 @@ pub struct PrecedenceMatrix {
     counts: Vec<u32>,
 }
 
+/// Validates that a profile is non-empty and square, returning `n`.
+fn validated_len(rankings: &[Ranking]) -> Result<usize> {
+    let Some(first) = rankings.first() else {
+        return Err(RankingError::EmptyProfile);
+    };
+    let n = first.len();
+    for r in rankings {
+        if r.len() != n {
+            return Err(RankingError::LengthMismatch {
+                left: n,
+                right: r.len(),
+            });
+        }
+    }
+    Ok(n)
+}
+
+/// Adds one ranking's pairwise precedences into `counts` with weight `w`.
+///
+/// For every pair (above, below) in the ranking, candidate `above` precedes
+/// `below`, which is a disagreement against any consensus placing below ≺
+/// above: increment `W[below][above]`. The `below` row is hoisted out of the
+/// inner loop so each ranking touches `counts` one row slice at a time.
+fn accumulate_ranking(counts: &mut [u32], n: usize, ranking: &Ranking, w: u32) {
+    let order = ranking.as_slice();
+    for (j, below) in order.iter().enumerate().skip(1) {
+        let row = &mut counts[below.index() * n..][..n];
+        for above in &order[..j] {
+            row[above.index()] += w;
+        }
+    }
+}
+
+/// Builds the counts buffer for a shard of (ranking, weight) pairs.
+fn build_shard(rankings: &[Ranking], weights: Option<&[u32]>, n: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n * n];
+    match weights {
+        None => {
+            for ranking in rankings {
+                accumulate_ranking(&mut counts, n, ranking, 1);
+            }
+        }
+        Some(weights) => {
+            for (ranking, &w) in rankings.iter().zip(weights) {
+                accumulate_ranking(&mut counts, n, ranking, w);
+            }
+        }
+    }
+    counts
+}
+
+/// Builds counts across `threads` shards and merges by element-wise sum.
+///
+/// Precedence counts are additive per ranking, so any shard boundary produces
+/// the same matrix: integer addition is order-insensitive, making the parallel
+/// build bit-identical to the serial one.
+fn build_sharded(
+    rankings: &[Ranking],
+    weights: Option<&[u32]>,
+    n: usize,
+    threads: usize,
+) -> Vec<u32> {
+    let threads = threads.max(1).min(rankings.len());
+    if threads <= 1 {
+        return build_shard(rankings, weights, n);
+    }
+    let parts: Vec<_> = shard_ranges(rankings.len(), threads)
+        .into_iter()
+        .map(|range| {
+            let shard = &rankings[range.clone()];
+            let shard_weights = weights.map(|w| &w[range]);
+            move || build_shard(shard, shard_weights, n)
+        })
+        .collect();
+    let mut partials = run_parts(threads, parts).into_iter();
+    let mut counts = partials.next().expect("at least one shard");
+    for partial in partials {
+        for (total, part) in counts.iter_mut().zip(&partial) {
+            *total += part;
+        }
+    }
+    counts
+}
+
 impl PrecedenceMatrix {
     /// Builds the precedence matrix from a set of base rankings.
     ///
     /// All rankings must cover the same `n` candidates. Cost is `O(|R| · n²)`.
     pub fn from_rankings(rankings: &[Ranking]) -> Result<Self> {
-        let Some(first) = rankings.first() else {
-            return Err(RankingError::EmptyProfile);
-        };
-        let n = first.len();
-        for r in rankings {
-            if r.len() != n {
-                return Err(RankingError::LengthMismatch {
-                    left: n,
-                    right: r.len(),
-                });
-            }
-        }
-        let mut counts = vec![0u32; n * n];
-        for ranking in rankings {
-            let order = ranking.as_slice();
-            // For every pair (above, below) in this ranking, candidate `above` precedes
-            // `below`, which is a disagreement against any consensus placing below ≺ above:
-            // increment W[below][above].
-            for (i, &above) in order.iter().enumerate() {
-                for &below in &order[i + 1..] {
-                    counts[below.index() * n + above.index()] += 1;
-                }
-            }
-        }
+        Self::from_rankings_parallel(rankings, &Parallelism::serial())
+    }
+
+    /// Builds the precedence matrix with up to [`Parallelism::max_threads`]
+    /// shards building partial matrices that are summed — bit-identical to
+    /// [`PrecedenceMatrix::from_rankings`] for every shard count.
+    ///
+    /// The size gate uses the larger of `n` and `|R|`: this kernel shards by
+    /// rankings, so a short-but-wide profile (small `n`, huge `|R|`) is
+    /// exactly as parallelisable as a tall one.
+    pub fn from_rankings_parallel(rankings: &[Ranking], parallelism: &Parallelism) -> Result<Self> {
+        let n = validated_len(rankings)?;
+        let threads = parallelism.kernel_threads(n.max(rankings.len()));
+        let counts = build_sharded(rankings, None, n, threads);
         Ok(Self {
             n,
             num_rankings: rankings.len(),
@@ -60,35 +135,26 @@ impl PrecedenceMatrix {
 
     /// Builds a matrix with weighted rankings: ranking `i` contributes `weights[i]` votes.
     pub fn from_weighted_rankings(rankings: &[Ranking], weights: &[u32]) -> Result<Self> {
+        Self::from_weighted_rankings_parallel(rankings, weights, &Parallelism::serial())
+    }
+
+    /// Weighted variant of [`PrecedenceMatrix::from_rankings_parallel`]:
+    /// shards carry their weight slices, partial matrices are summed.
+    pub fn from_weighted_rankings_parallel(
+        rankings: &[Ranking],
+        weights: &[u32],
+        parallelism: &Parallelism,
+    ) -> Result<Self> {
         if rankings.len() != weights.len() {
             return Err(RankingError::LengthMismatch {
                 left: rankings.len(),
                 right: weights.len(),
             });
         }
-        let Some(first) = rankings.first() else {
-            return Err(RankingError::EmptyProfile);
-        };
-        let n = first.len();
-        for r in rankings {
-            if r.len() != n {
-                return Err(RankingError::LengthMismatch {
-                    left: n,
-                    right: r.len(),
-                });
-            }
-        }
-        let mut counts = vec![0u32; n * n];
-        let mut total_weight = 0usize;
-        for (ranking, &w) in rankings.iter().zip(weights) {
-            total_weight += w as usize;
-            let order = ranking.as_slice();
-            for (i, &above) in order.iter().enumerate() {
-                for &below in &order[i + 1..] {
-                    counts[below.index() * n + above.index()] += w;
-                }
-            }
-        }
+        let n = validated_len(rankings)?;
+        let threads = parallelism.kernel_threads(n.max(rankings.len()));
+        let counts = build_sharded(rankings, Some(weights), n, threads);
+        let total_weight = weights.iter().map(|&w| w as usize).sum();
         Ok(Self {
             n,
             num_rankings: total_weight,
@@ -110,6 +176,14 @@ impl PrecedenceMatrix {
     /// placing `a` above `b` in the consensus.
     pub fn disagreements_if_above(&self, a: CandidateId, b: CandidateId) -> u32 {
         self.counts[a.index() * self.n + b.index()]
+    }
+
+    /// Row `a` of the matrix: `row(a)[b]` is [`PrecedenceMatrix::disagreements_if_above`]
+    /// `(a, b)`, equivalently the support for `b ≺ a` (so `support_for(a, b)`
+    /// is `row(b)[a]`). Kernels iterate rows directly instead of paying a
+    /// bounds-checked multiply per element.
+    pub fn row(&self, a: CandidateId) -> &[u32] {
+        &self.counts[a.index() * self.n..][..self.n]
     }
 
     /// Number of base rankings preferring `a` over `b` (support for `a ≺ b`).
@@ -134,8 +208,9 @@ impl PrecedenceMatrix {
         let order = consensus.as_slice();
         let mut cost = 0u64;
         for (i, &above) in order.iter().enumerate() {
+            let row = self.row(above);
             for &below in &order[i + 1..] {
-                cost += self.disagreements_if_above(above, below) as u64;
+                cost += row[below.index()] as u64;
             }
         }
         Ok(cost)
@@ -143,18 +218,20 @@ impl PrecedenceMatrix {
 
     /// Copeland wins for each candidate: the number of pairwise contests the candidate wins,
     /// counting ties as wins for both sides (as in the paper's Fair-Copeland description).
-    #[allow(clippy::needless_range_loop)] // dense n*n scan: indices are the clearer idiom
     pub fn copeland_wins(&self) -> Vec<u32> {
+        // One pass over the upper triangle using two row slices per `a`:
+        // support_for(a, b) = row(b)[a] and support_for(b, a) = row(a)[b].
         let mut wins = vec![0u32; self.n];
         for a in 0..self.n {
-            for b in 0..self.n {
-                if a == b {
-                    continue;
-                }
-                let sa = self.support_for(CandidateId(a as u32), CandidateId(b as u32));
-                let sb = self.support_for(CandidateId(b as u32), CandidateId(a as u32));
+            let row_a = &self.counts[a * self.n..][..self.n];
+            for b in a + 1..self.n {
+                let sa = self.counts[b * self.n + a];
+                let sb = row_a[b];
                 if sa >= sb {
                     wins[a] += 1;
+                }
+                if sb >= sa {
+                    wins[b] += 1;
                 }
             }
         }
@@ -163,15 +240,14 @@ impl PrecedenceMatrix {
 
     /// Borda-style score for each candidate derived from the matrix: total support the
     /// candidate receives across all pairwise contests.
-    #[allow(clippy::needless_range_loop)]
     pub fn pairwise_support_scores(&self) -> Vec<u64> {
+        // scores[a] = Σ_b support_for(a, b) = Σ_b row(b)[a]: a column sum,
+        // computed as one cache-friendly sweep over the rows. The diagonal is
+        // always zero, so no exclusion is needed.
         let mut scores = vec![0u64; self.n];
-        for a in 0..self.n {
-            for b in 0..self.n {
-                if a == b {
-                    continue;
-                }
-                scores[a] += self.support_for(CandidateId(a as u32), CandidateId(b as u32)) as u64;
+        for row in self.counts.chunks_exact(self.n) {
+            for (score, &count) in scores.iter_mut().zip(row) {
+                *score += count as u64;
             }
         }
         scores
@@ -291,7 +367,55 @@ mod tests {
         assert_eq!(w.copeland_wins(), vec![1, 1]);
     }
 
+    #[test]
+    fn row_accessor_matches_point_lookups() {
+        let w = PrecedenceMatrix::from_rankings(&sample_rankings()).unwrap();
+        for a in 0..4u32 {
+            let row = w.row(CandidateId(a));
+            assert_eq!(row.len(), 4);
+            for b in 0..4u32 {
+                assert_eq!(
+                    row[b as usize],
+                    w.disagreements_if_above(CandidateId(a), CandidateId(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_respects_min_candidates_gate() {
+        // Below the threshold the parallel entry point must still produce the
+        // same matrix (it just runs serially).
+        let rankings = sample_rankings();
+        let gated = Parallelism::new(8); // default threshold 48 > n = 4
+        assert_eq!(
+            PrecedenceMatrix::from_rankings_parallel(&rankings, &gated).unwrap(),
+            PrecedenceMatrix::from_rankings(&rankings).unwrap()
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_sharded_build_is_bit_identical(
+            n in 2usize..12,
+            m in 1usize..20,
+            shards in 1usize..9,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let serial = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+            let par = Parallelism::new(shards).with_min_candidates(0);
+            let parallel = PrecedenceMatrix::from_rankings_parallel(&rankings, &par).unwrap();
+            prop_assert_eq!(&serial, &parallel);
+
+            let weights: Vec<u32> = (0..m as u32).map(|i| (seed as u32 % 5) + i % 7 + 1).collect();
+            let serial_w = PrecedenceMatrix::from_weighted_rankings(&rankings, &weights).unwrap();
+            let parallel_w =
+                PrecedenceMatrix::from_weighted_rankings_parallel(&rankings, &weights, &par).unwrap();
+            prop_assert_eq!(&serial_w, &parallel_w);
+        }
+
         #[test]
         fn prop_total_disagreements_matches_kendall_sums(
             n in 2usize..15,

@@ -85,6 +85,17 @@ impl RankingProfile {
             .expect("profile construction guarantees a valid, non-empty ranking set")
     }
 
+    /// Computes the precedence matrix with sharded parallel construction —
+    /// bit-identical to [`RankingProfile::precedence_matrix`] for every
+    /// thread and shard count.
+    pub fn precedence_matrix_with(
+        &self,
+        parallelism: &crate::parallel::Parallelism,
+    ) -> PrecedenceMatrix {
+        PrecedenceMatrix::from_rankings_parallel(&self.rankings, parallelism)
+            .expect("profile construction guarantees a valid, non-empty ranking set")
+    }
+
     /// Sum of Kendall tau distances from `consensus` to every base ranking.
     pub fn total_kendall_distance(&self, consensus: &Ranking) -> Result<u64> {
         let mut total = 0u64;

@@ -42,6 +42,8 @@ CONSENSUS OPTIONS:
     --methods A,B,C              methods to run (default: the four proposed MFCR methods)
     --delta D                    uniform fairness threshold (default 0.1)
     --threads N                  worker threads (default: one per core)
+    --kernel-threads N           threads within one solve for large datasets
+                                 (default 1 = serial; 0 = one per core)
     --budget NODES               branch-and-bound node budget for exact methods
     --audit                      also print a per-group fairness audit per method
 
@@ -51,6 +53,8 @@ AUDIT OPTIONS:
 SERVE OPTIONS (see docs/API.md for the JSON wire format):
     --addr HOST:PORT             listen address (default 127.0.0.1:8080; port 0 picks a free port)
     --threads N                  engine worker threads (default: one per core)
+    --kernel-threads N           threads within one solve for large datasets
+                                 (default 1 = serial; 0 = one per core)
     --queue-depth N              max in-flight async jobs before 429 (default 256)
     --cache-capacity N           response-cache entries (default 1024)
     --budget NODES               default branch-and-bound budget for exact methods
@@ -180,6 +184,7 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
             "methods",
             "delta",
             "threads",
+            "kernel-threads",
             "budget",
         ],
         &["audit"],
@@ -216,6 +221,7 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
     let methods = parse_methods(flags.get("methods"))?;
     let delta: f64 = flags.get_parsed("delta", 0.1)?;
     let threads: usize = flags.get_parsed("threads", 0)?;
+    let kernel_threads: usize = flags.get_parsed("kernel-threads", 1)?;
     let budget: Option<u64> =
         match flags.get("budget") {
             Some(raw) => Some(raw.parse().map_err(|_| {
@@ -227,6 +233,7 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
     let engine = ConsensusEngine::with_config(EngineConfig {
         threads,
         default_budget: budget,
+        kernel_threads,
         ..EngineConfig::default()
     });
     let requests: Vec<ConsensusRequest> = datasets
@@ -314,11 +321,19 @@ fn cmd_audit(args: &[String]) -> Result<(), EngineError> {
 fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
     let flags = Flags::parse(
         args,
-        &["addr", "threads", "queue-depth", "cache-capacity", "budget"],
+        &[
+            "addr",
+            "threads",
+            "kernel-threads",
+            "queue-depth",
+            "cache-capacity",
+            "budget",
+        ],
         &[],
     )?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let threads: usize = flags.get_parsed("threads", 0)?;
+    let kernel_threads: usize = flags.get_parsed("kernel-threads", 1)?;
     let queue_depth: usize = flags.get_parsed("queue-depth", 0)?;
     let cache_capacity: usize = flags.get_parsed("cache-capacity", 0)?;
     let budget: Option<u64> =
@@ -336,6 +351,8 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
                 threads,
                 default_budget: budget,
                 queue_depth,
+                kernel_threads,
+                ..EngineConfig::default()
             },
             cache_capacity,
         },

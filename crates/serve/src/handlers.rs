@@ -420,11 +420,23 @@ impl AppState {
                 "engine",
                 obj(vec![
                     ("threads", Value::UInt(self.engine.threads() as u64)),
+                    (
+                        "kernel_threads",
+                        Value::UInt(self.engine.kernel_parallelism().max_threads() as u64),
+                    ),
                     ("queue_depth", Value::UInt(engine.queue_depth as u64)),
                     ("in_flight", Value::UInt(engine.in_flight as u64)),
                     ("submitted", Value::UInt(engine.submitted)),
                     ("completed", Value::UInt(engine.completed)),
                     ("rejected", Value::UInt(engine.rejected)),
+                ]),
+            ),
+            (
+                "kernels",
+                obj(vec![
+                    ("matrix_build_ns", Value::UInt(engine.matrix_build_ns)),
+                    ("solve_ns", Value::UInt(engine.solve_ns)),
+                    ("nodes_expanded", Value::UInt(engine.nodes_expanded)),
                 ]),
             ),
             (
@@ -558,6 +570,10 @@ mod tests {
         assert!(stats.body.contains("\"precedence_cache\""));
         assert!(stats.body.contains("\"response_cache\""));
         assert!(stats.body.contains("\"queue_depth\""));
+        assert!(stats.body.contains("\"kernels\""));
+        assert!(stats.body.contains("\"matrix_build_ns\""));
+        assert!(stats.body.contains("\"nodes_expanded\""));
+        assert!(stats.body.contains("\"kernel_threads\""));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Problem and configuration types for the exact Kemeny / Fair-Kemeny solver.
 
-use mani_ranking::{PrecedenceMatrix, Ranking};
+use mani_ranking::{Parallelism, PrecedenceMatrix, Ranking};
 use serde::{Deserialize, Serialize};
 
 use crate::constraints::AxisConstraint;
@@ -50,7 +50,7 @@ impl KemenyProblem {
 }
 
 /// Configuration for the branch-and-bound search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SolverConfig {
     /// Maximum number of search nodes to expand before giving up on optimality.
     ///
@@ -58,20 +58,55 @@ pub struct SolverConfig {
     /// instances; the experiment harness raises it via `Scale::solver_max_nodes` when the
     /// paper-scale sweeps want tighter optimality.
     pub max_nodes: u64,
+    /// Kernel-parallelism budget for subtree-parallel search (default:
+    /// serial). When the search completes within the node budget the result is
+    /// bit-identical for every thread count; when the budget is exhausted the
+    /// anytime result may legitimately differ because workers race the budget.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         Self {
             max_nodes: 2_000_000,
+            parallelism: Parallelism::serial(),
         }
+    }
+}
+
+// Manual impl rather than derive: configs serialized before kernel
+// parallelism existed carry no `parallelism` field and must keep
+// deserializing (to the serial default).
+impl Deserialize for SolverConfig {
+    fn deserialize_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let max_nodes = value
+            .get("max_nodes")
+            .ok_or_else(|| serde::Error::new("SolverConfig: missing field `max_nodes`"))
+            .and_then(u64::deserialize_value)?;
+        let parallelism = match value.get("parallelism") {
+            Some(raw) => Parallelism::deserialize_value(raw)?,
+            None => Parallelism::serial(),
+        };
+        Ok(Self {
+            max_nodes,
+            parallelism,
+        })
     }
 }
 
 impl SolverConfig {
     /// Config with an explicit node budget.
     pub fn with_max_nodes(max_nodes: u64) -> Self {
-        Self { max_nodes }
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the kernel-parallelism budget.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -123,5 +158,28 @@ mod tests {
     fn solver_config_default_and_custom() {
         assert_eq!(SolverConfig::default().max_nodes, 2_000_000);
         assert_eq!(SolverConfig::with_max_nodes(10).max_nodes, 10);
+        let parallel = SolverConfig::default().with_parallelism(Parallelism::new(4));
+        assert_eq!(parallel.parallelism.max_threads(), 4);
+    }
+
+    #[test]
+    fn solver_config_deserializes_with_and_without_parallelism() {
+        use serde::{Deserialize, Serialize};
+        // Round trip preserves the parallelism budget.
+        let config = SolverConfig::with_max_nodes(77).with_parallelism(Parallelism::new(3));
+        let round: SolverConfig =
+            Deserialize::deserialize_value(&config.serialize_value()).unwrap();
+        assert_eq!(round.max_nodes, 77);
+        assert_eq!(round.parallelism, config.parallelism);
+        // A payload predating kernel parallelism still deserializes (serial).
+        let legacy: SolverConfig = serde_json::from_str("{\"max_nodes\": 500000}").unwrap();
+        assert_eq!(legacy.max_nodes, 500_000);
+        assert!(legacy.parallelism.is_serial());
+        // A wire value cannot smuggle in `threads: 0`.
+        let clamped: SolverConfig = serde_json::from_str(
+            "{\"max_nodes\": 5, \"parallelism\": {\"threads\": 0, \"min_candidates\": 48}}",
+        )
+        .unwrap();
+        assert_eq!(clamped.parallelism.max_threads(), 1);
     }
 }

@@ -5,12 +5,38 @@
 //! completion, and — for Fair-Kemeny — an optimistic feasibility interval for every
 //! fairness constraint. Children are explored in ascending bound order so good incumbents
 //! are found early and pruning is aggressive.
+//!
+//! ## Subtree parallelism
+//!
+//! When [`SolverConfig::parallelism`] allows it, the root frontier is expanded
+//! (in sequential DFS visit order) to at least `threads × 4` prefixes and the
+//! subtrees are solved by scoped worker threads sharing one [`AtomicU64`]
+//! incumbent bound. Determinism is preserved by construction:
+//!
+//! * each subtree prunes with `>=` only against bounds found *earlier in
+//!   visit order* (the seeded incumbent and its own leaves) and strictly (`>`)
+//!   against the shared cross-subtree bound, so the earliest minimum-cost leaf
+//!   of the sequential search always survives in its subtree;
+//! * subtree results are merged in frontier (i.e. sequential visit) order with
+//!   strict improvement, reproducing the sequential first-found tie-break.
+//!
+//! A search that completes within the node budget therefore returns a
+//! bit-identical ranking and cost for every thread count. Only the anytime
+//! case (budget exhausted mid-search) and the reported node count may vary,
+//! because workers race the shared budget.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use mani_ranking::{CandidateId, Ranking};
 
 use crate::bound::PairwiseMinima;
 use crate::constraints::AxisConstraint;
 use crate::model::{KemenyProblem, SolveOutcome, SolverConfig};
+
+/// Below this candidate count subtree parallelism is never attempted: the
+/// frontier bookkeeping would rival the whole search.
+const MIN_PARALLEL_CANDIDATES: usize = 8;
 
 /// Solves a (fairness-constrained) Kemeny problem exactly, within the node budget.
 ///
@@ -43,6 +69,22 @@ pub fn solve(
     let mut static_order: Vec<u32> = (0..n as u32).collect();
     static_order.sort_by(|&a, &b| wins[b as usize].cmp(&wins[a as usize]).then(a.cmp(&b)));
 
+    let threads = config.parallelism.kernel_threads(n);
+    if threads > 1 && n >= MIN_PARALLEL_CANDIDATES {
+        if let Some(outcome) = solve_parallel(
+            problem,
+            &minima,
+            &static_order,
+            config,
+            threads,
+            best_cost,
+            &best_ranking,
+            incumbent,
+        ) {
+            return outcome;
+        }
+    }
+
     let mut state = SearchState::new(problem, &minima, n);
     let mut ctx = SearchContext {
         problem,
@@ -53,15 +95,34 @@ pub fn solve(
         exhausted: false,
         best_cost,
         best_ranking,
+        shared: None,
     };
     ctx.dfs(&mut state);
+    finish_outcome(
+        ctx.nodes,
+        ctx.exhausted,
+        ctx.best_cost,
+        ctx.best_ranking,
+        incumbent,
+        problem,
+        n,
+    )
+}
 
-    let optimal = !ctx.exhausted && ctx.best_ranking.is_some();
-    let (ranking, cost) = match ctx.best_ranking {
-        Some(r) => {
-            let c = ctx.best_cost;
-            (r, c)
-        }
+/// Packages the end-of-search state into a [`SolveOutcome`], falling back to
+/// the incumbent (or identity) when no feasible ranking was found.
+fn finish_outcome(
+    nodes: u64,
+    exhausted: bool,
+    best_cost: u64,
+    best_ranking: Option<Ranking>,
+    incumbent: Option<&Ranking>,
+    problem: &KemenyProblem,
+    n: usize,
+) -> SolveOutcome {
+    let optimal = !exhausted && best_ranking.is_some();
+    let (ranking, cost) = match best_ranking {
+        Some(r) => (r, best_cost),
         None => {
             // No feasible solution found within the budget: fall back to the incumbent or,
             // failing that, the identity ranking (documented best-effort behaviour).
@@ -74,8 +135,216 @@ pub fn solve(
         ranking,
         cost,
         optimal,
-        nodes_explored: ctx.nodes,
+        nodes_explored: nodes,
     }
+}
+
+/// Bound/budget state shared by every subtree worker.
+struct SharedSearch {
+    /// Best feasible leaf cost found anywhere (seeded with the incumbent).
+    best: AtomicU64,
+    /// Global node counter charged against [`SolverConfig::max_nodes`].
+    nodes: AtomicU64,
+    /// Set once the budget is exhausted; all workers bail out promptly.
+    exhausted: AtomicBool,
+}
+
+/// Unplaced children of `state` with their lower bounds, cheapest first
+/// (ties by `static_order` position via the stable tuple sort).
+///
+/// This is the **single** child enumeration shared by [`SearchContext::dfs`]
+/// and [`expand_frontier`]: the bit-identical-across-threads guarantee relies
+/// on the frontier partition following exactly the sequential child order, so
+/// any change to the bound or ordering must happen here, for both.
+fn ordered_children(state: &SearchState, static_order: &[u32]) -> Vec<(u64, u32)> {
+    let mut children: Vec<(u64, u32)> = Vec::with_capacity(state.unplaced);
+    for &c in static_order {
+        let idx = c as usize;
+        if state.placed[idx] {
+            continue;
+        }
+        let child_bound = state.cost
+            + state.cost_to_unplaced[idx]
+            + (state.remaining_bound - state.min_to_unplaced[idx]);
+        children.push((child_bound, c));
+    }
+    children.sort_unstable();
+    children
+}
+
+/// Expands the root frontier to `target`-or-more prefixes in sequential DFS
+/// visit order, level by level. Children are enumerated exactly like
+/// [`SearchContext::dfs`] does (via [`ordered_children`]; pruned with `>=`
+/// against the incumbent cost, constraint-infeasible prefixes dropped), so
+/// the resulting prefix list is a partition of precisely the subtrees the
+/// sequential search could visit, in its visit order.
+fn expand_frontier(
+    problem: &KemenyProblem,
+    minima: &PairwiseMinima,
+    static_order: &[u32],
+    initial_best: u64,
+    target: usize,
+    nodes: &mut u64,
+) -> Vec<Vec<u32>> {
+    let n = problem.num_candidates();
+    let max_depth = n.saturating_sub(2).min(4);
+    let mut frontier: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    while frontier.len() < target && depth < max_depth {
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(frontier.len() * 4);
+        for prefix in &frontier {
+            // Visiting this interior node (mirrors the sequential node count).
+            *nodes += 1;
+            let mut state = SearchState::new(problem, minima, n);
+            for &c in prefix {
+                let _ = state.place(c as usize, problem, minima);
+            }
+            for (child_bound, c) in ordered_children(&state, static_order) {
+                if child_bound >= initial_best {
+                    break;
+                }
+                let undo = state.place(c as usize, problem, minima);
+                if state.feasible(&problem.constraints) {
+                    let mut child = prefix.clone();
+                    child.push(c);
+                    next.push(child);
+                }
+                state.unplace(undo, problem, minima);
+            }
+        }
+        frontier = next;
+        depth += 1;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// Runs the search with `threads` subtree workers. Returns `None` when the
+/// frontier does not offer real fan-out (the caller then runs sequentially).
+#[allow(clippy::too_many_arguments)]
+fn solve_parallel(
+    problem: &KemenyProblem,
+    minima: &PairwiseMinima,
+    static_order: &[u32],
+    config: &SolverConfig,
+    threads: usize,
+    initial_best_cost: u64,
+    initial_best_ranking: &Option<Ranking>,
+    incumbent: Option<&Ranking>,
+) -> Option<SolveOutcome> {
+    let n = problem.num_candidates();
+    let mut frontier_nodes = 0u64;
+    let frontier = expand_frontier(
+        problem,
+        minima,
+        static_order,
+        initial_best_cost,
+        threads * 4,
+        &mut frontier_nodes,
+    );
+    if frontier.is_empty() {
+        // Every subtree was pruned against the incumbent: the incumbent stands,
+        // exactly as it would after a fully pruned sequential search.
+        return Some(finish_outcome(
+            frontier_nodes,
+            false,
+            initial_best_cost,
+            initial_best_ranking.clone(),
+            incumbent,
+            problem,
+            n,
+        ));
+    }
+    if frontier.len() <= 1 {
+        return None;
+    }
+
+    let shared = SharedSearch {
+        best: AtomicU64::new(initial_best_cost),
+        nodes: AtomicU64::new(frontier_nodes),
+        exhausted: AtomicBool::new(false),
+    };
+    let next_index = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<(u64, Ranking)>>> =
+        (0..frontier.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(frontier.len()) {
+            scope.spawn(|| loop {
+                // Work stealing by shared index: which worker solves which
+                // subtree never affects the merged result.
+                let index = next_index.fetch_add(1, Ordering::Relaxed);
+                if index >= frontier.len() {
+                    break;
+                }
+                let subtree_best = solve_subtree(
+                    problem,
+                    minima,
+                    static_order,
+                    config,
+                    &shared,
+                    &frontier[index],
+                    initial_best_cost,
+                );
+                *results[index].lock().expect("subtree result lock poisoned") = subtree_best;
+            });
+        }
+    });
+
+    // Deterministic merge: frontier order is sequential visit order, and
+    // strict improvement reproduces the sequential first-found tie-break.
+    let mut best_cost = initial_best_cost;
+    let mut best_ranking = initial_best_ranking.clone();
+    for slot in results {
+        if let Some((cost, ranking)) = slot.into_inner().expect("subtree result lock poisoned") {
+            if cost < best_cost {
+                best_cost = cost;
+                best_ranking = Some(ranking);
+            }
+        }
+    }
+    let exhausted = shared.exhausted.load(Ordering::Relaxed);
+    Some(finish_outcome(
+        shared.nodes.load(Ordering::Relaxed),
+        exhausted,
+        best_cost,
+        best_ranking,
+        incumbent,
+        problem,
+        n,
+    ))
+}
+
+/// Solves one frontier subtree to completion, returning its best feasible
+/// leaf (strictly better than the seeded incumbent cost), if any.
+fn solve_subtree(
+    problem: &KemenyProblem,
+    minima: &PairwiseMinima,
+    static_order: &[u32],
+    config: &SolverConfig,
+    shared: &SharedSearch,
+    prefix: &[u32],
+    initial_best_cost: u64,
+) -> Option<(u64, Ranking)> {
+    let n = problem.num_candidates();
+    let mut state = SearchState::new(problem, minima, n);
+    for &c in prefix {
+        let _ = state.place(c as usize, problem, minima);
+    }
+    let mut ctx = SearchContext {
+        problem,
+        minima,
+        static_order,
+        config,
+        nodes: 0,
+        exhausted: false,
+        best_cost: initial_best_cost,
+        best_ranking: None,
+        shared: Some(shared),
+    };
+    ctx.dfs(&mut state);
+    ctx.best_ranking.map(|ranking| (ctx.best_cost, ranking))
 }
 
 /// Mutable per-search-path state, updated by place/unplace operations.
@@ -237,8 +506,13 @@ struct SearchContext<'a> {
     config: &'a SolverConfig,
     nodes: u64,
     exhausted: bool,
+    /// Best upper bound found *earlier in visit order*: the seeded incumbent
+    /// cost, improved by leaves of this (sub)search. `u64::MAX` when no upper
+    /// bound exists yet.
     best_cost: u64,
     best_ranking: Option<Ranking>,
+    /// Cross-subtree state when running as one worker of a parallel search.
+    shared: Option<&'a SharedSearch>,
 }
 
 impl SearchContext<'_> {
@@ -247,9 +521,26 @@ impl SearchContext<'_> {
             return;
         }
         self.nodes += 1;
-        if self.nodes > self.config.max_nodes {
-            self.exhausted = true;
-            return;
+        match self.shared {
+            None => {
+                if self.nodes > self.config.max_nodes {
+                    self.exhausted = true;
+                    return;
+                }
+            }
+            Some(shared) => {
+                if shared.exhausted.load(Ordering::Relaxed) {
+                    self.exhausted = true;
+                    return;
+                }
+                // The node budget is global across subtrees.
+                let global_nodes = shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+                if global_nodes > self.config.max_nodes {
+                    shared.exhausted.store(true, Ordering::Relaxed);
+                    self.exhausted = true;
+                    return;
+                }
+            }
         }
 
         if state.unplaced == 0 {
@@ -258,31 +549,29 @@ impl SearchContext<'_> {
                 let order: Vec<u32> = state.prefix.clone();
                 self.best_ranking =
                     Some(Ranking::from_ids(order).expect("prefix covers every candidate once"));
+                if let Some(shared) = self.shared {
+                    shared.best.fetch_min(state.cost, Ordering::Relaxed);
+                }
             }
             return;
         }
 
-        // Gather children with their lower bounds, cheapest first.
-        let mut children: Vec<(u64, u32)> = Vec::with_capacity(state.unplaced);
-        for &c in self.static_order {
-            let idx = c as usize;
-            if state.placed[idx] {
-                continue;
-            }
-            let child_bound = state.cost
-                + state.cost_to_unplaced[idx]
-                + (state.remaining_bound - state.min_to_unplaced[idx]);
-            children.push((child_bound, c));
-        }
-        children.sort_unstable();
-
-        for (child_bound, c) in children {
+        for (child_bound, c) in ordered_children(state, self.static_order) {
             if self.exhausted {
                 return;
             }
-            if self.best_ranking.is_some() && child_bound >= self.best_cost {
-                // Children are sorted by bound: nothing later can improve either.
+            // Children are sorted by bound, so the first pruned child ends the
+            // loop. Pruning is `>=` against bounds found earlier in visit order
+            // (`best_cost`) but strictly `>` against the shared cross-subtree
+            // bound: a later subtree may have tied this child's bound, and the
+            // deterministic tie-break requires the earlier leaf to be found.
+            if child_bound >= self.best_cost {
                 break;
+            }
+            if let Some(shared) = self.shared {
+                if child_bound > shared.best.load(Ordering::Relaxed) {
+                    break;
+                }
             }
             let undo = state.place(c as usize, self.problem, self.minima);
             if state.feasible(&self.problem.constraints) {
@@ -448,6 +737,78 @@ mod tests {
         // No feasible ranking exists; the solver reports non-optimal and returns the incumbent.
         assert!(!outcome.optimal);
         assert_eq!(outcome.ranking, incumbent);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_across_thread_counts() {
+        use mani_ranking::Parallelism;
+        let mut rng = StdRng::seed_from_u64(4242);
+        for case in 0..6 {
+            let n = 8 + case % 4;
+            let rankings: Vec<Ranking> = (0..5).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings).unwrap();
+            let membership: Vec<usize> = (0..n).map(|i| i % 2).collect();
+            let constraint = AxisConstraint::new("G", membership, 2, 0.3);
+            for constraints in [Vec::new(), vec![constraint]] {
+                let problem =
+                    KemenyProblem::constrained(profile.precedence_matrix(), constraints.clone());
+                let incumbent = Ranking::identity(n);
+                let sequential = solve(&problem, Some(&incumbent), &SolverConfig::default());
+                assert!(sequential.optimal);
+                for threads in [1usize, 2, 8] {
+                    let config = SolverConfig::default()
+                        .with_parallelism(Parallelism::new(threads).with_min_candidates(0));
+                    let parallel = solve(&problem, Some(&incumbent), &config);
+                    assert!(parallel.optimal);
+                    assert_eq!(parallel.ranking, sequential.ranking, "threads = {threads}");
+                    assert_eq!(parallel.cost, sequential.cost, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_with_infeasible_constraint_matches_sequential_fallback() {
+        use mani_ranking::Parallelism;
+        // Eight candidates in eight singleton groups with delta 0: no strict
+        // ranking can satisfy exact parity, so both paths must fall back.
+        let mut rng = StdRng::seed_from_u64(11);
+        let rankings: Vec<Ranking> = (0..4).map(|_| Ranking::random(8, &mut rng)).collect();
+        let profile = RankingProfile::new(rankings).unwrap();
+        let constraint = AxisConstraint::new("G", (0..8).collect(), 8, 0.0);
+        let problem = KemenyProblem::constrained(profile.precedence_matrix(), vec![constraint]);
+        let incumbent = Ranking::identity(8);
+        let sequential = solve(&problem, Some(&incumbent), &SolverConfig::default());
+        let config =
+            SolverConfig::default().with_parallelism(Parallelism::new(4).with_min_candidates(0));
+        let parallel = solve(&problem, Some(&incumbent), &config);
+        assert_eq!(parallel.optimal, sequential.optimal);
+        assert_eq!(parallel.ranking, sequential.ranking);
+        assert_eq!(parallel.cost, sequential.cost);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_parallel_matches_sequential(
+            n in 8usize..12,
+            m in 1usize..5,
+            threads in 2usize..9,
+            seed in any::<u64>()
+        ) {
+            use mani_ranking::Parallelism;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let profile = RankingProfile::new(rankings).unwrap();
+            let problem = KemenyProblem::unconstrained(profile.precedence_matrix());
+            let sequential = solve(&problem, None, &SolverConfig::default());
+            let config = SolverConfig::default()
+                .with_parallelism(Parallelism::new(threads).with_min_candidates(0));
+            let parallel = solve(&problem, None, &config);
+            prop_assert!(sequential.optimal && parallel.optimal);
+            prop_assert_eq!(&parallel.ranking, &sequential.ranking);
+            prop_assert_eq!(parallel.cost, sequential.cost);
+        }
     }
 
     proptest! {
