@@ -58,6 +58,12 @@ SERVE OPTIONS (see docs/API.md for the JSON wire format):
     --queue-depth N              max in-flight async jobs before 429 (default 256)
     --cache-capacity N           response-cache entries (default 1024)
     --budget NODES               default branch-and-bound budget for exact methods
+    --max-connections N          connections in flight before the accept path
+                                 answers 503 (default 256)
+    --conn-threads N             connection worker threads (default: min(8, cores))
+    --idle-timeout-ms MS         keep-alive idle timeout (default 5000)
+    --max-requests-per-conn N    exchanges per connection before Connection: close
+                                 (default 128)
 
 SAMPLE OPTIONS:
     --dir DIR                    output directory (created if missing)
@@ -328,6 +334,10 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
             "queue-depth",
             "cache-capacity",
             "budget",
+            "max-connections",
+            "conn-threads",
+            "idle-timeout-ms",
+            "max-requests-per-conn",
         ],
         &[],
     )?;
@@ -336,6 +346,10 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
     let kernel_threads: usize = flags.get_parsed("kernel-threads", 1)?;
     let queue_depth: usize = flags.get_parsed("queue-depth", 0)?;
     let cache_capacity: usize = flags.get_parsed("cache-capacity", 0)?;
+    let max_connections: usize = flags.get_parsed("max-connections", 0)?;
+    let conn_threads: usize = flags.get_parsed("conn-threads", 0)?;
+    let idle_timeout_ms: u64 = flags.get_parsed("idle-timeout-ms", 0)?;
+    let max_requests_per_conn: usize = flags.get_parsed("max-requests-per-conn", 0)?;
     let budget: Option<u64> =
         match flags.get("budget") {
             Some(raw) => Some(raw.parse().map_err(|_| {
@@ -355,17 +369,24 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
                 ..EngineConfig::default()
             },
             cache_capacity,
+            max_connections,
+            conn_threads,
+            idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
+            max_requests_per_conn,
+            ..ServerConfig::default()
         },
     )?;
     let local = server.local_addr()?;
     let engine = server.state().engine();
     emit(format!(
-        "mani-serve listening on http://{local} — {} worker(s), queue depth {}, response cache {} entries",
+        "mani-serve listening on http://{local} — {} engine worker(s), queue depth {}, response cache {} entries, {} connection worker(s), {} connections max (keep-alive on)",
         engine.threads(),
         engine.queue_depth(),
         server.state().response_cache().capacity(),
+        server.conn_threads(),
+        server.max_connections(),
     ));
-    emit("endpoints: POST /v1/consensus  POST /v1/audit  GET /v1/jobs/{id}  GET /v1/methods  GET /v1/stats");
+    emit("endpoints: POST /v1/consensus  POST /v1/audit  POST /v1/datasets  GET /v1/datasets/{id}  GET /v1/jobs/{id}  GET /v1/methods  GET /v1/stats");
     server.run().map_err(EngineError::from)
 }
 

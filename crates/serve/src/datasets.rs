@@ -1,0 +1,175 @@
+//! The persisted dataset registry behind `POST/GET/DELETE /v1/datasets`.
+//!
+//! Interactive clients (FairFuse-style threshold exploration) re-query the
+//! same candidate pool with varied deltas and methods. Re-POSTing a
+//! multi-megabyte dataset per request wastes client bandwidth and server parse
+//! time, so the registry lets a client upload once and reference the dataset
+//! by id (`"dataset_id"` in consensus/audit bodies) for every later solve.
+//!
+//! Ids are **content fingerprints** ([`EngineDataset::fingerprint`], the same
+//! key the engine's `PrecedenceCache` uses), so a registered dataset shares
+//! the warm precedence matrix with every inline request carrying identical
+//! content, and re-uploading identical content is idempotent: same id back.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mani_engine::EngineDataset;
+
+use crate::http::HttpError;
+
+/// Most datasets held at once; uploads beyond this answer `429` until
+/// something is `DELETE`d. Bounds worst-case registry memory the same way the
+/// response cache bounds outcome memory.
+pub const MAX_REGISTERED_DATASETS: usize = 1024;
+
+/// Canonical registry id for a dataset: its content fingerprint, hex-encoded.
+pub fn dataset_id(dataset: &EngineDataset) -> String {
+    format!("ds-{:016x}", dataset.fingerprint())
+}
+
+/// A bounded, thread-safe store of uploaded datasets keyed by content id.
+#[derive(Debug)]
+pub struct DatasetRegistry {
+    inner: Mutex<HashMap<String, Arc<EngineDataset>>>,
+    capacity: usize,
+}
+
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        Self::new(MAX_REGISTERED_DATASETS)
+    }
+}
+
+impl DatasetRegistry {
+    /// A registry bounded to `capacity` datasets (`0` means
+    /// [`MAX_REGISTERED_DATASETS`]).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            capacity: if capacity == 0 {
+                MAX_REGISTERED_DATASETS
+            } else {
+                capacity
+            },
+        }
+    }
+
+    /// Registers a dataset, returning `(id, created)`. Re-registering
+    /// identical content is idempotent (`created == false`, same id); a full
+    /// registry rejects *new* content with `429`.
+    pub fn register(&self, dataset: Arc<EngineDataset>) -> Result<(String, bool), HttpError> {
+        let id = dataset_id(&dataset);
+        let mut inner = self.inner.lock().expect("dataset registry lock poisoned");
+        if inner.contains_key(&id) {
+            return Ok((id, false));
+        }
+        if inner.len() >= self.capacity {
+            return Err(HttpError::new(
+                429,
+                format!(
+                    "dataset registry is full ({} entries); DELETE unused datasets first",
+                    self.capacity
+                ),
+            ));
+        }
+        inner.insert(id.clone(), dataset);
+        Ok((id, true))
+    }
+
+    /// Looks an id up.
+    pub fn get(&self, id: &str) -> Option<Arc<EngineDataset>> {
+        self.inner
+            .lock()
+            .expect("dataset registry lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Resolves an id or reports a `404` naming it.
+    pub fn resolve(&self, id: &str) -> Result<Arc<EngineDataset>, HttpError> {
+        self.get(id).ok_or_else(|| {
+            HttpError::new(
+                404,
+                format!("no such dataset `{id}` (upload via POST /v1/datasets)"),
+            )
+        })
+    }
+
+    /// Removes an id, returning the dataset it held.
+    pub fn remove(&self, id: &str) -> Option<Arc<EngineDataset>> {
+        self.inner
+            .lock()
+            .expect("dataset registry lock poisoned")
+            .remove(id)
+    }
+
+    /// Number of datasets currently registered.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("dataset registry lock poisoned")
+            .len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
+
+    fn dataset(name: &str, n: usize) -> Arc<EngineDataset> {
+        let mut b = CandidateDbBuilder::new();
+        let g = b.add_attribute("G", ["x", "y"]).unwrap();
+        for i in 0..n {
+            b.add_candidate(format!("c{i}"), [(g, i % 2)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let profile = RankingProfile::new(vec![Ranking::identity(n); 2]).unwrap();
+        Arc::new(EngineDataset::new(name, db, profile).unwrap())
+    }
+
+    #[test]
+    fn register_is_idempotent_by_content() {
+        let registry = DatasetRegistry::new(4);
+        let (id, created) = registry.register(dataset("a", 4)).unwrap();
+        assert!(created);
+        assert!(id.starts_with("ds-"), "{id}");
+        // Same content, different display name: same id, not re-created.
+        let (again, created) = registry.register(dataset("b", 4)).unwrap();
+        assert_eq!(id, again);
+        assert!(!created);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get(&id).is_some());
+    }
+
+    #[test]
+    fn resolve_and_remove_round_trip() {
+        let registry = DatasetRegistry::new(4);
+        let (id, _) = registry.register(dataset("a", 4)).unwrap();
+        assert_eq!(registry.resolve(&id).unwrap().num_candidates(), 4);
+        assert!(registry.remove(&id).is_some());
+        assert!(registry.remove(&id).is_none());
+        let err = registry.resolve(&id).unwrap_err();
+        assert_eq!(err.status, 404);
+        assert!(err.message.contains(&id));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn full_registry_rejects_new_content_with_429() {
+        let registry = DatasetRegistry::new(2);
+        registry.register(dataset("a", 4)).unwrap();
+        registry.register(dataset("b", 6)).unwrap();
+        let err = registry.register(dataset("c", 8)).unwrap_err();
+        assert_eq!(err.status, 429);
+        // Existing content still registers idempotently at capacity.
+        let (_, created) = registry.register(dataset("a2", 4)).unwrap();
+        assert!(!created);
+    }
+}

@@ -22,11 +22,13 @@ use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_ranking::GroupIndex;
 use serde::{Serialize, Value};
 
+use crate::datasets::{dataset_id, DatasetRegistry};
 use crate::http::{HttpError, HttpRequest, HttpResponse};
 use crate::json::{
-    error_body, method_result_json, obj, parse_body, parse_consensus_spec, parse_dataset, render,
-    s, with_entry, ConsensusSpec,
+    attribute_names_json, error_body, method_result_json, obj, parse_body, parse_consensus_spec,
+    parse_dataset, render, resolve_spec_dataset, s, with_entry, ConsensusSpec,
 };
+use crate::metrics::{EndpointMetrics, ServeCounters, LATENCY_BUCKET_BOUNDS_US};
 use crate::response_cache::ResponseCache;
 use crate::router::{route, Route, Routed};
 
@@ -34,12 +36,16 @@ use crate::router::{route, Route, Routed};
 /// (oldest first), bounding registry memory under sustained async traffic.
 pub const MAX_TRACKED_JOBS: usize = 4096;
 
-/// Everything the handlers share: the engine, the response cache, and the
-/// async-job registry behind `GET /v1/jobs/{id}`.
+/// Everything the handlers share: the engine, the response cache, the dataset
+/// registry, per-endpoint latency histograms, and the async-job registry
+/// behind `GET /v1/jobs/{id}`.
 #[derive(Debug)]
 pub struct AppState {
     engine: ConsensusEngine,
     cache: ResponseCache,
+    datasets: DatasetRegistry,
+    metrics: EndpointMetrics,
+    connections: ServeCounters,
     jobs: Mutex<HashMap<u64, JobEntry>>,
     started: Instant,
 }
@@ -61,6 +67,9 @@ impl AppState {
         Self {
             engine: ConsensusEngine::with_config(engine_config),
             cache: ResponseCache::new(cache_capacity),
+            datasets: DatasetRegistry::default(),
+            metrics: EndpointMetrics::new(),
+            connections: ServeCounters::new(),
             jobs: Mutex::new(HashMap::new()),
             started: Instant::now(),
         }
@@ -76,9 +85,31 @@ impl AppState {
         &self.cache
     }
 
-    /// Dispatches one parsed HTTP request to its handler.
+    /// The persisted dataset registry behind `/v1/datasets`.
+    pub fn datasets(&self) -> &DatasetRegistry {
+        &self.datasets
+    }
+
+    /// Per-endpoint request latency histograms.
+    pub fn metrics(&self) -> &EndpointMetrics {
+        &self.metrics
+    }
+
+    /// Connection-pool counters (updated by [`crate::server`]).
+    pub fn connections(&self) -> &ServeCounters {
+        &self.connections
+    }
+
+    /// Dispatches one parsed HTTP request to its handler, recording the
+    /// handler latency against the endpoint's histogram.
     pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
-        let outcome = match route(&request.method, &request.path) {
+        let started = Instant::now();
+        let routed = route(&request.method, &request.path);
+        let label = match &routed {
+            Routed::Found(found) => found.metrics_label(),
+            Routed::NotFound | Routed::MethodNotAllowed => "other",
+        };
+        let outcome = match routed {
             Routed::NotFound => Err(HttpError::new(
                 404,
                 format!("no such endpoint: {} {}", request.method, request.path),
@@ -90,15 +121,20 @@ impl AppState {
             Routed::Found(Route::Consensus) => self.consensus(request),
             Routed::Found(Route::Audit) => self.audit(request),
             Routed::Found(Route::Job(id)) => self.job(&id),
+            Routed::Found(Route::DatasetCreate) => self.dataset_create(request),
+            Routed::Found(Route::DatasetGet(id)) => self.dataset_get(&id),
+            Routed::Found(Route::DatasetDelete(id)) => self.dataset_delete(&id),
             Routed::Found(Route::Methods) => Ok(methods_response()),
             Routed::Found(Route::Stats) => Ok(self.stats_response()),
         };
-        outcome.unwrap_or_else(|error| {
+        let response = outcome.unwrap_or_else(|error| {
             HttpResponse::json(
                 if error.status == 0 { 400 } else { error.status },
                 error_body(&error.message),
             )
-        })
+        });
+        self.metrics.record(label, started.elapsed());
+        response
     }
 
     /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch.
@@ -115,12 +151,15 @@ impl AppState {
                 (
                     array
                         .iter()
-                        .map(parse_consensus_spec)
+                        .map(|raw| parse_consensus_spec(raw, Some(&self.datasets)))
                         .collect::<Result<Vec<_>, _>>()?,
                     false,
                 )
             }
-            None => (vec![parse_consensus_spec(&body)?], true),
+            None => (
+                vec![parse_consensus_spec(&body, Some(&self.datasets))?],
+                true,
+            ),
         };
         let wait = match body.get("wait") {
             None | Some(Value::Null) => false,
@@ -349,10 +388,7 @@ impl AppState {
     /// (audits are `O(n²)`; they do not occupy the consensus queue).
     fn audit(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
         let body = parse_body(request.body_utf8()?)?;
-        let dataset = parse_dataset(
-            body.get("dataset")
-                .ok_or_else(|| HttpError::bad("missing `dataset`"))?,
-        )?;
+        let dataset = resolve_spec_dataset(&body, Some(&self.datasets))?;
         let delta = match body.get("delta") {
             None | Some(Value::Null) => 0.1,
             Some(raw) => crate::json::as_f64(raw, "`delta`")?,
@@ -409,12 +445,93 @@ impl AppState {
         Ok(HttpResponse::json(200, render(&obj(entries))))
     }
 
+    /// `POST /v1/datasets` — register a dataset for later `dataset_id`
+    /// solves. The body is either a bare dataset object or `{"dataset":
+    /// {...}}`. Ids are content fingerprints (the precedence-cache key), so
+    /// registration is idempotent and registered datasets share the engine's
+    /// warm matrix with identical inline uploads.
+    fn dataset_create(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
+        let body = parse_body(request.body_utf8()?)?;
+        let dataset = match body.get("dataset") {
+            Some(wrapped) => parse_dataset(wrapped)?,
+            None => parse_dataset(&body)?,
+        };
+        let (id, created) = self.datasets.register(Arc::clone(&dataset))?;
+        Ok(HttpResponse::json(
+            200,
+            render(&obj(vec![
+                ("id", s(&id)),
+                ("name", s(dataset.name())),
+                ("candidates", Value::UInt(dataset.num_candidates() as u64)),
+                ("rankings", Value::UInt(dataset.num_rankings() as u64)),
+                ("created", Value::Bool(created)),
+            ])),
+        ))
+    }
+
+    /// `GET /v1/datasets/{id}` — metadata of a registered dataset.
+    fn dataset_get(&self, id: &str) -> Result<HttpResponse, HttpError> {
+        let dataset = self.datasets.resolve(id)?;
+        Ok(HttpResponse::json(
+            200,
+            render(&obj(vec![
+                ("id", s(dataset_id(&dataset))),
+                ("name", s(dataset.name())),
+                ("candidates", Value::UInt(dataset.num_candidates() as u64)),
+                ("rankings", Value::UInt(dataset.num_rankings() as u64)),
+                ("attributes", attribute_names_json(dataset.db())),
+            ])),
+        ))
+    }
+
+    /// `DELETE /v1/datasets/{id}`.
+    fn dataset_delete(&self, id: &str) -> Result<HttpResponse, HttpError> {
+        match self.datasets.remove(id) {
+            Some(_) => Ok(HttpResponse::json(
+                200,
+                render(&obj(vec![("id", s(id)), ("deleted", Value::Bool(true))])),
+            )),
+            None => Err(HttpError::new(404, format!("no such dataset `{id}`"))),
+        }
+    }
+
     /// `GET /v1/stats`.
     fn stats_response(&self) -> HttpResponse {
         let engine = self.engine.stats();
         let precedence = self.engine.cache().stats();
         let responses = self.cache.stats();
         let jobs_tracked = self.jobs.lock().expect("job registry lock poisoned").len();
+        let connections = self.connections.snapshot();
+        let latency = Value::Object(
+            self.metrics
+                .snapshots()
+                .into_iter()
+                .map(|(label, snap)| {
+                    (
+                        label.to_string(),
+                        obj(vec![
+                            ("count", Value::UInt(snap.count)),
+                            ("total_ms", Value::Float(snap.total_ns as f64 / 1e6)),
+                            (
+                                "le_us",
+                                Value::Array(
+                                    LATENCY_BUCKET_BOUNDS_US
+                                        .iter()
+                                        .map(|b| Value::UInt(*b))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "buckets",
+                                Value::Array(
+                                    snap.buckets.iter().map(|c| Value::UInt(*c)).collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         let body = obj(vec![
             (
                 "engine",
@@ -459,6 +576,28 @@ impl AppState {
                     ("evictions", Value::UInt(responses.evictions)),
                 ]),
             ),
+            (
+                "server",
+                obj(vec![
+                    ("max_connections", Value::UInt(connections.max_connections)),
+                    ("conn_threads", Value::UInt(connections.conn_threads)),
+                    ("connections_accepted", Value::UInt(connections.accepted)),
+                    (
+                        "connections_rejected",
+                        Value::UInt(connections.rejected_busy),
+                    ),
+                    ("requests_served", Value::UInt(connections.requests)),
+                    (
+                        "keepalive_reuses",
+                        Value::UInt(connections.keepalive_reuses),
+                    ),
+                ]),
+            ),
+            ("latency", latency),
+            (
+                "datasets_registered",
+                Value::UInt(self.datasets.len() as u64),
+            ),
             ("jobs_tracked", Value::UInt(jobs_tracked as u64)),
             (
                 "uptime_s",
@@ -489,7 +628,7 @@ fn methods_response() -> HttpResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::{demo_consensus_body, get, post};
+    use crate::test_support::{delete, demo_consensus_body, demo_dataset_json, get, post};
 
     fn state() -> AppState {
         AppState::new(
@@ -574,6 +713,88 @@ mod tests {
         assert!(stats.body.contains("\"matrix_build_ns\""));
         assert!(stats.body.contains("\"nodes_expanded\""));
         assert!(stats.body.contains("\"kernel_threads\""));
+    }
+
+    #[test]
+    fn dataset_endpoints_round_trip() {
+        let state = state();
+        let up = state.handle(&post("/v1/datasets", &demo_dataset_json("reg")));
+        assert_eq!(up.status, 200, "{}", up.body);
+        let parsed = parse_body(&up.body).unwrap();
+        let id = parsed
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("dataset id")
+            .to_string();
+        assert!(id.starts_with("ds-"), "{id}");
+        assert!(up.body.contains("\"created\":true"));
+
+        // Re-uploading identical content (wrapped form) is idempotent.
+        let wrapped = format!(r#"{{"dataset": {}}}"#, demo_dataset_json("other-name"));
+        let again = state.handle(&post("/v1/datasets", &wrapped));
+        assert_eq!(again.status, 200);
+        assert!(again.body.contains(&id), "{}", again.body);
+        assert!(again.body.contains("\"created\":false"));
+
+        let meta = state.handle(&get(&format!("/v1/datasets/{id}")));
+        assert_eq!(meta.status, 200, "{}", meta.body);
+        assert!(meta.body.contains("\"candidates\":4"));
+        assert!(meta.body.contains("\"attributes\":[\"G\"]"));
+
+        // Solve by reference instead of re-posting the rows.
+        let by_id = format!(
+            r#"{{"dataset_id": "{id}", "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+        );
+        let solved = state.handle(&post("/v1/consensus", &by_id));
+        assert_eq!(solved.status, 200, "{}", solved.body);
+        assert!(solved.body.contains("\"ranking\""));
+
+        let gone = state.handle(&delete(&format!("/v1/datasets/{id}")));
+        assert_eq!(gone.status, 200);
+        assert!(gone.body.contains("\"deleted\":true"));
+        assert_eq!(
+            state.handle(&get(&format!("/v1/datasets/{id}"))).status,
+            404
+        );
+        assert_eq!(
+            state.handle(&delete(&format!("/v1/datasets/{id}"))).status,
+            404
+        );
+        assert_eq!(state.handle(&post("/v1/consensus", &by_id)).status, 404);
+    }
+
+    #[test]
+    fn stats_report_latency_histograms_and_server_counters() {
+        let state = state();
+        state.handle(&get("/v1/methods"));
+        let first = state.handle(&post("/v1/consensus", &demo_consensus_body(0.2, true)));
+        assert_eq!(first.status, 200);
+        let stats = state.handle(&get("/v1/stats"));
+        assert_eq!(stats.status, 200, "{}", stats.body);
+        let parsed = parse_body(&stats.body).unwrap();
+        let latency = parsed.get("latency").expect("latency section");
+        let count = |endpoint: &str| match latency.get(endpoint).and_then(|h| h.get("count")) {
+            Some(Value::UInt(u)) => *u,
+            other => panic!("missing count for {endpoint}: {other:?}"),
+        };
+        assert_eq!(count("consensus"), 1);
+        assert_eq!(count("methods"), 1);
+        assert_eq!(count("stats"), 0, "recorded after the response renders");
+        let buckets = latency
+            .get("consensus")
+            .and_then(|h| h.get("buckets"))
+            .and_then(Value::as_array)
+            .expect("bucket array");
+        let total: u64 = buckets
+            .iter()
+            .map(|b| match b {
+                Value::UInt(u) => *u,
+                other => panic!("non-integer bucket {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 1, "bucket counts must sum to the sample count");
+        assert!(stats.body.contains("\"server\""));
+        assert!(stats.body.contains("\"datasets_registered\":0"));
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! Deliberately std-only (same spirit as the engine's hand-rolled CSV
 //! front-end): exactly the subset the JSON API needs — a request line, headers,
 //! an optional `Content-Length` body — with hard limits on line length, header
-//! count, and body size so one connection cannot balloon memory. Every
-//! response is `Connection: close`; one connection serves one exchange.
+//! count, and body size so one connection cannot balloon memory. Connections
+//! are persistent by default (HTTP/1.1 keep-alive): the server loops multiple
+//! exchanges per connection, honoring `Connection:` headers, an idle timeout,
+//! and a per-connection request cap before answering `Connection: close`
+//! (see [`crate::server`] for the connection loop itself).
+//!
+//! Request smuggling is rejected at the parser: several `Content-Length`
+//! headers that disagree are a hard `400` — a proxy and this server must never
+//! disagree about where one request ends and the next begins.
 
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Longest accepted request line or header line, in bytes.
 const MAX_LINE_BYTES: usize = 8 * 1024;
@@ -29,6 +37,8 @@ pub struct HttpRequest {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Minor HTTP version: `0` for `HTTP/1.0`, `1` for `HTTP/1.1`.
+    pub minor_version: u8,
 }
 
 impl HttpRequest {
@@ -39,6 +49,28 @@ impl HttpRequest {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// exchange: an explicit `Connection: close` wins, an explicit
+    /// `Connection: keep-alive` wins for HTTP/1.0, and otherwise the
+    /// HTTP/1.1 default (persistent) / HTTP/1.0 default (close) applies.
+    pub fn wants_keep_alive(&self) -> bool {
+        let tokens: Vec<String> = self
+            .header("connection")
+            .map(|v| {
+                v.split(',')
+                    .map(|t| t.trim().to_ascii_lowercase())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if tokens.iter().any(|t| t == "close") {
+            return false;
+        }
+        if tokens.iter().any(|t| t == "keep-alive") {
+            return true;
+        }
+        self.minor_version >= 1
     }
 
     /// The body as UTF-8 text.
@@ -58,7 +90,25 @@ impl HttpRequest {
         stream: &mut impl BufRead,
         interim: &mut impl Write,
     ) -> Result<HttpRequest, HttpError> {
-        let request_line = read_line(stream)?;
+        Self::read_from_duplex_deadline(stream, interim, None)
+    }
+
+    /// Like [`HttpRequest::read_from_duplex`], with a hard deadline for
+    /// receiving the **entire** request. A per-read socket timeout alone does
+    /// not stop a slow-loris client dripping one byte per interval; the
+    /// deadline is checked as bytes arrive, so such a connection is cut off
+    /// with `408` no matter how steadily it trickles.
+    ///
+    /// A read timeout **before the first byte of the request line** returns
+    /// the silent [`HttpError::closed`] marker: an idle keep-alive connection
+    /// that reaches its idle timeout is dropped without a response. A timeout
+    /// (or deadline expiry) after bytes arrived is a real `408`.
+    pub fn read_from_duplex_deadline(
+        stream: &mut impl BufRead,
+        interim: &mut impl Write,
+        deadline: Option<Instant>,
+    ) -> Result<HttpRequest, HttpError> {
+        let request_line = read_line(stream, true, deadline)?;
         if request_line.is_empty() {
             return Err(HttpError::closed());
         }
@@ -76,6 +126,9 @@ impl HttpRequest {
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::new(505, format!("unsupported {version}")));
         }
+        let minor_version: u8 = version["HTTP/1.".len()..]
+            .parse()
+            .map_err(|_| HttpError::bad(format!("malformed HTTP version `{version}`")))?;
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), Some(q.to_string())),
             None => (target.to_string(), None),
@@ -83,7 +136,7 @@ impl HttpRequest {
 
         let mut headers = Vec::new();
         loop {
-            let line = read_line(stream)?;
+            let line = read_line(stream, false, deadline)?;
             if line.is_empty() {
                 break;
             }
@@ -96,15 +149,35 @@ impl HttpRequest {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
 
-        let content_length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .map(|(_, v)| {
-                v.parse::<usize>()
-                    .map_err(|_| HttpError::bad("invalid Content-Length"))
-            })
-            .transpose()?
-            .unwrap_or(0);
+        // This parser frames bodies by Content-Length only. A request carrying
+        // Transfer-Encoding would desync the connection under keep-alive (its
+        // chunked body bytes would parse as the *next* request — the other
+        // request-smuggling shape), so it is refused outright (RFC 9112 §6.1).
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::new(
+                501,
+                "Transfer-Encoding is not supported; send a Content-Length body",
+            ));
+        }
+
+        // Several `Content-Length` headers that agree are tolerated (RFC 9110
+        // §8.6 allows folding an identical list); any disagreement is the
+        // request-smuggling shape and must be a hard 400, never "first wins".
+        let mut content_length: Option<usize> = None;
+        for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::bad("invalid Content-Length"))?;
+            match content_length {
+                Some(previous) if previous != parsed => {
+                    return Err(HttpError::bad(format!(
+                        "conflicting Content-Length headers ({previous} vs {parsed})"
+                    )));
+                }
+                _ => content_length = Some(parsed),
+            }
+        }
+        let content_length = content_length.unwrap_or(0);
         if content_length > MAX_BODY_BYTES {
             return Err(HttpError::new(
                 413,
@@ -120,22 +193,56 @@ impl HttpRequest {
             let _ = interim.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
             let _ = interim.flush();
         }
+        // Chunked reads instead of one `read_exact`, so the receive deadline
+        // also covers a body that trickles in.
         let mut body = vec![0u8; content_length];
-        stream
-            .read_exact(&mut body)
-            .map_err(|_| HttpError::bad("body shorter than Content-Length"))?;
+        let mut filled = 0usize;
+        while filled < content_length {
+            if deadline_expired(deadline) {
+                return Err(HttpError::new(408, "request receive deadline exceeded"));
+            }
+            match stream.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::bad("body shorter than Content-Length")),
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(HttpError::new(408, "timed out reading the request body"));
+                }
+                Err(_) => return Err(HttpError::bad("body shorter than Content-Length")),
+            }
+        }
         Ok(HttpRequest {
             method,
             path,
             query,
             headers,
             body,
+            minor_version,
         })
     }
 }
 
-/// Reads one CRLF- (or LF-) terminated line, enforcing [`MAX_LINE_BYTES`].
-fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
+/// True when a receive deadline is set and has passed.
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing [`MAX_LINE_BYTES`] and
+/// the whole-request receive `deadline` (checked per arriving byte, so a
+/// trickling sender cannot out-wait the per-read socket timeout).
+///
+/// With `idle_ok`, a read timeout before any byte arrives maps to the silent
+/// [`HttpError::closed`] marker (used for the request line, so idle keep-alive
+/// connections close without a bogus `408`); any later stall stays a `408`.
+fn read_line(
+    stream: &mut impl BufRead,
+    idle_ok: bool,
+    deadline: Option<Instant>,
+) -> Result<String, HttpError> {
     let mut raw = Vec::new();
     let mut byte = [0u8; 1];
     loop {
@@ -149,6 +256,19 @@ fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
                 if raw.len() > MAX_LINE_BYTES {
                     return Err(HttpError::bad("header line too long"));
                 }
+                if deadline_expired(deadline) {
+                    return Err(HttpError::new(408, "request receive deadline exceeded"));
+                }
+            }
+            Err(e)
+                if idle_ok
+                    && raw.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(HttpError::closed());
             }
             Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
         }
@@ -162,10 +282,12 @@ fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
 /// One HTTP response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
-    /// Status code (200, 202, 400, 404, 429, ...).
+    /// Status code (200, 202, 400, 404, 429, 503, ...).
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`), rendered before `Connection:`.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -176,6 +298,7 @@ impl HttpResponse {
         Self {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -185,19 +308,41 @@ impl HttpResponse {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
             body: body.into(),
         }
     }
 
-    /// Serializes the response (status line, headers, body) onto a stream.
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response with `Connection: close` (the one-shot form;
+    /// the server's keep-alive loop uses [`HttpResponse::write_conn`]).
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        self.write_conn(stream, false)
+    }
+
+    /// Serializes the response (status line, headers, body) onto a stream,
+    /// announcing whether the connection stays open for another exchange.
+    pub fn write_conn(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(
+            stream,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -227,8 +372,8 @@ impl HttpError {
         Self::new(400, message)
     }
 
-    /// Marker for a connection that closed before sending a request; the
-    /// server drops it without answering.
+    /// Marker for a connection that closed (or idled out) before sending a
+    /// request; the server drops it without answering.
     pub fn closed() -> Self {
         Self::new(0, "connection closed before a request arrived")
     }
@@ -259,6 +404,8 @@ pub fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -283,6 +430,7 @@ mod tests {
         assert_eq!(request.header("host"), Some("x"));
         assert_eq!(request.header("HOST"), Some("x"));
         assert_eq!(request.body_utf8().unwrap(), "{\"a\"");
+        assert_eq!(request.minor_version, 1);
     }
 
     #[test]
@@ -324,6 +472,82 @@ mod tests {
     }
 
     #[test]
+    fn malformed_minor_versions_are_rejected() {
+        assert_eq!(parse("GET /x HTTP/1.x\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x HTTP/1.\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x HTTP/1.1\r\n\r\n").unwrap().minor_version, 1);
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused() {
+        // Chunked framing would desync keep-alive connections (smuggling
+        // shape): refuse it outright instead of misreading the body.
+        let err = parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+        assert!(err.message.contains("Transfer-Encoding"), "{err}");
+    }
+
+    #[test]
+    fn receive_deadline_cuts_off_trickling_requests() {
+        // An already-expired deadline trips as soon as bytes arrive.
+        let raw = "GET /v1/methods HTTP/1.1\r\n\r\n";
+        let expired = Some(Instant::now() - std::time::Duration::from_millis(1));
+        let err = HttpRequest::read_from_duplex_deadline(
+            &mut BufReader::new(raw.as_bytes()),
+            &mut std::io::sink(),
+            expired,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 408);
+        assert!(err.message.contains("deadline"), "{err}");
+
+        // A generous deadline lets a complete request through untouched.
+        let future = Some(Instant::now() + std::time::Duration::from_secs(60));
+        let request = HttpRequest::read_from_duplex_deadline(
+            &mut BufReader::new(raw.as_bytes()),
+            &mut std::io::sink(),
+            future,
+        )
+        .unwrap();
+        assert_eq!(request.path, "/v1/methods");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // The request-smuggling shape: two Content-Length headers disagreeing
+        // about where the body ends. Must be 400, never "first header wins".
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nokummm")
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("conflicting"), "{err}");
+
+        // Identical duplicates fold to one value (RFC 9110 §8.6).
+        let request =
+            parse("POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(request.body_utf8().unwrap(), "ok");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection_header() {
+        let http11 = parse("GET /x HTTP/1.1\r\n\r\n").unwrap();
+        assert!(http11.wants_keep_alive(), "HTTP/1.1 defaults persistent");
+
+        let http11_close = parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!http11_close.wants_keep_alive());
+
+        let http10 = parse("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(http10.minor_version, 0);
+        assert!(!http10.wants_keep_alive(), "HTTP/1.0 defaults close");
+
+        let http10_ka = parse("GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(http10_ka.wants_keep_alive());
+
+        // `close` wins over other tokens in a list.
+        let mixed = parse("GET /x HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!mixed.wants_keep_alive());
+    }
+
+    #[test]
     fn expect_100_continue_gets_an_interim_response() {
         let raw = "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
         let mut interim = Vec::new();
@@ -357,8 +581,29 @@ mod tests {
     }
 
     #[test]
+    fn response_keep_alive_and_extra_headers_serialize() {
+        let mut out = Vec::new();
+        HttpResponse::json(503, "{\"error\":\"busy\"}")
+            .with_header("Retry-After", "1")
+            .write_conn(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{}")
+            .write_conn(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
     fn reason_phrases_cover_api_statuses() {
-        for status in [200, 202, 400, 404, 405, 413, 429, 500] {
+        for status in [200, 202, 400, 404, 405, 408, 413, 429, 500, 503] {
             assert_ne!(status_reason(status), "Unknown");
         }
         assert_eq!(status_reason(999), "Unknown");

@@ -34,6 +34,7 @@ use mani_fairness::FairnessThresholds;
 use mani_ranking::{CandidateDb, CandidateDbBuilder, Ranking, RankingProfile};
 use serde::{Serialize, Value};
 
+use crate::datasets::DatasetRegistry;
 use crate::http::HttpError;
 
 /// One fully parsed consensus request spec, ready to submit or cache-key.
@@ -121,13 +122,36 @@ pub fn with_entry(value: Value, key: &str, entry: Value) -> Value {
     }
 }
 
-/// Parses one consensus spec (`dataset` + `methods` + thresholds + budget).
-pub fn parse_consensus_spec(value: &Value) -> Result<ConsensusSpec, HttpError> {
-    let dataset = parse_dataset(
-        value
-            .get("dataset")
-            .ok_or_else(|| HttpError::bad("missing `dataset`"))?,
-    )?;
+/// Resolves the dataset of a request body: inline under `dataset`, or by
+/// registry id under `dataset_id` (uploaded via `POST /v1/datasets`).
+pub fn resolve_spec_dataset(
+    value: &Value,
+    registry: Option<&DatasetRegistry>,
+) -> Result<Arc<EngineDataset>, HttpError> {
+    match (value.get("dataset"), value.get("dataset_id")) {
+        (Some(_), Some(_)) => Err(HttpError::bad(
+            "pass either `dataset` or `dataset_id`, not both",
+        )),
+        (Some(inline), None) => parse_dataset(inline),
+        (None, Some(raw)) => {
+            let id = raw
+                .as_str()
+                .ok_or_else(|| HttpError::bad("`dataset_id` must be a string"))?;
+            let registry = registry
+                .ok_or_else(|| HttpError::bad("`dataset_id` is not supported in this context"))?;
+            registry.resolve(id)
+        }
+        (None, None) => Err(HttpError::bad("missing `dataset` (or `dataset_id`)")),
+    }
+}
+
+/// Parses one consensus spec (`dataset` or `dataset_id`, plus `methods`,
+/// thresholds, and `budget`). `registry` resolves `dataset_id` references.
+pub fn parse_consensus_spec(
+    value: &Value,
+    registry: Option<&DatasetRegistry>,
+) -> Result<ConsensusSpec, HttpError> {
+    let dataset = resolve_spec_dataset(value, registry)?;
     let methods = parse_methods(value.get("methods"))?;
     let thresholds = parse_thresholds(value, dataset.db())?;
     let budget = match value.get("budget") {
@@ -455,7 +479,7 @@ mod tests {
 
     #[test]
     fn parses_a_full_spec() {
-        let spec = parse_consensus_spec(&demo_spec_value(0.2)).unwrap();
+        let spec = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
         assert_eq!(spec.dataset.name(), "demo");
         assert_eq!(spec.dataset.num_candidates(), 4);
         assert_eq!(spec.dataset.num_rankings(), 3);
@@ -480,7 +504,7 @@ mod tests {
 
     #[test]
     fn cache_key_sees_content_not_names() {
-        let a = parse_consensus_spec(&demo_spec_value(0.2)).unwrap();
+        let a = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
         let mut renamed = demo_spec_value(0.2);
         if let Value::Object(ref mut entries) = renamed {
             if let Some((_, Value::Object(ref mut fields))) =
@@ -493,13 +517,13 @@ mod tests {
                 }
             }
         }
-        let b = parse_consensus_spec(&renamed).unwrap();
+        let b = parse_consensus_spec(&renamed, None).unwrap();
         assert_eq!(
             a.cache_key(MethodKind::FairBorda),
             b.cache_key(MethodKind::FairBorda),
             "display names must not split the cache"
         );
-        let c = parse_consensus_spec(&demo_spec_value(0.3)).unwrap();
+        let c = parse_consensus_spec(&demo_spec_value(0.3), None).unwrap();
         assert_ne!(
             a.cache_key(MethodKind::FairBorda),
             c.cache_key(MethodKind::FairBorda),
@@ -515,7 +539,7 @@ mod tests {
     #[test]
     fn dataset_errors_are_descriptive() {
         let missing = parse_body(r#"{"methods": ["Fair-Borda"]}"#).unwrap();
-        assert!(parse_consensus_spec(&missing)
+        assert!(parse_consensus_spec(&missing, None)
             .unwrap_err()
             .message
             .contains("dataset"));
@@ -527,7 +551,7 @@ mod tests {
             ], "rankings": [["a", "nope"]]}}"#,
         )
         .unwrap();
-        assert!(parse_consensus_spec(&unknown)
+        assert!(parse_consensus_spec(&unknown, None)
             .unwrap_err()
             .message
             .contains("unknown candidate"));
@@ -539,7 +563,7 @@ mod tests {
             ], "rankings": [["a", "b"]]}}"#,
         )
         .unwrap();
-        assert!(parse_consensus_spec(&single_valued)
+        assert!(parse_consensus_spec(&single_valued, None)
             .unwrap_err()
             .message
             .contains("at least 2"));
@@ -558,7 +582,7 @@ mod tests {
             }}"#,
         )
         .unwrap();
-        let spec = parse_consensus_spec(&pinned).unwrap();
+        let spec = parse_consensus_spec(&pinned, None).unwrap();
         let db = spec.dataset.db();
         let g = db.schema().attribute_id("G").unwrap();
         let values: Vec<&str> = db.schema().attribute(g).unwrap().values().collect();
@@ -575,7 +599,7 @@ mod tests {
             ));
             entries.push(("intersection_delta".to_string(), Value::Float(0.4)));
         }
-        let spec = parse_consensus_spec(&value).unwrap();
+        let spec = parse_consensus_spec(&value, None).unwrap();
         let g = spec.dataset.db().schema().attribute_id("G").unwrap();
         assert_eq!(spec.thresholds.attribute_delta(g), Some(0.05));
         assert_eq!(spec.thresholds.intersection_delta(), Some(0.4));
@@ -587,10 +611,55 @@ mod tests {
                 obj(vec![("Nope", Value::Float(0.05))]),
             ));
         }
-        assert!(parse_consensus_spec(&bad)
+        assert!(parse_consensus_spec(&bad, None)
             .unwrap_err()
             .message
             .contains("unknown attribute"));
+    }
+
+    #[test]
+    fn dataset_id_resolves_through_the_registry() {
+        let registry = DatasetRegistry::new(4);
+        let inline = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
+        let (id, _) = registry.register(Arc::clone(&inline.dataset)).unwrap();
+
+        let mut by_id = demo_spec_value(0.2);
+        if let Value::Object(ref mut entries) = by_id {
+            entries.retain(|(k, _)| k != "dataset");
+            entries.push(("dataset_id".to_string(), s(id.clone())));
+        }
+        let spec = parse_consensus_spec(&by_id, Some(&registry)).unwrap();
+        assert_eq!(
+            spec.dataset.fingerprint(),
+            inline.dataset.fingerprint(),
+            "registry resolution must hand back identical content"
+        );
+        assert_eq!(
+            spec.cache_key(MethodKind::FairBorda),
+            inline.cache_key(MethodKind::FairBorda),
+            "dataset_id and inline specs must share the response cache"
+        );
+
+        // Unknown ids are 404; missing registry support is 400; both-at-once
+        // is 400.
+        let mut unknown = by_id.clone();
+        if let Value::Object(ref mut entries) = unknown {
+            entries.retain(|(k, _)| k != "dataset_id");
+            entries.push(("dataset_id".to_string(), s("ds-nope")));
+        }
+        assert_eq!(
+            parse_consensus_spec(&unknown, Some(&registry))
+                .unwrap_err()
+                .status,
+            404
+        );
+        assert_eq!(parse_consensus_spec(&by_id, None).unwrap_err().status, 400);
+        let mut both = demo_spec_value(0.2);
+        if let Value::Object(ref mut entries) = both {
+            entries.push(("dataset_id".to_string(), s(id)));
+        }
+        let err = parse_consensus_spec(&both, Some(&registry)).unwrap_err();
+        assert!(err.message.contains("not both"), "{err}");
     }
 
     #[test]

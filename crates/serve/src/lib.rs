@@ -6,15 +6,21 @@
 //! decision-makers issuing many small consensus and audit requests against the
 //! same candidate pools.
 //!
-//! * [`http`] — request parsing / response rendering over `TcpStream`.
+//! * [`http`] — request parsing / response rendering over `TcpStream`,
+//!   including HTTP/1.1 keep-alive negotiation.
 //! * [`router`] — `(method, path)` → typed [`router::Route`].
 //! * [`json`] — body codec between API JSON and engine types, over the
 //!   workspace serde shims.
-//! * [`response_cache`] — LRU memoization of whole method outcomes keyed by
-//!   `(dataset fingerprint, thresholds, method, budget)`, layered *above* the
-//!   engine's precedence cache so replayed requests are `O(1)`.
-//! * [`handlers`] — the five `v1` endpoints over one [`handlers::AppState`].
-//! * [`server`] — the accept loop plus a stoppable background-server handle.
+//! * [`datasets`] — the persisted dataset registry behind `/v1/datasets`
+//!   (upload once, solve many times via `"dataset_id"`).
+//! * [`response_cache`] — O(1) LRU memoization of whole method outcomes keyed
+//!   by `(dataset fingerprint, thresholds, method, budget)`, layered *above*
+//!   the engine's precedence cache so replayed requests are `O(1)`.
+//! * [`metrics`] — per-endpoint request latency histograms and
+//!   connection-pool counters, rendered by `GET /v1/stats`.
+//! * [`handlers`] — the `v1` endpoints over one [`handlers::AppState`].
+//! * [`server`] — the accept loop, the bounded connection worker pool, and a
+//!   stoppable background-server handle.
 //!
 //! ## Endpoints
 //!
@@ -23,8 +29,22 @@
 //! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, otherwise a job id is returned |
 //! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
 //! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
+//! | `POST /v1/datasets` | Register a dataset; returns its content id for `dataset_id` solves |
+//! | `GET /v1/datasets/{id}` | Metadata of a registered dataset |
+//! | `DELETE /v1/datasets/{id}` | Unregister a dataset |
 //! | `GET /v1/methods` | The eight available consensus methods |
-//! | `GET /v1/stats` | Queue, precedence-cache, and response-cache counters |
+//! | `GET /v1/stats` | Queue, cache, connection-pool, and latency-histogram counters |
+//!
+//! ## Connection model
+//!
+//! The accept loop hands each connection to a **bounded worker pool**
+//! ([`ServerConfig::conn_threads`] workers, at most
+//! [`ServerConfig::max_connections`] connections in flight). When the pool is
+//! saturated — or a worker thread could not be spawned — the accept path
+//! answers `503 Service Unavailable` with `Retry-After` instead of silently
+//! dropping the connection. Within one connection, workers loop HTTP/1.1
+//! keep-alive exchanges (idle timeout, per-connection request cap) before
+//! closing.
 //!
 //! Backpressure: the engine's bounded submission queue rejects excess load
 //! with [`mani_engine::EngineError::Overloaded`], which this layer reports as
@@ -34,15 +54,22 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod datasets;
 pub mod handlers;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod response_cache;
 pub mod router;
 pub mod server;
 
+pub use datasets::{DatasetRegistry, MAX_REGISTERED_DATASETS};
 pub use handlers::AppState;
 pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use metrics::{
+    EndpointMetrics, HistogramSnapshot, LatencyHistogram, ServeCounters, ServeCountersSnapshot,
+    LATENCY_BUCKET_BOUNDS_US,
+};
 pub use response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_CAPACITY};
 pub use router::{route, Route, Routed};
 pub use server::{Server, ServerConfig, ServerHandle};
@@ -62,6 +89,7 @@ pub(crate) mod test_support {
             query: None,
             headers: vec![("content-type".into(), "application/json".into())],
             body: body.as_bytes().to_vec(),
+            minor_version: 1,
         }
     }
 
@@ -73,36 +101,58 @@ pub(crate) mod test_support {
             query: None,
             headers: Vec::new(),
             body: Vec::new(),
+            minor_version: 1,
         }
+    }
+
+    /// A parsed `DELETE` request.
+    pub fn delete(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "DELETE".into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+            minor_version: 1,
+        }
+    }
+
+    /// The four-candidate demo dataset object used across handler tests.
+    pub fn demo_dataset_json(name: &str) -> String {
+        format!(
+            r#"{{
+                "name": "{name}",
+                "candidates": [
+                    {{"name": "a", "attributes": {{"G": "x"}}}},
+                    {{"name": "b", "attributes": {{"G": "y"}}}},
+                    {{"name": "c", "attributes": {{"G": "x"}}}},
+                    {{"name": "d", "attributes": {{"G": "y"}}}}
+                ],
+                "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
+            }}"#
+        )
     }
 
     /// A small four-candidate consensus payload (Fair-Borda + Fair-Copeland).
     pub fn demo_consensus_body(delta: f64, wait: bool) -> String {
         format!(
             r#"{{
-                "dataset": {{
-                    "name": "demo",
-                    "candidates": [
-                        {{"name": "a", "attributes": {{"G": "x"}}}},
-                        {{"name": "b", "attributes": {{"G": "y"}}}},
-                        {{"name": "c", "attributes": {{"G": "x"}}}},
-                        {{"name": "d", "attributes": {{"G": "y"}}}}
-                    ],
-                    "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
-                }},
+                "dataset": {},
                 "methods": ["Fair-Borda", "Fair-Copeland"],
                 "delta": {delta},
                 "wait": {wait}
-            }}"#
+            }}"#,
+            demo_dataset_json("demo")
         )
     }
 
-    /// Sends one raw HTTP exchange and returns `(status, body)`.
+    /// Sends one raw HTTP exchange (`Connection: close`) and returns
+    /// `(status, body)`.
     pub fn http_roundtrip(addr: SocketAddr, request_line: &str, body: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect to test server");
         write!(
             stream,
-            "{request_line}\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "{request_line}\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .expect("write request");

@@ -6,9 +6,12 @@
 //! a replayed request is served in `O(1)` without touching the engine at all —
 //! no queue slot, no worker task, no matrix build, no solve.
 //!
-//! Eviction is least-recently-used with a fixed entry capacity, so a server
-//! replaying an unbounded stream of distinct requests holds a bounded number
-//! of cached outcomes.
+//! Eviction is least-recently-used with a fixed entry capacity, implemented as
+//! a hash map into a slab of nodes threaded on an intrusive doubly-linked
+//! recency list — `get`, `insert`, and eviction are all `O(1)`. (The first
+//! implementation evicted via an `O(capacity)` full-map minimum scan *while
+//! holding the global mutex*: at the default 1024-entry capacity every miss
+//! under churn stalled all concurrent connection workers behind that scan.)
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,11 +39,111 @@ pub struct ResponseCacheStats {
     pub evictions: u64,
 }
 
-#[derive(Debug, Default)]
+/// Sentinel slab index meaning "no node".
+const NIL: usize = usize::MAX;
+
+/// One slab slot: the entry plus its recency-list neighbors.
+#[derive(Debug)]
+struct Node {
+    key: String,
+    value: Arc<Value>,
+    prev: usize,
+    next: usize,
+}
+
+/// Map + slab + intrusive recency list. `head` is most recent, `tail` least.
+#[derive(Debug)]
 struct Inner {
-    /// Key → (value, last-used tick). The tick implements LRU recency.
-    map: HashMap<String, (Arc<Value>, u64)>,
-    tick: u64,
+    map: HashMap<String, usize>,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn node(&self, slot: usize) -> &Node {
+        self.nodes[slot].as_ref().expect("live LRU slot")
+    }
+
+    fn node_mut(&mut self, slot: usize) -> &mut Node {
+        self.nodes[slot].as_mut().expect("live LRU slot")
+    }
+
+    /// Unlinks `slot` from the recency list (it stays in the slab).
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = {
+            let node = self.node(slot);
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Links `slot` in as the most-recently-used node.
+    fn push_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let node = self.node_mut(slot);
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.node_mut(h).prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.detach(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Removes the least-recently-used node, returning its slot to the free
+    /// list. No-op on an empty cache.
+    fn evict_tail(&mut self) -> bool {
+        let slot = self.tail;
+        if slot == NIL {
+            return false;
+        }
+        self.detach(slot);
+        let node = self.nodes[slot].take().expect("live LRU tail");
+        self.map.remove(&node.key);
+        self.free.push(slot);
+        true
+    }
+
+    fn allocate(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
 }
 
 /// A thread-safe LRU cache from canonical request keys to rendered outcomes.
@@ -64,7 +167,7 @@ impl ResponseCache {
             capacity
         };
         Self {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner::new()),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -78,16 +181,14 @@ impl ResponseCache {
         self.capacity
     }
 
-    /// Looks a key up, refreshing its recency on a hit.
+    /// Looks a key up, refreshing its recency on a hit. `O(1)`.
     pub fn get(&self, key: &str) -> Option<Arc<Value>> {
         let mut inner = self.inner.lock().expect("response cache lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some((value, last_used)) => {
-                *last_used = tick;
+        match inner.map.get(key).copied() {
+            Some(slot) => {
+                inner.touch(slot);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(value))
+                Some(Arc::clone(&inner.node(slot).value))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -96,24 +197,28 @@ impl ResponseCache {
         }
     }
 
-    /// Stores a value, evicting the least-recently-used entries when the
-    /// capacity would be exceeded.
+    /// Stores a value, evicting the least-recently-used entry when the
+    /// capacity would be exceeded. `O(1)` — no scans under the lock.
     pub fn insert(&self, key: impl Into<String>, value: Arc<Value>) {
+        let key = key.into();
         let mut inner = self.inner.lock().expect("response cache lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(key.into(), (value, tick));
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        while inner.map.len() > self.capacity {
-            let oldest = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, last_used))| *last_used)
-                .map(|(key, _)| key.clone())
-                .expect("non-empty map over capacity");
-            inner.map.remove(&oldest);
+        if let Some(slot) = inner.map.get(&key).copied() {
+            inner.node_mut(slot).value = value;
+            inner.touch(slot);
+            return;
+        }
+        if inner.map.len() >= self.capacity && inner.evict_tail() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        let slot = inner.allocate(Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        inner.map.insert(key, slot);
+        inner.push_front(slot);
     }
 
     /// Current effectiveness counters.
@@ -182,6 +287,22 @@ mod tests {
     }
 
     #[test]
+    fn overwriting_a_key_refreshes_without_evicting() {
+        let cache = ResponseCache::new(2);
+        cache.insert("a", value(1));
+        cache.insert("b", value(2));
+        // Overwrite `a`: it becomes most recent; nothing is evicted.
+        cache.insert("a", value(10));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(*cache.get("a").unwrap(), Value::UInt(10));
+        // `b` is now least recent and goes first.
+        cache.insert("c", value(3));
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+    }
+
+    #[test]
     fn capacity_bounds_entries_under_churn() {
         let cache = ResponseCache::new(8);
         for i in 0..100u64 {
@@ -195,5 +316,40 @@ mod tests {
         // The newest keys survived.
         assert!(cache.get("k99").is_some());
         assert!(cache.get("k0").is_none());
+    }
+
+    #[test]
+    fn recency_list_survives_interleaved_churn() {
+        // Exercise detach/push_front/evict/reuse across a mixed workload and
+        // verify against a naive model.
+        let capacity = 5usize;
+        let cache = ResponseCache::new(capacity);
+        let mut model: Vec<u64> = Vec::new(); // most recent first
+        for round in 0..400u64 {
+            let key = (round * 7 + round / 3) % 23;
+            if round % 3 == 0 && model.contains(&key) {
+                // Hit path.
+                assert!(cache.get(&format!("k{key}")).is_some(), "round {round}");
+                model.retain(|k| *k != key);
+                model.insert(0, key);
+            } else {
+                cache.insert(format!("k{key}"), value(round));
+                model.retain(|k| *k != key);
+                model.insert(0, key);
+                model.truncate(capacity);
+            }
+            // The model's members are exactly the cached members. Probing with
+            // `get` perturbs recency identically in both (hits move to front).
+            for k in 0..23u64 {
+                let cached = cache.get(&format!("k{k}")).is_some();
+                let expected = model.contains(&k);
+                assert_eq!(cached, expected, "round {round}, key {k}");
+                if expected {
+                    model.retain(|m| *m != k);
+                    model.insert(0, k);
+                }
+            }
+        }
+        assert_eq!(cache.stats().entries, capacity);
     }
 }

@@ -9,10 +9,30 @@ pub enum Route {
     Audit,
     /// `GET /v1/jobs/{id}` — poll an async job.
     Job(String),
+    /// `POST /v1/datasets` — register a dataset, returning its content id.
+    DatasetCreate,
+    /// `GET /v1/datasets/{id}` — metadata of a registered dataset.
+    DatasetGet(String),
+    /// `DELETE /v1/datasets/{id}` — unregister a dataset.
+    DatasetDelete(String),
     /// `GET /v1/methods` — list available consensus methods.
     Methods,
-    /// `GET /v1/stats` — engine, cache, and queue counters.
+    /// `GET /v1/stats` — engine, cache, queue, and latency counters.
     Stats,
+}
+
+impl Route {
+    /// The metrics label this route records latency under.
+    pub fn metrics_label(&self) -> &'static str {
+        match self {
+            Route::Consensus => "consensus",
+            Route::Audit => "audit",
+            Route::Job(_) => "jobs",
+            Route::DatasetCreate | Route::DatasetGet(_) | Route::DatasetDelete(_) => "datasets",
+            Route::Methods => "methods",
+            Route::Stats => "stats",
+        }
+    }
 }
 
 /// Outcome of routing one request line.
@@ -29,18 +49,27 @@ pub enum Routed {
 /// Routes a request by method and path (query string already stripped).
 pub fn route(method: &str, path: &str) -> Routed {
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
-    let endpoint = match segments.as_slice() {
-        ["v1", "consensus"] => Some(("POST", Route::Consensus)),
-        ["v1", "audit"] => Some(("POST", Route::Audit)),
-        ["v1", "jobs", id] if !id.is_empty() => Some(("GET", Route::Job((*id).to_string()))),
-        ["v1", "methods"] => Some(("GET", Route::Methods)),
-        ["v1", "stats"] => Some(("GET", Route::Stats)),
-        _ => None,
+    // Every (allowed method, route) pair the path maps to; several entries
+    // mean the path supports several methods (e.g. GET/DELETE on a dataset).
+    let endpoints: Vec<(&str, Route)> = match segments.as_slice() {
+        ["v1", "consensus"] => vec![("POST", Route::Consensus)],
+        ["v1", "audit"] => vec![("POST", Route::Audit)],
+        ["v1", "jobs", id] if !id.is_empty() => vec![("GET", Route::Job((*id).to_string()))],
+        ["v1", "datasets"] => vec![("POST", Route::DatasetCreate)],
+        ["v1", "datasets", id] if !id.is_empty() => vec![
+            ("GET", Route::DatasetGet((*id).to_string())),
+            ("DELETE", Route::DatasetDelete((*id).to_string())),
+        ],
+        ["v1", "methods"] => vec![("GET", Route::Methods)],
+        ["v1", "stats"] => vec![("GET", Route::Stats)],
+        _ => Vec::new(),
     };
-    match endpoint {
-        Some((expected, found)) if expected == method => Routed::Found(found),
-        Some(_) => Routed::MethodNotAllowed,
-        None => Routed::NotFound,
+    if endpoints.is_empty() {
+        return Routed::NotFound;
+    }
+    match endpoints.into_iter().find(|(m, _)| *m == method) {
+        Some((_, found)) => Routed::Found(found),
+        None => Routed::MethodNotAllowed,
     }
 }
 
@@ -59,6 +88,18 @@ mod tests {
             route("GET", "/v1/jobs/job-17"),
             Routed::Found(Route::Job("job-17".into()))
         );
+        assert_eq!(
+            route("POST", "/v1/datasets"),
+            Routed::Found(Route::DatasetCreate)
+        );
+        assert_eq!(
+            route("GET", "/v1/datasets/ds-12ab"),
+            Routed::Found(Route::DatasetGet("ds-12ab".into()))
+        );
+        assert_eq!(
+            route("DELETE", "/v1/datasets/ds-12ab"),
+            Routed::Found(Route::DatasetDelete("ds-12ab".into()))
+        );
         assert_eq!(route("GET", "/v1/methods"), Routed::Found(Route::Methods));
         assert_eq!(route("GET", "/v1/stats"), Routed::Found(Route::Stats));
         // Trailing slash tolerated.
@@ -69,8 +110,20 @@ mod tests {
     fn wrong_method_is_distinguished_from_unknown_path() {
         assert_eq!(route("GET", "/v1/consensus"), Routed::MethodNotAllowed);
         assert_eq!(route("POST", "/v1/stats"), Routed::MethodNotAllowed);
+        assert_eq!(route("GET", "/v1/datasets"), Routed::MethodNotAllowed);
+        assert_eq!(route("POST", "/v1/datasets/ds-1"), Routed::MethodNotAllowed);
         assert_eq!(route("GET", "/v2/stats"), Routed::NotFound);
         assert_eq!(route("GET", "/v1/jobs"), Routed::NotFound);
         assert_eq!(route("GET", "/"), Routed::NotFound);
+    }
+
+    #[test]
+    fn metrics_labels_cover_routes() {
+        assert_eq!(Route::Consensus.metrics_label(), "consensus");
+        assert_eq!(Route::Job("j".into()).metrics_label(), "jobs");
+        assert_eq!(Route::DatasetCreate.metrics_label(), "datasets");
+        assert_eq!(Route::DatasetGet("d".into()).metrics_label(), "datasets");
+        assert_eq!(Route::DatasetDelete("d".into()).metrics_label(), "datasets");
+        assert_eq!(Route::Stats.metrics_label(), "stats");
     }
 }

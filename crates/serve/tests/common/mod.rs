@@ -1,0 +1,145 @@
+//! Shared raw-socket HTTP client helpers for the serve integration tests:
+//! framing-aware response reads (keep-alive connections never reach EOF, so
+//! `read_to_string` would hang) and a pinned demo dataset payload.
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mani_engine::EngineConfig;
+use mani_serve::{Server, ServerConfig, ServerHandle};
+use serde::Value;
+
+/// Spawns a test server with the given connection-pool shape.
+pub fn spawn_server(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind an ephemeral port")
+        .spawn()
+        .expect("spawn the accept loop")
+}
+
+/// A small engine config for tests (bounded threads, default queue).
+pub fn small_engine(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    }
+}
+
+/// Writes one request onto an open stream without reading the response.
+/// `close` adds `Connection: close`; otherwise HTTP/1.1 keep-alive applies.
+pub fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str, close: bool) {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{connection}Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+}
+
+/// Reads exactly one HTTP response off the stream (headers, then the body's
+/// `Content-Length` bytes — works on keep-alive connections where EOF never
+/// comes). Returns `(status, headers, body)`; header names are lower-cased.
+pub fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Headers end at the first CRLFCRLF.
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            other => panic!("connection ended mid-headers ({other:?}); got {raw:?}"),
+        }
+    }
+    let head = String::from_utf8(raw).expect("UTF-8 response head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse().expect("numeric Content-Length"))
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("UTF-8 body"),
+    )
+}
+
+/// The `Connection:` header value of a response, lower-cased.
+pub fn connection_header(headers: &[(String, String)]) -> Option<String> {
+    headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+}
+
+/// One one-shot exchange (`Connection: close`) returning `(status, JSON)`.
+pub fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_request(&mut stream, method, path, body, true);
+    let (status, _, body) = read_response(&mut stream);
+    let value = serde_json::from_str(&body).unwrap_or(Value::Null);
+    (status, value)
+}
+
+/// Integer lookup along a JSON path; panics with context when absent.
+pub fn get_u64(value: &Value, path: &[&str]) -> u64 {
+    let mut current = value;
+    for key in path {
+        current = current.get(key).unwrap_or(&Value::Null);
+    }
+    match current {
+        Value::UInt(u) => *u,
+        Value::Int(i) => *i as u64,
+        other => panic!("expected integer at {path:?}, found {other:?}"),
+    }
+}
+
+/// A six-candidate dataset JSON object under `name`.
+pub fn demo_dataset(name: &str) -> String {
+    format!(
+        r#"{{
+            "name": "{name}",
+            "candidates": [
+                {{"name": "a", "attributes": {{"G": "x"}}}},
+                {{"name": "b", "attributes": {{"G": "y"}}}},
+                {{"name": "c", "attributes": {{"G": "x"}}}},
+                {{"name": "d", "attributes": {{"G": "y"}}}},
+                {{"name": "e", "attributes": {{"G": "x"}}}},
+                {{"name": "f", "attributes": {{"G": "y"}}}}
+            ],
+            "rankings": [
+                ["a","b","c","d","e","f"],
+                ["f","e","d","c","b","a"],
+                ["b","a","c","e","d","f"]
+            ]
+        }}"#
+    )
+}
+
+/// A consensus request body over [`demo_dataset`].
+pub fn consensus_body(name: &str, methods: &str, delta: f64, wait: bool) -> String {
+    format!(
+        r#"{{"dataset": {}, "methods": [{methods}], "delta": {delta}, "wait": {wait}}}"#,
+        demo_dataset(name)
+    )
+}

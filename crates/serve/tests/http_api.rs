@@ -20,6 +20,7 @@ fn spawn_server(threads: usize, queue_depth: usize, cache_capacity: usize) -> Se
                 ..EngineConfig::default()
             },
             cache_capacity,
+            ..ServerConfig::default()
         },
     )
     .expect("bind an ephemeral port")
@@ -35,7 +36,7 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Val
         .unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send request");

@@ -1,0 +1,111 @@
+//! Load smoke for the connection pool: many concurrent clients driving
+//! pipelined keep-alive requests through a small worker pool. Run by CI so
+//! connection-pool regressions (drops, stalls, lost responses) fail the build
+//! rather than production. Kept small enough to finish in seconds.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use common::{
+    connection_header, consensus_body, exchange, get_u64, read_response, send_request,
+    small_engine, spawn_server,
+};
+use mani_serve::ServerConfig;
+
+/// Concurrent client threads.
+const CLIENTS: usize = 8;
+/// Sequential keep-alive exchanges per client.
+const EXCHANGES_PER_CLIENT: usize = 25;
+/// Requests written back-to-back (pipelined) before reading any response.
+const PIPELINED: usize = 16;
+
+#[test]
+fn pooled_keep_alive_survives_concurrent_and_pipelined_load() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        cache_capacity: 32,
+        conn_threads: 4,
+        max_connections: 64,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Warm the response cache so the loop below exercises the connection
+    // layer, not the solver.
+    let solve = consensus_body("smoke", r#""Fair-Borda""#, 0.2, true);
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200);
+
+    // Phase 1: CLIENTS threads, each one keep-alive connection serving
+    // EXCHANGES_PER_CLIENT sequential exchanges. Every request must get a
+    // 200 — no drops, no unexplained closes.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let solve = solve.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                for round in 0..EXCHANGES_PER_CLIENT {
+                    if round % 2 == 0 {
+                        send_request(&mut stream, "GET", "/v1/methods", "", false);
+                    } else {
+                        send_request(&mut stream, "POST", "/v1/consensus", &solve, false);
+                    }
+                    let (status, headers, body) = read_response(&mut stream);
+                    assert_eq!(status, 200, "client {client} round {round}: {body}");
+                    assert_eq!(
+                        connection_header(&headers).as_deref(),
+                        Some("keep-alive"),
+                        "client {client} round {round}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // Phase 2: pipelining — write PIPELINED requests back-to-back on one
+    // connection, then read every response in order.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut burst = String::new();
+    for _ in 0..PIPELINED {
+        burst.push_str("GET /v1/methods HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    }
+    stream.write_all(burst.as_bytes()).expect("pipelined burst");
+    for round in 0..PIPELINED {
+        let (status, _, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "pipelined response {round}: {body}");
+        assert!(body.contains("Fair-Borda"), "pipelined response {round}");
+    }
+    drop(stream);
+
+    // The pool served everything without a single 503 and reused connections.
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    let expected = (CLIENTS * EXCHANGES_PER_CLIENT + PIPELINED) as u64;
+    assert!(
+        get_u64(&stats, &["server", "requests_served"]) >= expected,
+        "served fewer than the {expected} driven requests: {stats:?}"
+    );
+    assert_eq!(
+        get_u64(&stats, &["server", "connections_rejected"]),
+        0,
+        "{stats:?}"
+    );
+    assert!(
+        get_u64(&stats, &["server", "keepalive_reuses"])
+            >= (CLIENTS * (EXCHANGES_PER_CLIENT - 1) + PIPELINED - 1) as u64,
+        "{stats:?}"
+    );
+    assert!(get_u64(&stats, &["latency", "consensus", "count"]) >= 1);
+    handle.stop();
+}
