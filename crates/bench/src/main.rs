@@ -1,8 +1,18 @@
-//! `mani-bench` — JSON kernel-benchmark emitter.
+//! `mani-bench` — JSON kernel-benchmark emitter and regression gate.
 //!
 //! ```text
 //! cargo run -p mani-bench --release -- --json [--out BENCH_kernels.json] [--smoke]
+//!     [--iters N] [--compare BASELINE.json [--max-slowdown 0.25]]
 //! ```
+//!
+//! With `--compare`, the fresh run is diffed against a previously committed
+//! baseline (same JSON format — any earlier `--out` file works): the gated
+//! metrics are the `schulze_strongest_paths` **flat kernel** and
+//! **`matrix_build` throughput**, and any slowdown beyond `--max-slowdown`
+//! (default 25%) exits non-zero. CI runs the smoke grid against
+//! `BENCH_baseline_smoke.json`; to re-baseline after an intentional change
+//! (or a runner-hardware change — baselines are machine-specific), copy the
+//! fresh JSON over the committed baseline.
 //!
 //! Measures the three intra-request kernels the engine's hot path is made of —
 //! precedence-matrix construction, Schulze strongest paths, and the
@@ -32,28 +42,61 @@ struct Entry {
     fields: Vec<(String, String)>,
 }
 
+impl Entry {
+    /// Integer value of a field (fields hold raw JSON tokens).
+    fn field_u64(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(key, _)| key == name)
+            .and_then(|(_, value)| value.parse().ok())
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut smoke = false;
     let mut out = String::from("BENCH_kernels.json");
+    let mut compare: Option<String> = None;
+    let mut max_slowdown = 0.25f64;
+    let mut iters_override: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| match iter.next() {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("mani-bench: {flag} needs a value");
+                std::process::exit(1);
+            }
+        };
         match arg.as_str() {
             "--json" => json = true,
             "--smoke" => smoke = true,
-            "--out" => match iter.next() {
-                Some(path) => out = path.clone(),
-                None => {
-                    eprintln!("mani-bench: --out needs a value");
+            "--out" => out = value_of("--out"),
+            "--compare" => compare = Some(value_of("--compare")),
+            "--max-slowdown" => {
+                let raw = value_of("--max-slowdown");
+                max_slowdown = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("mani-bench: cannot parse --max-slowdown value `{raw}`");
                     std::process::exit(1);
-                }
-            },
+                });
+            }
+            "--iters" => {
+                let raw = value_of("--iters");
+                iters_override = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("mani-bench: cannot parse --iters value `{raw}`");
+                    std::process::exit(1);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: mani-bench --json [--out FILE] [--smoke]\n\
+                    "usage: mani-bench --json [--out FILE] [--smoke] [--iters N]\n\
+                     \x20                 [--compare BASELINE [--max-slowdown F]]\n\
                      writes kernel throughput/latency for matrix-build, Schulze and\n\
-                     Fair-Kemeny at (n, |R|) grid points to FILE (default BENCH_kernels.json)"
+                     Fair-Kemeny at (n, |R|) grid points to FILE (default BENCH_kernels.json).\n\
+                     --compare diffs the fresh run against a committed baseline and exits\n\
+                     non-zero when the Schulze flat kernel or matrix-build throughput\n\
+                     regresses by more than --max-slowdown (default 0.25)."
                 );
                 return;
             }
@@ -72,9 +115,11 @@ fn main() {
     let parallel = Parallelism::new(threads).with_min_candidates(0);
     let mut entries = Vec::new();
 
-    // (n, |R|) grid points per kernel; the smoke grid keeps CI runs in seconds.
-    let (matrix_grid, schulze_grid, kemeny_grid, iters) = if smoke {
-        (vec![(24, 16)], vec![(24, 12)], vec![(10, 8)], 1usize)
+    // (n, |R|) grid points per kernel; the smoke grid keeps CI runs in
+    // seconds while staying large enough (tens of microseconds per gated
+    // kernel) that best-of-N timings are stable for the --compare gate.
+    let (matrix_grid, schulze_grid, kemeny_grid, mut iters) = if smoke {
+        (vec![(48, 64)], vec![(48, 24)], vec![(10, 8)], 3usize)
     } else {
         (
             vec![(160, 400), (240, 240)],
@@ -83,6 +128,9 @@ fn main() {
             3usize,
         )
     };
+    if let Some(override_iters) = iters_override {
+        iters = override_iters.max(1);
+    }
 
     for &(n, r) in &matrix_grid {
         eprintln!("matrix-build n={n} |R|={r} ...");
@@ -103,6 +151,137 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {} entries to {out}", entries.len());
+
+    if let Some(baseline_path) = compare {
+        let failures = compare_with_baseline(&baseline_path, &entries, max_slowdown);
+        if failures > 0 {
+            eprintln!(
+                "mani-bench: {failures} gated kernel metric(s) regressed more than {:.0}% \
+                 against {baseline_path}",
+                max_slowdown * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "mani-bench: all gated kernel metrics within {:.0}% of {baseline_path}",
+            max_slowdown * 100.0
+        );
+    }
+}
+
+/// The metrics the regression gate guards: `(kernel, field, what)` triples
+/// where `field` is a best-of-run latency in nanoseconds (lower is better —
+/// for a fixed grid point, latency slowdown equals throughput slowdown).
+const GATED_METRICS: [(&str, &str, &str); 2] = [
+    (
+        "schulze_strongest_paths",
+        "flat_serial_ns",
+        "Schulze flat kernel",
+    ),
+    ("matrix_build", "serial_ns", "matrix-build throughput"),
+];
+
+/// Diffs `fresh` against the baseline file and reports every gated metric.
+/// Returns the number of metrics that regressed beyond `max_slowdown`.
+/// Nothing passes silently: a gated kernel that ends up with **zero actual
+/// comparisons** — renamed label, dropped or moved grid point, missing field
+/// — counts as a failure, so neither a fresh-side nor a baseline-side grid
+/// change can hollow the gate out by accident (mismatched points are
+/// reported individually; re-baseline with `--out` after intentional
+/// changes).
+fn compare_with_baseline(path: &str, fresh: &[Entry], max_slowdown: f64) -> usize {
+    let baseline = match Baseline::load(path) {
+        Ok(baseline) => baseline,
+        Err(error) => {
+            eprintln!("mani-bench: cannot use baseline {path}: {error}");
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    for (kernel, field, what) in GATED_METRICS {
+        let mut compared = 0usize;
+        for entry in fresh.iter().filter(|entry| entry.kernel == kernel) {
+            let Some(fresh_ns) = entry.field_u64(field) else {
+                eprintln!(
+                    "  MISSING {what} n={} |R|={}: fresh run lacks `{field}`",
+                    entry.n, entry.rankings
+                );
+                continue;
+            };
+            let Some(baseline_ns) = baseline.field(kernel, entry.n, entry.rankings, field) else {
+                eprintln!(
+                    "  SKIP {what} n={} |R|={}: no matching baseline entry (grid changed? \
+                     re-baseline with --out)",
+                    entry.n, entry.rankings
+                );
+                continue;
+            };
+            compared += 1;
+            // Latency ratio on a fixed grid point == inverse throughput ratio.
+            let slowdown = fresh_ns as f64 / baseline_ns.max(1) as f64 - 1.0;
+            let verdict = if slowdown > max_slowdown {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "  {verdict:4} {what} n={} |R|={}: baseline {baseline_ns} ns -> fresh {fresh_ns} ns \
+                 ({:+.1}%)",
+                entry.n,
+                entry.rankings,
+                slowdown * 100.0
+            );
+        }
+        if compared == 0 {
+            eprintln!(
+                "  FAIL {what}: no `{kernel}` grid point was compared against the baseline — \
+                 the gate would be guarding nothing"
+            );
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// A parsed baseline file (the output of an earlier `--json` run).
+struct Baseline {
+    entries: Vec<serde::Value>,
+}
+
+impl Baseline {
+    fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let parsed: serde::Value =
+            serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let entries = parsed
+            .get("entries")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| "no `entries` array".to_string())?
+            .to_vec();
+        Ok(Self { entries })
+    }
+
+    /// The integer `field` of the baseline entry matching a grid point.
+    fn field(&self, kernel: &str, n: usize, rankings: usize, field: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|entry| {
+                entry.get("kernel").and_then(serde::Value::as_str) == Some(kernel)
+                    && as_u64(entry.get("n")) == Some(n as u64)
+                    && as_u64(entry.get("rankings")) == Some(rankings as u64)
+            })
+            .and_then(|entry| as_u64(entry.get(field)))
+    }
+}
+
+/// Integer view of a shim JSON value.
+fn as_u64(value: Option<&serde::Value>) -> Option<u64> {
+    match value? {
+        serde::Value::UInt(u) => Some(*u),
+        serde::Value::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
 }
 
 /// Best-of-`iters` wall-clock nanoseconds for `work`, which must return a

@@ -22,6 +22,7 @@ use mani_core::{MethodKind, MfcrContext};
 use mani_fairness::FairnessThresholds;
 use mani_ranking::Parallelism;
 
+use crate::batch::{BatchCounters, BatchHandle};
 use crate::cache::PrecedenceCache;
 use crate::dataset::EngineDataset;
 use crate::error::EngineError;
@@ -113,6 +114,13 @@ pub struct EngineStats {
     pub solve_ns: u64,
     /// Branch-and-bound nodes expanded by exact methods across all solves.
     pub nodes_expanded: u64,
+    /// Streaming batches opened via
+    /// [`ConsensusEngine::submit_batch_streaming`].
+    pub batches_opened: u64,
+    /// Streaming batches whose every completion was yielded to the consumer.
+    pub batches_drained: u64,
+    /// Per-request completions yielded across all streaming batches.
+    pub batch_results_yielded: u64,
 }
 
 /// Counters shared between the engine and its in-flight job collectors.
@@ -157,6 +165,7 @@ pub struct ConsensusEngine {
     next_job_id: AtomicU64,
     counters: Arc<AsyncCounters>,
     kernel_counters: Arc<KernelCounters>,
+    batch_counters: Arc<BatchCounters>,
 }
 
 impl Default for ConsensusEngine {
@@ -193,6 +202,7 @@ impl ConsensusEngine {
             next_job_id: AtomicU64::new(1),
             counters: Arc::new(AsyncCounters::default()),
             kernel_counters: Arc::new(KernelCounters::default()),
+            batch_counters: Arc::new(BatchCounters::default()),
         }
     }
 
@@ -227,6 +237,9 @@ impl ConsensusEngine {
             matrix_build_ns: self.cache.stats().build_ns,
             solve_ns: self.kernel_counters.solve_ns.load(Ordering::Relaxed),
             nodes_expanded: self.kernel_counters.nodes_expanded.load(Ordering::Relaxed),
+            batches_opened: self.batch_counters.opened.load(Ordering::Relaxed),
+            batches_drained: self.batch_counters.drained.load(Ordering::Relaxed),
+            batch_results_yielded: self.batch_counters.results_yielded.load(Ordering::Relaxed),
         }
     }
 
@@ -332,6 +345,26 @@ impl ConsensusEngine {
             .into_iter()
             .map(|request| self.spawn_job(request))
             .collect())
+    }
+
+    /// Submits a batch without blocking and returns a [`BatchHandle`] that
+    /// yields each response in **as-completed order** — the streaming flavour
+    /// of [`ConsensusEngine::submit_batch`]. Per-response contents are
+    /// bit-identical to the blocking batch; only delivery order differs
+    /// ([`crate::BatchItem::index`] recovers request order).
+    ///
+    /// Admission is all-or-nothing like
+    /// [`ConsensusEngine::submit_batch_async`]: a queue that cannot absorb the
+    /// whole batch rejects it with [`EngineError::Overloaded`].
+    pub fn submit_batch_streaming(
+        &self,
+        requests: Vec<ConsensusRequest>,
+    ) -> Result<BatchHandle, EngineError> {
+        let handles = self.submit_batch_async(requests)?;
+        Ok(BatchHandle::with_counters(
+            handles,
+            Some(Arc::clone(&self.batch_counters)),
+        ))
     }
 
     /// Reserves `slots` queue places or rejects with [`EngineError::Overloaded`].

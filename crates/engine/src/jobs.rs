@@ -16,6 +16,7 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use crate::batch::BatchNotifier;
 use crate::request::ConsensusResponse;
 
 /// Identifier of an asynchronously submitted job, unique within one engine.
@@ -73,35 +74,91 @@ enum Phase {
     Done(Arc<ConsensusResponse>),
 }
 
+/// One batch subscription: when the job completes, `notifier` learns that
+/// slot `index` is ready (see [`crate::batch::BatchHandle`]).
+#[derive(Debug)]
+struct Watcher {
+    index: usize,
+    notifier: Arc<BatchNotifier>,
+}
+
+/// Everything guarded by the job's one mutex: the lifecycle phase plus the
+/// batch watchers waiting on the completion transition. Keeping both under a
+/// single lock makes subscribe-vs-complete race-free: a watcher either sees
+/// `Done` and is notified immediately, or is registered before the transition
+/// and notified by it — never neither.
+#[derive(Debug)]
+struct Inner {
+    phase: Phase,
+    watchers: Vec<Watcher>,
+}
+
 /// Shared completion state between the engine's worker tasks and the handle.
 #[derive(Debug)]
 pub(crate) struct JobState {
-    phase: Mutex<Phase>,
+    inner: Mutex<Inner>,
     cond: Condvar,
 }
 
 impl JobState {
     pub(crate) fn new() -> Self {
         Self {
-            phase: Mutex::new(Phase::Queued),
+            inner: Mutex::new(Inner {
+                phase: Phase::Queued,
+                watchers: Vec::new(),
+            }),
             cond: Condvar::new(),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("job phase lock poisoned")
     }
 
     /// Marks the job running (first method task picked up). Idempotent; a
     /// completed job stays completed.
     pub(crate) fn mark_running(&self) {
-        let mut phase = self.phase.lock().expect("job phase lock poisoned");
-        if matches!(*phase, Phase::Queued) {
-            *phase = Phase::Running;
+        let mut inner = self.lock();
+        if matches!(inner.phase, Phase::Queued) {
+            inner.phase = Phase::Running;
         }
     }
 
-    /// Publishes the finished response and wakes every waiter.
+    /// Publishes the finished response, wakes every waiter, and fires every
+    /// registered batch watcher (outside the phase lock, so notifier locks
+    /// never nest inside it).
     pub(crate) fn complete(&self, response: ConsensusResponse) {
-        let mut phase = self.phase.lock().expect("job phase lock poisoned");
-        *phase = Phase::Done(Arc::new(response));
-        self.cond.notify_all();
+        let watchers = {
+            let mut inner = self.lock();
+            inner.phase = Phase::Done(Arc::new(response));
+            self.cond.notify_all();
+            std::mem::take(&mut inner.watchers)
+        };
+        for watcher in watchers {
+            watcher.notifier.notify(watcher.index);
+        }
+    }
+
+    /// Subscribes a batch notifier to this job's completion transition: an
+    /// already-completed job notifies immediately, anything else is notified
+    /// by [`JobState::complete`]. No polling loop is involved either way.
+    pub(crate) fn subscribe(&self, index: usize, notifier: &Arc<BatchNotifier>) {
+        let done = {
+            let mut inner = self.lock();
+            match inner.phase {
+                Phase::Done(_) => true,
+                _ => {
+                    inner.watchers.push(Watcher {
+                        index,
+                        notifier: Arc::clone(notifier),
+                    });
+                    false
+                }
+            }
+        };
+        if done {
+            notifier.notify(index);
+        }
     }
 }
 
@@ -126,7 +183,7 @@ impl JobHandle {
 
     /// The job's current lifecycle phase.
     pub fn status(&self) -> JobStatus {
-        match *self.state.phase.lock().expect("job phase lock poisoned") {
+        match self.state.lock().phase {
             Phase::Queued => JobStatus::Queued,
             Phase::Running => JobStatus::Running,
             Phase::Done(_) => JobStatus::Done,
@@ -135,7 +192,7 @@ impl JobHandle {
 
     /// Returns the response if the job already finished, without blocking.
     pub fn try_poll(&self) -> Option<Arc<ConsensusResponse>> {
-        match *self.state.phase.lock().expect("job phase lock poisoned") {
+        match self.state.lock().phase {
             Phase::Done(ref response) => Some(Arc::clone(response)),
             _ => None,
         }
@@ -143,15 +200,15 @@ impl JobHandle {
 
     /// Blocks until the job finishes and returns its response.
     pub fn wait(&self) -> Arc<ConsensusResponse> {
-        let mut phase = self.state.phase.lock().expect("job phase lock poisoned");
+        let mut inner = self.state.lock();
         loop {
-            if let Phase::Done(ref response) = *phase {
+            if let Phase::Done(ref response) = inner.phase {
                 return Arc::clone(response);
             }
-            phase = self
+            inner = self
                 .state
                 .cond
-                .wait(phase)
+                .wait(inner)
                 .expect("job phase lock poisoned");
         }
     }
@@ -159,25 +216,31 @@ impl JobHandle {
     /// Blocks up to `timeout` for the job to finish; `None` on timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<ConsensusResponse>> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut phase = self.state.phase.lock().expect("job phase lock poisoned");
+        let mut inner = self.state.lock();
         loop {
-            if let Phase::Done(ref response) = *phase {
+            if let Phase::Done(ref response) = inner.phase {
                 return Some(Arc::clone(response));
             }
             let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
             let (guard, result) = self
                 .state
                 .cond
-                .wait_timeout(phase, remaining)
+                .wait_timeout(inner, remaining)
                 .expect("job phase lock poisoned");
-            phase = guard;
+            inner = guard;
             if result.timed_out() {
-                return match *phase {
+                return match inner.phase {
                     Phase::Done(ref response) => Some(Arc::clone(response)),
                     _ => None,
                 };
             }
         }
+    }
+
+    /// Subscribes a batch notifier to this handle's completion (see
+    /// [`crate::batch::BatchHandle`]).
+    pub(crate) fn subscribe(&self, index: usize, notifier: &Arc<BatchNotifier>) {
+        self.state.subscribe(index, notifier);
     }
 }
 

@@ -14,6 +14,11 @@
 //!   returns a handle backed by a bounded queue ([`EngineConfig::queue_depth`])
 //!   that can be polled, waited on, or registered by [`JobId`]; a full queue
 //!   rejects with [`EngineError::Overloaded`] instead of growing without bound.
+//! * [`BatchHandle`] — streaming batches:
+//!   [`ConsensusEngine::submit_batch_streaming`] groups a batch's job handles
+//!   and yields each response in **as-completed order** (condvar-signalled by
+//!   the job completion transition, no polling), so consumers see cheap
+//!   solves while expensive ones are still searching.
 //! * [`PrecedenceCache`] — content-addressed sharing of the `O(n² · |R|)`
 //!   precedence matrix and the [`mani_ranking::GroupIndex`] per dataset: a
 //!   batch over `d` datasets builds exactly `d` matrices no matter how many
@@ -54,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod csvio;
 pub mod dataset;
@@ -65,6 +71,7 @@ pub mod pool;
 pub mod report;
 pub mod request;
 
+pub use batch::{BatchHandle, BatchItem, BatchProgress};
 pub use cache::{CacheStats, PrecedenceCache, SharedArtifacts};
 pub use dataset::EngineDataset;
 pub use engine::{ConsensusEngine, EngineConfig, EngineStats, DEFAULT_QUEUE_DEPTH};

@@ -46,6 +46,9 @@ CONSENSUS OPTIONS:
                                  (default 1 = serial; 0 = one per core)
     --budget NODES               branch-and-bound node budget for exact methods
     --audit                      also print a per-group fairness audit per method
+    --stream                     print each dataset's results the moment its
+                                 solve completes (as-completed order) instead
+                                 of waiting for the whole batch
 
 AUDIT OPTIONS:
     --per-ranking                audit every base ranking, not just the profile consensus
@@ -193,7 +196,7 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
             "kernel-threads",
             "budget",
         ],
-        &["audit"],
+        &["audit", "stream"],
     )?;
 
     // Collect datasets from --dataset specs and/or the --candidates/--rankings pair.
@@ -240,6 +243,14 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
         threads,
         default_budget: budget,
         kernel_threads,
+        // --stream rides the async submission queue; size it to the batch so
+        // a many-dataset run is never rejected for a capacity bound the
+        // blocking path does not enforce (0 keeps the engine default).
+        queue_depth: if flags.has("stream") {
+            datasets.len()
+        } else {
+            0
+        },
         ..EngineConfig::default()
     });
     let requests: Vec<ConsensusRequest> = datasets
@@ -253,31 +264,60 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
         })
         .collect();
 
-    let started = std::time::Instant::now();
-    let responses = engine.submit_batch(requests);
-    let wall = started.elapsed();
-
-    let mut failures = 0usize;
-    for (dataset, response) in datasets.iter().zip(&responses) {
-        emit(response_table(response, &attribute_labels(dataset.db())).render());
-        failures += response.results.iter().filter(|r| r.is_err()).count();
-        if flags.has("audit") {
-            let groups = GroupIndex::new(dataset.db());
-            for result in response.successes() {
-                let audit = FairnessAudit::new(
-                    result.outcome.method,
-                    &result.outcome.ranking,
-                    dataset.db(),
-                    &groups,
-                );
-                emit(audit_table(&audit).render());
+    // Prints one dataset's response (and optional audits); returns its
+    // failure count. Shared by the blocking and streaming paths.
+    let print_response =
+        |dataset: &EngineDataset, response: &mani_engine::ConsensusResponse| -> usize {
+            emit(response_table(response, &attribute_labels(dataset.db())).render());
+            if flags.has("audit") {
+                let groups = GroupIndex::new(dataset.db());
+                for result in response.successes() {
+                    let audit = FairnessAudit::new(
+                        result.outcome.method,
+                        &result.outcome.ranking,
+                        dataset.db(),
+                        &groups,
+                    );
+                    emit(audit_table(&audit).render());
+                }
             }
+            response.results.iter().filter(|r| r.is_err()).count()
+        };
+
+    let started = std::time::Instant::now();
+    let mut failures = 0usize;
+    let mut method_runs = 0usize;
+    if flags.has("stream") {
+        // Streaming batch mode: each dataset's table prints the moment its
+        // solve completes, in as-completed order — fast datasets are not
+        // held hostage by the slowest exact solve in the batch.
+        let mut batch = engine.submit_batch_streaming(requests)?;
+        let total = batch.len();
+        let mut done = 0usize;
+        while let Some(item) = batch.wait_next() {
+            done += 1;
+            let dataset = &datasets[item.index];
+            emit(format!(
+                "[{done}/{total}] {} ({}, {:.1} ms solve)",
+                dataset.name(),
+                item.id,
+                item.response.total_solve_time.as_secs_f64() * 1e3,
+            ));
+            method_runs += item.response.results.len();
+            failures += print_response(dataset, &item.response);
+        }
+    } else {
+        let responses = engine.submit_batch(requests);
+        for (dataset, response) in datasets.iter().zip(&responses) {
+            method_runs += response.results.len();
+            failures += print_response(dataset, response);
         }
     }
+    let wall = started.elapsed();
     let stats = engine.cache().stats();
     emit(format!("batch: {} dataset(s), {} method run(s), {} matrix build(s), {} cache hit(s), {:.1} ms wall on {} thread(s)",
         datasets.len(),
-        responses.iter().map(|r| r.results.len()).sum::<usize>(),
+        method_runs,
         stats.builds,
         stats.hits,
         wall.as_secs_f64() * 1e3,

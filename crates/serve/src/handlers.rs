@@ -8,6 +8,7 @@
 //! [`mani_engine::EngineError::Overloaded`] surfaces as `429 Too Many Requests`.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -15,15 +16,15 @@ use std::time::Instant;
 use mani_aggregation::CopelandAggregator;
 use mani_core::{MethodKind, MfcrContext};
 use mani_engine::{
-    ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset, EngineError,
-    JobHandle, JobStatus,
+    BatchHandle, ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset,
+    EngineError, JobHandle, JobId, JobStatus,
 };
 use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_ranking::GroupIndex;
 use serde::{Serialize, Value};
 
 use crate::datasets::{dataset_id, DatasetRegistry};
-use crate::http::{HttpError, HttpRequest, HttpResponse};
+use crate::http::{ChunkedResponse, HttpError, HttpRequest, HttpResponse};
 use crate::json::{
     attribute_names_json, error_body, method_result_json, obj, parse_body, parse_consensus_spec,
     parse_dataset, render, resolve_spec_dataset, s, with_entry, ConsensusSpec,
@@ -35,6 +36,151 @@ use crate::router::{route, Route, Routed};
 /// Most jobs tracked by the registry before completed ones are pruned
 /// (oldest first), bounding registry memory under sustained async traffic.
 pub const MAX_TRACKED_JOBS: usize = 4096;
+
+/// Outcome of dispatching one request: either a fully materialized response,
+/// or a streaming consensus batch whose NDJSON lines are produced as jobs
+/// complete (written with chunked framing by [`crate::server`]).
+#[derive(Debug)]
+pub enum Handled {
+    /// A complete response, ready to serialize with a `Content-Length`.
+    Response(HttpResponse),
+    /// A `"stream": true` consensus batch: one NDJSON line per request, in
+    /// completion order, plus a terminal summary line.
+    Stream(ConsensusStream),
+}
+
+/// How one spec of a consensus request is satisfied: replayed from the
+/// response cache, or submitted to the engine (index into the submitted
+/// subset).
+#[derive(Debug)]
+enum Disposition {
+    Cached(Vec<Arc<Value>>),
+    Submitted(usize),
+}
+
+/// A pending `"stream": true` consensus batch: the parsed specs, the cache
+/// replays, and the engine [`BatchHandle`] for everything that needs solving.
+///
+/// Lines are emitted cached-first (those results exist before any solve), then
+/// in engine completion order; the payload of each line is built by the same
+/// rendering path as the buffered endpoint, so streamed and non-streamed
+/// results are bit-identical and equally replayable through the response
+/// cache.
+#[derive(Debug)]
+pub struct ConsensusStream {
+    specs: Vec<ConsensusSpec>,
+    dispositions: Vec<Disposition>,
+    batch: BatchHandle,
+    /// Maps engine batch index → spec index.
+    batch_to_spec: Vec<usize>,
+    started: Instant,
+}
+
+impl ConsensusStream {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True for an (impossible via the API) empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Drives the stream to completion, handing each NDJSON line (newline
+    /// included) to `emit` the moment it is available.
+    fn emit_lines<E>(
+        mut self,
+        state: &AppState,
+        emit: &mut dyn FnMut(&str) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let total = self.specs.len();
+        let mut completed = 0usize;
+        let mut cached = 0usize;
+        let mut errors = 0usize;
+        let mut total_solve_ms = 0f64;
+
+        // Cache replays are complete before any solve: emit them first, in
+        // request order.
+        for (index, (spec, disposition)) in self.specs.iter().zip(&self.dispositions).enumerate() {
+            if let Disposition::Cached(values) = disposition {
+                completed += 1;
+                cached += 1;
+                emit(&stream_line(
+                    index,
+                    None,
+                    cached_response_json(spec.dataset.name(), values),
+                ))?;
+            }
+        }
+
+        // Engine results stream in as-completed order — the whole point: a
+        // cheap Fair-Borda line goes over the wire while a budgeted
+        // Fair-Kemeny in the same batch is still searching.
+        while let Some(item) = self.batch.wait_next() {
+            let spec_index = self.batch_to_spec[item.index];
+            let spec = &self.specs[spec_index];
+            let payload = state.rendered_response(spec, &item.response);
+            completed += 1;
+            if !item.response.is_complete() {
+                errors += 1;
+            }
+            total_solve_ms += item.response.total_solve_time.as_secs_f64() * 1e3;
+            emit(&stream_line(spec_index, Some(item.id), payload))?;
+        }
+
+        // Terminal summary line with batch totals.
+        let summary = obj(vec![
+            ("summary", Value::Bool(true)),
+            ("requests", Value::UInt(total as u64)),
+            ("completed", Value::UInt(completed as u64)),
+            ("cached", Value::UInt(cached as u64)),
+            ("errors", Value::UInt(errors as u64)),
+            ("total_solve_time_ms", Value::Float(total_solve_ms)),
+        ]);
+        emit(&format!("{}\n", render(&summary)))
+    }
+}
+
+/// One NDJSON result line: the per-request payload prefixed with its batch
+/// `index` and `job_id` (`null` for cache replays, which never reach the
+/// engine).
+fn stream_line(index: usize, job: Option<JobId>, payload: Value) -> String {
+    let mut entries = vec![
+        ("index".to_string(), Value::UInt(index as u64)),
+        (
+            "job_id".to_string(),
+            match job {
+                Some(id) => Value::String(id.to_string()),
+                None => Value::Null,
+            },
+        ),
+    ];
+    match payload {
+        Value::Object(fields) => entries.extend(fields),
+        other => entries.push(("payload".to_string(), other)),
+    }
+    format!("{}\n", render(&Value::Object(entries)))
+}
+
+/// The response object for a spec whose every method outcome came from the
+/// response cache (shared by the buffered and streaming paths).
+fn cached_response_json(dataset: &str, values: &[Arc<Value>]) -> Value {
+    obj(vec![
+        ("dataset", s(dataset)),
+        ("status", s(JobStatus::Done.label())),
+        ("cached", Value::Bool(true)),
+        (
+            "results",
+            Value::Array(
+                values
+                    .iter()
+                    .map(|v| with_entry((**v).clone(), "cached", Value::Bool(true)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 /// Everything the handlers share: the engine, the response cache, the dataset
 /// registry, per-endpoint latency histograms, and the async-job registry
@@ -100,9 +246,11 @@ impl AppState {
         &self.connections
     }
 
-    /// Dispatches one parsed HTTP request to its handler, recording the
-    /// handler latency against the endpoint's histogram.
-    pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+    /// Dispatches one parsed HTTP request to its handler. Complete responses
+    /// have their latency recorded immediately; a [`Handled::Stream`] records
+    /// its latency (under `consensus_stream`) when the stream finishes, since
+    /// its wall-clock spans the whole batch drain.
+    pub fn dispatch(&self, request: &HttpRequest) -> Handled {
         let started = Instant::now();
         let routed = route(&request.method, &request.path);
         let label = match &routed {
@@ -119,26 +267,87 @@ impl AppState {
                 format!("{} does not accept {}", request.path, request.method),
             )),
             Routed::Found(Route::Consensus) => self.consensus(request),
-            Routed::Found(Route::Audit) => self.audit(request),
-            Routed::Found(Route::Job(id)) => self.job(&id),
-            Routed::Found(Route::DatasetCreate) => self.dataset_create(request),
-            Routed::Found(Route::DatasetGet(id)) => self.dataset_get(&id),
-            Routed::Found(Route::DatasetDelete(id)) => self.dataset_delete(&id),
-            Routed::Found(Route::Methods) => Ok(methods_response()),
-            Routed::Found(Route::Stats) => Ok(self.stats_response()),
+            Routed::Found(Route::Audit) => self.audit(request).map(Handled::Response),
+            Routed::Found(Route::Job(id)) => self.job(&id).map(Handled::Response),
+            Routed::Found(Route::DatasetCreate) => {
+                self.dataset_create(request).map(Handled::Response)
+            }
+            Routed::Found(Route::DatasetGet(id)) => self.dataset_get(&id).map(Handled::Response),
+            Routed::Found(Route::DatasetDelete(id)) => {
+                self.dataset_delete(&id).map(Handled::Response)
+            }
+            Routed::Found(Route::Methods) => Ok(Handled::Response(methods_response())),
+            Routed::Found(Route::Stats) => Ok(Handled::Response(self.stats_response())),
         };
-        let response = outcome.unwrap_or_else(|error| {
-            HttpResponse::json(
-                if error.status == 0 { 400 } else { error.status },
-                error_body(&error.message),
-            )
-        });
-        self.metrics.record(label, started.elapsed());
-        response
+        match outcome {
+            Ok(Handled::Stream(stream)) => Handled::Stream(stream),
+            Ok(Handled::Response(response)) => {
+                self.metrics.record(label, started.elapsed());
+                Handled::Response(response)
+            }
+            Err(error) => {
+                let response = HttpResponse::json(
+                    if error.status == 0 { 400 } else { error.status },
+                    error_body(&error.message),
+                );
+                self.metrics.record(label, started.elapsed());
+                Handled::Response(response)
+            }
+        }
     }
 
-    /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch.
-    fn consensus(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
+    /// Dispatches one request to a fully buffered [`HttpResponse`]: a
+    /// [`Handled::Stream`] is drained into one NDJSON body. Embedding callers
+    /// (and unit tests) use this; the server's connection loop uses
+    /// [`AppState::dispatch`] so streamed lines hit the wire incrementally.
+    pub fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        match self.dispatch(request) {
+            Handled::Response(response) => response,
+            Handled::Stream(stream) => self.collect_stream(stream),
+        }
+    }
+
+    /// Writes a [`ConsensusStream`] as a chunked NDJSON response, one chunk
+    /// per line as completions land, recording the stream's total latency.
+    pub fn stream_ndjson<W: Write>(
+        &self,
+        stream: ConsensusStream,
+        writer: &mut W,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        let started = stream.started;
+        let result = (|| {
+            let mut body = ChunkedResponse::ndjson(200).begin(writer, keep_alive)?;
+            stream.emit_lines(self, &mut |line: &str| body.write_chunk(line.as_bytes()))?;
+            body.finish()
+        })();
+        self.metrics.record("consensus_stream", started.elapsed());
+        result
+    }
+
+    /// Drains a [`ConsensusStream`] into one buffered NDJSON response.
+    fn collect_stream(&self, stream: ConsensusStream) -> HttpResponse {
+        let started = stream.started;
+        let mut body = String::new();
+        match stream.emit_lines::<std::convert::Infallible>(self, &mut |line| {
+            body.push_str(line);
+            Ok(())
+        }) {
+            Ok(()) => {}
+            Err(never) => match never {},
+        }
+        self.metrics.record("consensus_stream", started.elapsed());
+        HttpResponse {
+            status: 200,
+            content_type: "application/x-ndjson",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch,
+    /// buffered by default, streamed NDJSON with `"stream": true`.
+    fn consensus(&self, request: &HttpRequest) -> Result<Handled, HttpError> {
         let body = parse_body(request.body_utf8()?)?;
         let (specs, single) = match body.get("requests") {
             Some(raw) => {
@@ -166,13 +375,20 @@ impl AppState {
             Some(Value::Bool(flag)) => *flag,
             Some(_) => return Err(HttpError::bad("`wait` must be a boolean")),
         };
+        let stream_mode = match body.get("stream") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(flag)) => *flag,
+            Some(_) => return Err(HttpError::bad("`stream` must be a boolean")),
+        };
+        if stream_mode && wait {
+            return Err(HttpError::bad(
+                "`stream` and `wait` are mutually exclusive: a streamed batch \
+                 delivers each result as it completes",
+            ));
+        }
 
         // Probe the response cache per spec: a spec whose every method outcome
         // is cached never reaches the engine.
-        enum Disposition {
-            Cached(Vec<Arc<Value>>),
-            Submitted(usize),
-        }
         let mut to_submit: Vec<ConsensusRequest> = Vec::new();
         let mut dispositions = Vec::with_capacity(specs.len());
         for spec in &specs {
@@ -195,36 +411,60 @@ impl AppState {
             }
         }
 
+        let overload_error = |error: EngineError| {
+            let status = match error {
+                EngineError::Overloaded { .. } => 429,
+                _ => 500,
+            };
+            HttpError::new(status, error.to_string())
+        };
+
+        if stream_mode {
+            // Admission happens before the response head is written: an
+            // overloaded engine still answers a clean 429, never a truncated
+            // stream.
+            let batch = if to_submit.is_empty() {
+                BatchHandle::new(Vec::new())
+            } else {
+                self.engine
+                    .submit_batch_streaming(to_submit)
+                    .map_err(overload_error)?
+            };
+            let mut batch_to_spec = Vec::with_capacity(batch.len());
+            for (spec_index, disposition) in dispositions.iter().enumerate() {
+                if let Disposition::Submitted(_) = disposition {
+                    batch_to_spec.push(spec_index);
+                }
+            }
+            // Every streamed job is also registered: a client that loses the
+            // connection mid-stream can recover any line it missed from
+            // `GET /v1/jobs/{id}` using the `job_id` values it already saw
+            // (or re-send the batch, which replays from the response cache).
+            for (batch_index, handle) in batch.handles().iter().enumerate() {
+                self.register_job(&specs[batch_to_spec[batch_index]], handle.clone());
+            }
+            return Ok(Handled::Stream(ConsensusStream {
+                specs,
+                dispositions,
+                batch,
+                batch_to_spec,
+                started: Instant::now(),
+            }));
+        }
+
         let handles = if to_submit.is_empty() {
             Vec::new()
         } else {
-            self.engine.submit_batch_async(to_submit).map_err(|error| {
-                let status = match error {
-                    EngineError::Overloaded { .. } => 429,
-                    _ => 500,
-                };
-                HttpError::new(status, error.to_string())
-            })?
+            self.engine
+                .submit_batch_async(to_submit)
+                .map_err(overload_error)?
         };
 
         let mut any_pending = false;
         let mut rendered = Vec::with_capacity(specs.len());
         for (spec, disposition) in specs.iter().zip(dispositions) {
             rendered.push(match disposition {
-                Disposition::Cached(values) => obj(vec![
-                    ("dataset", s(spec.dataset.name())),
-                    ("status", s(JobStatus::Done.label())),
-                    ("cached", Value::Bool(true)),
-                    (
-                        "results",
-                        Value::Array(
-                            values
-                                .iter()
-                                .map(|v| with_entry((**v).clone(), "cached", Value::Bool(true)))
-                                .collect(),
-                        ),
-                    ),
-                ]),
+                Disposition::Cached(values) => cached_response_json(spec.dataset.name(), &values),
                 Disposition::Submitted(index) => {
                     let handle = &handles[index];
                     if wait {
@@ -253,7 +493,7 @@ impl AppState {
         } else {
             obj(vec![("responses", Value::Array(rendered))])
         };
-        Ok(HttpResponse::json(status, render(&body)))
+        Ok(Handled::Response(HttpResponse::json(status, render(&body))))
     }
 
     /// Renders a completed response for `spec`, inserting every successful
@@ -557,6 +797,14 @@ impl AppState {
                 ]),
             ),
             (
+                "streaming",
+                obj(vec![
+                    ("batches_opened", Value::UInt(engine.batches_opened)),
+                    ("batches_drained", Value::UInt(engine.batches_drained)),
+                    ("results_yielded", Value::UInt(engine.batch_results_yielded)),
+                ]),
+            ),
+            (
                 "precedence_cache",
                 obj(vec![
                     ("lookups", Value::UInt(precedence.lookups)),
@@ -688,6 +936,78 @@ mod tests {
         let replay = state.handle(&post("/v1/consensus", &demo_consensus_body(0.25, true)));
         assert_eq!(replay.status, 200);
         assert!(replay.body.contains("\"cached\":true"), "{}", replay.body);
+    }
+
+    #[test]
+    fn stream_mode_emits_ndjson_lines_and_summary() {
+        let state = state();
+        let body = format!(
+            r#"{{"requests": [{}, {}], "stream": true}}"#,
+            crate::test_support::demo_dataset_consensus_spec("one", 0.2),
+            crate::test_support::demo_dataset_consensus_spec("two", 0.3),
+        );
+        let response = state.handle(&post("/v1/consensus", &body));
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.content_type, "application/x-ndjson");
+        let lines: Vec<&str> = response.body.lines().collect();
+        assert_eq!(
+            lines.len(),
+            3,
+            "two result lines + summary: {}",
+            response.body
+        );
+        for line in &lines[..2] {
+            let parsed = parse_body(line).unwrap();
+            assert!(parsed.get("index").is_some(), "{line}");
+            assert!(
+                matches!(parsed.get("job_id"), Some(Value::String(_))),
+                "solved lines carry a job id: {line}"
+            );
+            assert!(
+                parsed.get("ranking").is_none(),
+                "results nest under results"
+            );
+            assert!(parsed.get("results").is_some(), "{line}");
+        }
+        let summary = parse_body(lines[2]).unwrap();
+        assert_eq!(summary.get("summary"), Some(&Value::Bool(true)));
+        assert_eq!(summary.get("requests"), Some(&Value::UInt(2)));
+        assert_eq!(summary.get("completed"), Some(&Value::UInt(2)));
+        assert_eq!(summary.get("errors"), Some(&Value::UInt(0)));
+
+        // Streamed results populated the response cache: the same batch
+        // replayed non-streaming comes back cached, and a streamed replay
+        // marks its lines cached with a null job id.
+        let replayed = state.handle(&post("/v1/consensus", &body));
+        assert_eq!(replayed.status, 200);
+        let first = parse_body(replayed.body.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(first.get("job_id"), Some(&Value::Null));
+        assert_eq!(
+            state.engine().stats().submitted,
+            2,
+            "the replay must not resubmit jobs"
+        );
+        // Streaming batch counters surface in /v1/stats.
+        let stats = state.handle(&get("/v1/stats"));
+        assert!(stats.body.contains("\"streaming\""), "{}", stats.body);
+        assert!(
+            stats.body.contains("\"batches_opened\":1"),
+            "{}",
+            stats.body
+        );
+    }
+
+    #[test]
+    fn stream_and_wait_are_mutually_exclusive() {
+        let state = state();
+        let body = format!(
+            r#"{{"requests": [{}], "stream": true, "wait": true}}"#,
+            crate::test_support::demo_dataset_consensus_spec("x", 0.2),
+        );
+        let response = state.handle(&post("/v1/consensus", &body));
+        assert_eq!(response.status, 400, "{}", response.body);
+        assert!(response.body.contains("mutually exclusive"));
     }
 
     #[test]

@@ -349,6 +349,105 @@ impl HttpResponse {
     }
 }
 
+/// Header block of a streamed (`Transfer-Encoding: chunked`) response.
+///
+/// Chunked framing is used for **responses only** — chunked *requests* are
+/// still refused with `501` by the parser above, because a request body
+/// without a `Content-Length` would desync keep-alive framing. A chunked
+/// response has no such problem: the terminating zero-length chunk marks the
+/// body end explicitly, so the connection can stay open for the next
+/// exchange exactly like a `Content-Length` response.
+#[derive(Debug, Clone)]
+pub struct ChunkedResponse {
+    /// Status code (normally 200; the head is written before the body).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers, rendered before `Connection:`.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl ChunkedResponse {
+    /// A chunked NDJSON response head (`application/x-ndjson`).
+    pub fn ndjson(status: u16) -> Self {
+        Self {
+            status,
+            content_type: "application/x-ndjson",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Adds an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Writes the status line and headers, announcing chunked framing, and
+    /// returns the body writer. The head is flushed immediately so clients
+    /// see the response begin before the first chunk is produced.
+    pub fn begin<'a, W: Write>(
+        &self,
+        stream: &'a mut W,
+        keep_alive: bool,
+    ) -> std::io::Result<ChunkedBody<'a, W>> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(
+            stream,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        stream.flush()?;
+        Ok(ChunkedBody {
+            stream,
+            finished: false,
+        })
+    }
+}
+
+/// Writer for the body of a [`ChunkedResponse`]: one `write_chunk` per
+/// payload piece (flushed immediately, so NDJSON lines arrive as they are
+/// produced), then [`ChunkedBody::finish`] for the terminating zero chunk.
+#[derive(Debug)]
+pub struct ChunkedBody<'a, W: Write> {
+    stream: &'a mut W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedBody<'_, W> {
+    /// Writes one chunk and flushes it. Empty payloads are skipped — a
+    /// zero-length chunk would terminate the body ([`ChunkedBody::finish`]
+    /// does that explicitly).
+    pub fn write_chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero-length chunk. Idempotent.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 /// An HTTP-level failure carrying the status it should be reported with.
 #[derive(Debug, Clone)]
 pub struct HttpError {
@@ -599,6 +698,44 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn chunked_response_frames_each_chunk_and_terminates() {
+        let mut out = Vec::new();
+        {
+            let head = ChunkedResponse::ndjson(200).with_header("X-Demo", "1");
+            let mut body = head.begin(&mut out, true).unwrap();
+            body.write_chunk(b"{\"index\":0}\n").unwrap();
+            body.write_chunk(b"").unwrap(); // skipped, must not terminate
+            body.write_chunk(b"{\"summary\":true}\n").unwrap();
+            body.finish().unwrap();
+            body.finish().unwrap(); // idempotent
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/x-ndjson\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Demo: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Content-Length"), "chunked bodies have none");
+        // Chunk framing: hex size, payload, CRLF — then the zero terminator.
+        assert!(text.contains("c\r\n{\"index\":0}\n\r\n"), "{text}");
+        assert!(text.contains("11\r\n{\"summary\":true}\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        let zero_chunks = text.matches("0\r\n\r\n").count();
+        assert_eq!(zero_chunks, 1, "finish must be idempotent: {text}");
+    }
+
+    #[test]
+    fn chunked_response_close_negotiation() {
+        let mut out = Vec::new();
+        {
+            let mut body = ChunkedResponse::ndjson(200).begin(&mut out, false).unwrap();
+            body.finish().unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
     }
 
     #[test]

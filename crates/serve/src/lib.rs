@@ -26,7 +26,7 @@
 //!
 //! | Endpoint | Purpose |
 //! |---|---|
-//! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, otherwise a job id is returned |
+//! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, `"stream": true` streams one NDJSON line per request in completion order, otherwise a job id is returned |
 //! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
 //! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
 //! | `POST /v1/datasets` | Register a dataset; returns its content id for `dataset_id` solves |
@@ -64,8 +64,8 @@ pub mod router;
 pub mod server;
 
 pub use datasets::{DatasetRegistry, MAX_REGISTERED_DATASETS};
-pub use handlers::AppState;
-pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use handlers::{AppState, ConsensusStream, Handled};
+pub use http::{ChunkedBody, ChunkedResponse, HttpError, HttpRequest, HttpResponse};
 pub use metrics::{
     EndpointMetrics, HistogramSnapshot, LatencyHistogram, ServeCounters, ServeCountersSnapshot,
     LATENCY_BUCKET_BOUNDS_US,
@@ -130,6 +130,14 @@ pub(crate) mod test_support {
                 ],
                 "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
             }}"#
+        )
+    }
+
+    /// One consensus spec object (for embedding in a `"requests"` array).
+    pub fn demo_dataset_consensus_spec(name: &str, delta: f64) -> String {
+        format!(
+            r#"{{"dataset": {}, "methods": ["Fair-Borda", "Fair-Copeland"], "delta": {delta}}}"#,
+            demo_dataset_json(name)
         )
     }
 

@@ -85,8 +85,13 @@ pub struct HistogramSnapshot {
 }
 
 /// Endpoint labels tracked by [`EndpointMetrics`], in render order.
-pub const ENDPOINT_LABELS: [&str; 7] = [
+/// `consensus_stream` separates streamed (`"stream": true`, NDJSON) consensus
+/// requests from buffered ones: a streamed request's latency spans the whole
+/// batch drain, so mixing the two in one histogram would make the buffered
+/// tail unreadable.
+pub const ENDPOINT_LABELS: [&str; 8] = [
     "consensus",
+    "consensus_stream",
     "audit",
     "jobs",
     "datasets",

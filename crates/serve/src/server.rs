@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use mani_engine::EngineConfig;
 
-use crate::handlers::AppState;
+use crate::handlers::{AppState, Handled};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::json::error_body;
 
@@ -399,11 +399,27 @@ fn handle_connection(
             Ok(request) => {
                 state.connections().record_request(served > 0);
                 served += 1;
-                let response = state.handle(&request);
                 let keep_alive = request.wants_keep_alive()
                     && served < limits.max_requests
                     && !stop.load(Ordering::Acquire);
-                if response.write_conn(&mut writer, keep_alive).is_err() || !keep_alive {
+                let write_ok = match state.dispatch(&request) {
+                    Handled::Response(response) => {
+                        response.write_conn(&mut writer, keep_alive).is_ok()
+                    }
+                    Handled::Stream(stream) => {
+                        // A streamed response can span many seconds of solve
+                        // time; a client that stops reading must not pin this
+                        // worker once the socket buffer fills. A write timeout
+                        // turns that stall into an error → connection close →
+                        // slot release (jobs finish in the engine regardless,
+                        // and their results stay pollable via /v1/jobs).
+                        let _ = writer.set_write_timeout(Some(limits.read_timeout));
+                        let ok = state.stream_ndjson(stream, &mut writer, keep_alive).is_ok();
+                        let _ = writer.set_write_timeout(None);
+                        ok
+                    }
+                };
+                if !write_ok || !keep_alive {
                     return;
                 }
             }

@@ -81,6 +81,103 @@ pub fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, Str
     )
 }
 
+/// Reads the head (status line + headers) of one HTTP response, leaving the
+/// stream positioned at the first body byte. Used for chunked responses,
+/// which [`read_response`]'s `Content-Length` framing cannot handle.
+pub fn read_head(stream: &mut TcpStream) -> (u16, Vec<(String, String)>) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            other => panic!("connection ended mid-headers ({other:?}); got {raw:?}"),
+        }
+    }
+    let head = String::from_utf8(raw).expect("UTF-8 response head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers)
+}
+
+/// Reads one chunk of a chunked response body. `None` marks the terminating
+/// zero-length chunk (trailer consumed): the body is complete and the
+/// connection is positioned at the next exchange. The server writes one
+/// NDJSON line per chunk, so for `"stream": true` one chunk is one line.
+pub fn read_chunk(stream: &mut TcpStream) -> Option<String> {
+    let mut size_line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(1) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                size_line.push(byte[0]);
+            }
+            other => panic!("connection ended mid-chunk-size ({other:?})"),
+        }
+    }
+    if size_line.last() == Some(&b'\r') {
+        size_line.pop();
+    }
+    let size = usize::from_str_radix(
+        std::str::from_utf8(&size_line).expect("UTF-8 chunk size"),
+        16,
+    )
+    .unwrap_or_else(|_| panic!("malformed chunk size {size_line:?}"));
+    let mut payload = vec![0u8; size + 2]; // payload + trailing CRLF
+    stream.read_exact(&mut payload).expect("read chunk payload");
+    assert_eq!(
+        &payload[size..],
+        b"\r\n",
+        "chunk payload must end with CRLF"
+    );
+    payload.truncate(size);
+    if size == 0 {
+        return None;
+    }
+    Some(String::from_utf8(payload).expect("UTF-8 chunk"))
+}
+
+/// Recursively strips volatile timing fields (`duration_ms`,
+/// `total_solve_time_ms`) — and optionally the `cached` markers — so two
+/// response payloads can be compared bit-for-bit on everything that is not
+/// wall-clock noise.
+pub fn strip_volatile(value: &Value, strip_cached: bool) -> Value {
+    match value {
+        Value::Object(entries) => Value::Object(
+            entries
+                .iter()
+                .filter(|(key, _)| {
+                    key != "duration_ms"
+                        && key != "total_solve_time_ms"
+                        && !(strip_cached && key == "cached")
+                })
+                .map(|(key, inner)| (key.clone(), strip_volatile(inner, strip_cached)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(
+            items
+                .iter()
+                .map(|item| strip_volatile(item, strip_cached))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
 /// The `Connection:` header value of a response, lower-cased.
 pub fn connection_header(headers: &[(String, String)]) -> Option<String> {
     headers

@@ -1,0 +1,397 @@
+//! End-to-end tests for `POST /v1/consensus` with `"stream": true`: chunked
+//! NDJSON delivery in completion order, bit-identical payloads versus the
+//! buffered path, keep-alive survival around a streamed response, connection
+//! slot release on client disconnect, and the structured `GET /v1/jobs/{id}`
+//! 404 envelope.
+
+mod common;
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use common::*;
+use mani_serve::ServerConfig;
+use serde::Value;
+
+/// A 20-candidate profile whose Fair-Kemeny search deterministically runs
+/// past any budget in the hundreds of thousands of nodes (it closes at
+/// ~200k), so a budgeted request is reliably *slow* — hundreds of
+/// milliseconds in debug builds — while staying strictly bounded.
+fn slow_dataset(name: &str) -> String {
+    let candidates: Vec<String> = (0..20)
+        .map(|i| {
+            format!(
+                r#"{{"name": "c{i}", "attributes": {{"G": "{}"}}}}"#,
+                if i % 2 == 0 { "x" } else { "y" }
+            )
+        })
+        .collect();
+    let rankings = r#"
+        ["c7","c2","c15","c1","c18","c10","c16","c12","c4","c0","c14","c19","c13","c5","c3","c6","c9","c11","c8","c17"],
+        ["c13","c8","c19","c1","c10","c7","c11","c15","c4","c16","c12","c0","c5","c17","c14","c3","c6","c2","c9","c18"],
+        ["c15","c11","c14","c3","c12","c6","c9","c2","c7","c1","c5","c17","c8","c19","c0","c4","c10","c18","c16","c13"],
+        ["c11","c19","c13","c14","c7","c4","c15","c8","c0","c3","c12","c17","c1","c5","c10","c9","c6","c16","c18","c2"],
+        ["c1","c0","c4","c7","c17","c15","c2","c18","c3","c19","c5","c6","c12","c8","c10","c13","c11","c9","c16","c14"],
+        ["c10","c19","c8","c3","c9","c11","c1","c0","c12","c16","c17","c18","c6","c13","c7","c15","c2","c14","c5","c4"],
+        ["c4","c18","c7","c1","c10","c13","c11","c17","c3","c16","c8","c12","c0","c19","c2","c6","c14","c9","c15","c5"],
+        ["c18","c19","c6","c0","c9","c8","c11","c16","c5","c7","c15","c4","c17","c10","c13","c2","c12","c14","c3","c1"],
+        ["c1","c2","c10","c18","c0","c17","c11","c5","c8","c14","c12","c4","c19","c6","c16","c3","c7","c13","c9","c15"]
+    "#;
+    format!(
+        r#"{{"name": "{name}", "candidates": [{}], "rankings": [{rankings}]}}"#,
+        candidates.join(",")
+    )
+}
+
+/// A budgeted Fair-Kemeny spec over [`slow_dataset`].
+fn slow_spec(name: &str, budget: u64) -> String {
+    format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Kemeny"], "delta": 0.15, "budget": {budget}}}"#,
+        slow_dataset(name)
+    )
+}
+
+/// A cheap Fair-Borda spec over the six-candidate demo dataset.
+fn cheap_spec(name: &str) -> String {
+    format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2}}"#,
+        demo_dataset(name)
+    )
+}
+
+fn parse_line(line: &str) -> Value {
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("bad NDJSON line `{line}`: {e}"))
+}
+
+/// One tolerant one-shot `GET` exchange: any client-visible outcome of racing
+/// the server's reject-and-close path (broken pipe, reset) maps to `None`.
+/// The server-side counters stay authoritative for what actually happened.
+fn try_get(addr: std::net::SocketAddr, path: &str) -> Option<u16> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let request = format!(
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+    );
+    let _ = stream.write_all(request.as_bytes());
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).ok()?;
+    raw.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn first_line_arrives_before_the_batch_finishes_and_keep_alive_survives() {
+    // Two engine workers: the cheap Borda (index 0) and the budgeted
+    // Fair-Kemeny (index 1) start together; Borda's line must hit the wire
+    // while Kemeny is still searching.
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = format!(
+        r#"{{"requests": [{}, {}], "stream": true}}"#,
+        cheap_spec("fast"),
+        slow_spec("slow", 150_000),
+    );
+    send_request(&mut stream, "POST", "/v1/consensus", &body, false);
+
+    let (status, headers) = read_head(&mut stream);
+    assert_eq!(status, 200);
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.to_ascii_lowercase())
+    };
+    assert_eq!(header("transfer-encoding").as_deref(), Some("chunked"));
+    assert_eq!(
+        header("content-type").as_deref(),
+        Some("application/x-ndjson")
+    );
+    assert_eq!(header("connection").as_deref(), Some("keep-alive"));
+    assert!(
+        header("content-length").is_none(),
+        "chunked responses carry no Content-Length"
+    );
+
+    let first = parse_line(&read_chunk(&mut stream).expect("first NDJSON line"));
+    assert_eq!(
+        get_u64(&first, &["index"]),
+        0,
+        "the cheap request must stream first: {first:?}"
+    );
+    assert!(
+        matches!(first.get("job_id"), Some(Value::String(_))),
+        "{first:?}"
+    );
+    assert!(first.get("results").is_some(), "{first:?}");
+    // The proof of streaming: when the first line was readable, the slow job
+    // had not completed — the whole batch is still in flight engine-side.
+    let stats = handle.state().engine().stats();
+    assert!(
+        stats.in_flight >= 1,
+        "first line must arrive while the Fair-Kemeny job is still running \
+         (in_flight = {}, completed = {})",
+        stats.in_flight,
+        stats.completed,
+    );
+
+    let second = parse_line(&read_chunk(&mut stream).expect("second NDJSON line"));
+    assert_eq!(get_u64(&second, &["index"]), 1);
+    let summary = parse_line(&read_chunk(&mut stream).expect("summary line"));
+    assert_eq!(summary.get("summary"), Some(&Value::Bool(true)));
+    assert_eq!(get_u64(&summary, &["requests"]), 2);
+    assert_eq!(get_u64(&summary, &["completed"]), 2);
+    assert_eq!(get_u64(&summary, &["errors"]), 0);
+    assert!(
+        read_chunk(&mut stream).is_none(),
+        "the body ends with the zero-length chunk"
+    );
+
+    // Keep-alive survives the streamed response: the same connection serves
+    // a regular Content-Length exchange next.
+    send_request(&mut stream, "GET", "/v1/stats", "", true);
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    let stats = serde_json::from_str::<Value>(&body).expect("stats JSON");
+    assert_eq!(get_u64(&stats, &["streaming", "batches_opened"]), 1);
+    assert_eq!(get_u64(&stats, &["streaming", "batches_drained"]), 1);
+    assert_eq!(get_u64(&stats, &["streaming", "results_yielded"]), 2);
+
+    handle.stop();
+}
+
+#[test]
+fn streamed_results_are_bit_identical_to_the_buffered_path() {
+    // Single-threaded engines on both servers make every cache interaction
+    // (and therefore every non-timing response byte) deterministic.
+    let two_method_spec = format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Borda", "Fair-Copeland"], "delta": 0.3}}"#,
+        demo_dataset("two")
+    );
+    let batch_body = |stream_mode: bool| {
+        format!(
+            r#"{{"requests": [{}, {}], "{}": true}}"#,
+            cheap_spec("one"),
+            two_method_spec,
+            if stream_mode { "stream" } else { "wait" },
+        )
+    };
+
+    // Server A: streamed.
+    let streaming_server = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(streaming_server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_request(
+        &mut stream,
+        "POST",
+        "/v1/consensus",
+        &batch_body(true),
+        false,
+    );
+    let (status, _) = read_head(&mut stream);
+    assert_eq!(status, 200);
+    let mut streamed: Vec<Option<Value>> = vec![None, None];
+    let mut lines = 0;
+    while let Some(line) = read_chunk(&mut stream) {
+        let parsed = parse_line(&line);
+        lines += 1;
+        if parsed.get("summary").is_some() {
+            continue;
+        }
+        let index = get_u64(&parsed, &["index"]) as usize;
+        streamed[index] = Some(parsed);
+    }
+    assert_eq!(lines, 3, "two results + summary");
+
+    // Server B: the same batch, buffered (`"wait": true`).
+    let buffered_server = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        ..ServerConfig::default()
+    });
+    let (status, buffered) = exchange(
+        buffered_server.addr(),
+        "POST",
+        "/v1/consensus",
+        &batch_body(false),
+    );
+    assert_eq!(status, 200);
+    let responses = buffered
+        .get("responses")
+        .and_then(Value::as_array)
+        .expect("responses array");
+
+    for (index, buffered_response) in responses.iter().enumerate() {
+        let mut streamed_payload = streamed[index].clone().expect("line per request");
+        // Drop the stream-only prefix fields; everything else must be
+        // bit-identical once wall-clock timing fields are stripped.
+        if let Value::Object(ref mut entries) = streamed_payload {
+            entries.retain(|(key, _)| key != "index" && key != "job_id");
+        }
+        assert_eq!(
+            serde_json::to_string(&strip_volatile(&streamed_payload, false)).unwrap(),
+            serde_json::to_string(&strip_volatile(buffered_response, false)).unwrap(),
+            "request {index} diverged between streamed and buffered paths"
+        );
+    }
+
+    // Replay through the response cache on the streaming server: the cached
+    // payloads are the very objects that were streamed (identical down to
+    // the recorded solve durations), only the `cached` markers flip.
+    let (status, replay) = exchange(
+        streaming_server.addr(),
+        "POST",
+        "/v1/consensus",
+        &batch_body(false),
+    );
+    assert_eq!(status, 200);
+    let replayed = replay
+        .get("responses")
+        .and_then(Value::as_array)
+        .expect("responses array");
+    for (index, replayed_response) in replayed.iter().enumerate() {
+        assert_eq!(
+            replayed_response.get("cached"),
+            Some(&Value::Bool(true)),
+            "request {index} must replay from the response cache"
+        );
+        let mut streamed_payload = streamed[index].clone().expect("line per request");
+        if let Value::Object(ref mut entries) = streamed_payload {
+            entries.retain(|(key, _)| key != "index" && key != "job_id");
+        }
+        assert_eq!(
+            serde_json::to_string(&strip_volatile(&streamed_payload, true)).unwrap(),
+            serde_json::to_string(&strip_volatile(replayed_response, true)).unwrap(),
+            "request {index}: cache replay must hand back the streamed payload"
+        );
+    }
+    assert_eq!(
+        streaming_server.state().engine().stats().submitted,
+        2,
+        "the replay must not reach the engine"
+    );
+
+    streaming_server.stop();
+    buffered_server.stop();
+}
+
+#[test]
+fn client_disconnect_mid_stream_releases_the_connection_slot() {
+    // One connection worker, one admission slot: while the stream is being
+    // produced the pool is saturated, and dropping the client must hand the
+    // slot back once the in-flight solve lands on the dead socket.
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        max_connections: 1,
+        conn_threads: 1,
+        ..ServerConfig::default()
+    });
+
+    let mut doomed = TcpStream::connect(handle.addr()).expect("connect");
+    doomed
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = format!(
+        r#"{{"requests": [{}], "stream": true}}"#,
+        slow_spec("s", 150_000)
+    );
+    send_request(&mut doomed, "POST", "/v1/consensus", &body, false);
+    let (status, _) = read_head(&mut doomed);
+    assert_eq!(status, 200, "the stream head is written before any solve");
+
+    // The only slot is held: a second connection bounces at the accept path.
+    // The client-visible 503 can race the server's close, so the server-side
+    // rejection counter is the authoritative assertion.
+    let status = try_get(handle.addr(), "/v1/methods");
+    assert_ne!(status, Some(200), "the pool must be saturated mid-stream");
+    let snapshot = handle.state().connections().snapshot();
+    assert!(
+        snapshot.rejected_busy >= 1,
+        "the accept path must have rejected the probe: {snapshot:?}"
+    );
+
+    // Disconnect mid-stream (the Fair-Kemeny solve is still running).
+    drop(doomed);
+
+    // Once the solve completes and its chunk hits the dead socket, the worker
+    // must close the connection and release the slot: a fresh client gets in.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while try_get(handle.addr(), "/v1/methods") != Some(200) {
+        assert!(
+            Instant::now() < deadline,
+            "slot never released after client disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.stop();
+}
+
+#[test]
+fn overloaded_streaming_batch_answers_a_clean_429() {
+    // Queue depth 1 cannot absorb a two-request batch: the rejection happens
+    // before the response head, as a regular JSON error — never a truncated
+    // chunked body.
+    let handle = spawn_server(ServerConfig {
+        engine: mani_engine::EngineConfig {
+            threads: 1,
+            queue_depth: 1,
+            ..mani_engine::EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"requests": [{}, {}], "stream": true}}"#,
+        cheap_spec("a"),
+        cheap_spec("b"),
+    );
+    let (status, parsed) = exchange(handle.addr(), "POST", "/v1/consensus", &body);
+    assert_eq!(status, 429, "{parsed:?}");
+    assert!(parsed.get("error").is_some(), "{parsed:?}");
+    handle.stop();
+}
+
+#[test]
+fn unknown_job_returns_the_structured_json_404_envelope() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    send_request(&mut stream, "GET", "/v1/jobs/job-424242", "", false);
+    let (status, headers, body) = read_response(&mut stream);
+    assert_eq!(status, 404);
+    assert_eq!(
+        headers
+            .iter()
+            .find(|(n, _)| n == "content-type")
+            .map(|(_, v)| v.as_str()),
+        Some("application/json"),
+        "an evicted/unknown job must answer with the JSON error envelope"
+    );
+    let parsed: Value = serde_json::from_str(&body).expect("404 body must be JSON");
+    assert!(
+        matches!(parsed.get("error"), Some(Value::String(message)) if message.contains("job-424242")),
+        "{body}"
+    );
+
+    // Malformed ids use the same envelope with 400.
+    send_request(&mut stream, "GET", "/v1/jobs/banana", "", true);
+    let (status, _, body) = read_response(&mut stream);
+    assert_eq!(status, 400);
+    assert!(body.starts_with('{') && body.contains("error"), "{body}");
+    handle.stop();
+}
