@@ -60,6 +60,7 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut max_slowdown = 0.25f64;
     let mut iters_override: Option<usize> = None;
+    let mut timestamp: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |flag: &str| match iter.next() {
@@ -74,6 +75,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--out" => out = value_of("--out"),
             "--compare" => compare = Some(value_of("--compare")),
+            "--timestamp" => timestamp = Some(value_of("--timestamp")),
             "--max-slowdown" => {
                 let raw = value_of("--max-slowdown");
                 max_slowdown = raw.parse().unwrap_or_else(|_| {
@@ -91,12 +93,14 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mani-bench --json [--out FILE] [--smoke] [--iters N]\n\
-                     \x20                 [--compare BASELINE [--max-slowdown F]]\n\
+                     \x20                 [--timestamp STR] [--compare BASELINE [--max-slowdown F]]\n\
                      writes kernel throughput/latency for matrix-build, Schulze and\n\
                      Fair-Kemeny at (n, |R|) grid points to FILE (default BENCH_kernels.json).\n\
                      --compare diffs the fresh run against a committed baseline and exits\n\
                      non-zero when the Schulze flat kernel or matrix-build throughput\n\
-                     regresses by more than --max-slowdown (default 0.25)."
+                     regresses by more than --max-slowdown (default 0.25).\n\
+                     --timestamp stamps an opaque run label into the output's `meta`\n\
+                     header (the comparison gate ignores the header entirely)."
                 );
                 return;
             }
@@ -145,7 +149,7 @@ fn main() {
         entries.push(bench_fair_kemeny(n, r, &parallel, iters.min(2), smoke));
     }
 
-    let body = render_json(threads, iters, smoke, &entries);
+    let body = render_json(threads, iters, smoke, timestamp.as_deref(), &entries);
     if let Err(error) = std::fs::write(&out, &body) {
         eprintln!("mani-bench: cannot write {out}: {error}");
         std::process::exit(1);
@@ -410,16 +414,32 @@ fn bench_fair_kemeny(
     }
 }
 
-fn render_json(threads: usize, iters: usize, smoke: bool, entries: &[Entry]) -> String {
+/// Renders the run as JSON: a `meta` header describing how the numbers were
+/// produced (the `--compare` gate reads only `entries`, so the header can
+/// grow freely without invalidating committed baselines) plus the entry rows.
+fn render_json(
+    threads: usize,
+    iters: usize,
+    smoke: bool,
+    timestamp: Option<&str>,
+    entries: &[Entry],
+) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"generated_by\": \"mani-bench --json\",");
+    let _ = writeln!(out, "  \"meta\": {{");
+    let _ = writeln!(out, "    \"generated_by\": \"mani-bench --json\",");
+    let _ = writeln!(out, "    \"version\": \"{}\",", env!("CARGO_PKG_VERSION"));
+    let _ = match timestamp {
+        Some(stamp) => writeln!(out, "    \"timestamp\": \"{}\",", json_escape(stamp)),
+        None => writeln!(out, "    \"timestamp\": null,"),
+    };
     let _ = writeln!(
         out,
-        "  \"grid\": \"{}\",",
+        "    \"grid\": \"{}\",",
         if smoke { "smoke" } else { "full" }
     );
-    let _ = writeln!(out, "  \"threads_available\": {threads},");
-    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "    \"threads_available\": {threads},");
+    let _ = writeln!(out, "    \"iters\": {iters}");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"entries\": [");
     for (index, entry) in entries.iter().enumerate() {
         let _ = write!(
@@ -437,5 +457,24 @@ fn render_json(threads: usize, iters: usize, smoke: bool, entries: &[Entry]) -> 
         );
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a user-supplied string for embedding in a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other if other.is_control() => {
+                let _ = write!(out, "\\u{:04x}", other as u32);
+            }
+            other => out.push(other),
+        }
+    }
     out
 }

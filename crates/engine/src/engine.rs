@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use mani_core::{MethodKind, MfcrContext};
 use mani_fairness::FairnessThresholds;
+use mani_obs::TraceTimeline;
 use mani_ranking::Parallelism;
 
 use crate::batch::{BatchCounters, BatchHandle};
@@ -121,6 +122,12 @@ pub struct EngineStats {
     pub batches_drained: u64,
     /// Per-request completions yielded across all streaming batches.
     pub batch_results_yielded: u64,
+    /// Worker-pool tasks waiting in the channel, not yet picked up.
+    pub pool_queued: usize,
+    /// Worker-pool threads currently executing a task.
+    pub pool_busy: usize,
+    /// Worker-pool tasks finished since the engine was created.
+    pub pool_tasks_executed: u64,
 }
 
 /// Counters shared between the engine and its in-flight job collectors.
@@ -228,6 +235,7 @@ impl ConsensusEngine {
 
     /// Current submission-queue and kernel-timing counters.
     pub fn stats(&self) -> EngineStats {
+        let pool = self.pool.stats();
         EngineStats {
             queue_depth: self.queue_depth,
             in_flight: self.counters.in_flight.load(Ordering::Acquire),
@@ -240,6 +248,9 @@ impl ConsensusEngine {
             batches_opened: self.batch_counters.opened.load(Ordering::Relaxed),
             batches_drained: self.batch_counters.drained.load(Ordering::Relaxed),
             batch_results_yielded: self.batch_counters.results_yielded.load(Ordering::Relaxed),
+            pool_queued: pool.queued,
+            pool_busy: pool.busy,
+            pool_tasks_executed: pool.executed,
         }
     }
 
@@ -304,6 +315,7 @@ impl ConsensusEngine {
                         budget,
                         kernel,
                         &kernel_counters,
+                        None,
                     )
                 }));
             }
@@ -426,6 +438,7 @@ impl ConsensusEngine {
             let kernel = self.kernel;
             let kernel_counters = Arc::clone(&self.kernel_counters);
             let collector = Arc::clone(&collector);
+            let trace = Arc::clone(state.trace());
             self.pool.execute(Box::new(move || {
                 collector.state.mark_running();
                 // A panicking solver must not leak the job's queue slot: turn
@@ -439,6 +452,7 @@ impl ConsensusEngine {
                         budget,
                         kernel,
                         &kernel_counters,
+                        Some(&trace),
                     )
                 }))
                 .unwrap_or_else(|_| {
@@ -488,7 +502,10 @@ impl JobCollector {
 }
 
 /// Runs one method over one dataset against the shared cache — the single
-/// execution path behind both blocking and async submission.
+/// execution path behind both blocking and async submission. When `trace` is
+/// set (async jobs), the cache probe is recorded as `cache_lookup` (hit) or
+/// `matrix_build` (miss) and the method solve as `solve`.
+#[allow(clippy::too_many_arguments)] // internal seam: every site is in this file
 fn solve_one(
     cache: &PrecedenceCache,
     dataset: &EngineDataset,
@@ -497,8 +514,18 @@ fn solve_one(
     budget: Option<u64>,
     kernel: Parallelism,
     kernel_counters: &KernelCounters,
+    trace: Option<&TraceTimeline>,
 ) -> Result<MethodResult, EngineError> {
+    let lookup_started = Instant::now();
     let (artifacts, cache_hit) = cache.get_or_build_with(dataset, &kernel);
+    if let Some(trace) = trace {
+        let phase = if cache_hit {
+            "cache_lookup"
+        } else {
+            "matrix_build"
+        };
+        trace.record(phase, lookup_started, lookup_started.elapsed());
+    }
     let ctx = MfcrContext::new(
         dataset.db(),
         &artifacts.groups,
@@ -512,8 +539,12 @@ fn solve_one(
         None => kind.instantiate(),
     };
     let started = Instant::now();
-    let outcome = method.solve(&ctx)?;
+    let outcome = method.solve(&ctx);
     let duration = started.elapsed();
+    if let Some(trace) = trace {
+        trace.record("solve", started, duration);
+    }
+    let outcome = outcome?;
     kernel_counters
         .solve_ns
         .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
@@ -802,6 +833,72 @@ mod tests {
         assert_eq!(stats.submitted, 0, "all-or-nothing: nothing was enqueued");
         assert_eq!(stats.rejected, 3);
         assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn async_job_traces_queue_wait_cache_and_solve_phases() {
+        let engine = ConsensusEngine::with_config(config(2));
+        let ds = dataset(10, 21);
+        let first = engine
+            .submit_async(ConsensusRequest::new(
+                Arc::clone(&ds),
+                [MethodKind::FairBorda],
+                FairnessThresholds::uniform(0.2),
+            ))
+            .expect("queue is empty");
+        first.wait();
+        let phases: Vec<&str> = first.trace().snapshot().iter().map(|p| p.name).collect();
+        assert!(phases.contains(&"queue_wait"), "{phases:?}");
+        assert!(phases.contains(&"matrix_build"), "cold cache: {phases:?}");
+        assert!(phases.contains(&"solve"), "{phases:?}");
+
+        // Same dataset again: the probe is now a hit and traces as a lookup.
+        let second = engine
+            .submit_async(ConsensusRequest::new(
+                ds,
+                [MethodKind::FairBorda],
+                FairnessThresholds::uniform(0.2),
+            ))
+            .expect("queue is empty");
+        second.wait();
+        let trace = second.trace();
+        let phases = trace.snapshot();
+        assert!(
+            phases.iter().any(|p| p.name == "cache_lookup"),
+            "{phases:?}"
+        );
+        // Phases are merged by name (each appears once) and, for this
+        // single-method job, their durations fit inside the traced span.
+        let mut names: Vec<&str> = phases.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), phases.len(), "duplicate phase: {phases:?}");
+        let total: u64 = phases.iter().map(|p| p.duration_ns).sum();
+        assert!(
+            total <= trace.span_ns(),
+            "sequential phases exceed span: {total} > {}",
+            trace.span_ns()
+        );
+    }
+
+    #[test]
+    fn stats_expose_pool_saturation() {
+        let engine = ConsensusEngine::with_config(config(2));
+        engine.submit(ConsensusRequest::new(
+            dataset(10, 22),
+            [MethodKind::FairBorda, MethodKind::FairCopeland],
+            FairnessThresholds::uniform(0.2),
+        ));
+        // Busy-guard drops may trail the batch join by an instant.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = engine.stats();
+            if stats.pool_tasks_executed >= 2 && stats.pool_queued == 0 && stats.pool_busy == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "pool stats stuck: {stats:?}");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

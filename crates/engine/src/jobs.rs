@@ -16,6 +16,8 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use mani_obs::TraceTimeline;
+
 use crate::batch::BatchNotifier;
 use crate::request::ConsensusResponse;
 
@@ -98,6 +100,9 @@ struct Inner {
 pub(crate) struct JobState {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Phase timeline for the job, anchored at submission time. Workers
+    /// record solver phases into it; `GET /v1/jobs/{id}/trace` renders it.
+    trace: Arc<TraceTimeline>,
 }
 
 impl JobState {
@@ -108,6 +113,7 @@ impl JobState {
                 watchers: Vec::new(),
             }),
             cond: Condvar::new(),
+            trace: Arc::new(TraceTimeline::new()),
         }
     }
 
@@ -115,12 +121,19 @@ impl JobState {
         self.inner.lock().expect("job phase lock poisoned")
     }
 
+    /// The job's shared phase timeline.
+    pub(crate) fn trace(&self) -> &Arc<TraceTimeline> {
+        &self.trace
+    }
+
     /// Marks the job running (first method task picked up). Idempotent; a
-    /// completed job stays completed.
+    /// completed job stays completed. The first transition closes the
+    /// `queue_wait` phase — time from submission to the first worker pickup.
     pub(crate) fn mark_running(&self) {
         let mut inner = self.lock();
         if matches!(inner.phase, Phase::Queued) {
             inner.phase = Phase::Running;
+            self.trace.record_since_origin("queue_wait");
         }
     }
 
@@ -179,6 +192,12 @@ impl JobHandle {
     /// The job's engine-unique identifier.
     pub fn id(&self) -> JobId {
         self.id
+    }
+
+    /// The job's phase timeline (`queue_wait`, `cache_lookup` /
+    /// `matrix_build`, `solve`, …), shared with the workers executing it.
+    pub fn trace(&self) -> Arc<TraceTimeline> {
+        Arc::clone(&self.state.trace)
     }
 
     /// The job's current lifecycle phase.

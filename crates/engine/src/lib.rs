@@ -77,7 +77,8 @@ pub use dataset::EngineDataset;
 pub use engine::{ConsensusEngine, EngineConfig, EngineStats, DEFAULT_QUEUE_DEPTH};
 pub use error::EngineError;
 pub use jobs::{JobHandle, JobId, JobStatus};
+pub use mani_obs::{PhaseSnapshot, TraceTimeline};
 pub use mani_ranking::Parallelism;
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
 pub use report::{attribute_labels, audit_table, response_table, ReportTable};
 pub use request::{ConsensusRequest, ConsensusResponse, MethodResult};

@@ -11,18 +11,43 @@
 //! worker itself).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Saturation counters shared between the pool handle and its workers.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    /// Jobs enqueued but not yet picked up by a worker.
+    queued: AtomicUsize,
+    /// Workers currently executing a job.
+    busy: AtomicUsize,
+    /// Jobs finished (including panicked ones) since the pool started.
+    executed: AtomicU64,
+}
+
+/// Point-in-time saturation view of a [`WorkerPool`], for `/metrics` and
+/// `/v1/stats`: `queued > 0` with `busy == threads` means the pool is the
+/// bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs waiting in the channel, not yet picked up.
+    pub queued: usize,
+    /// Workers currently executing a job.
+    pub busy: usize,
+    /// Jobs finished since the pool started.
+    pub executed: u64,
+}
+
 /// Fixed-size pool of worker threads executing boxed jobs.
 #[derive(Debug)]
 pub struct WorkerPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    counters: Arc<PoolCounters>,
 }
 
 impl WorkerPool {
@@ -43,6 +68,7 @@ impl WorkerPool {
         Self {
             sender: Some(sender),
             workers,
+            counters: Arc::new(PoolCounters::default()),
         }
     }
 
@@ -58,11 +84,38 @@ impl WorkerPool {
 
     /// Enqueues one fire-and-forget job.
     pub fn execute(&self, job: Job) {
+        // Wrap the job in counter updates. The guard decrements `busy` and
+        // bumps `executed` in its Drop, so a panicking job (unwound past
+        // `job()` and caught in `worker_loop`) still balances the counters.
+        struct BusyGuard(Arc<PoolCounters>);
+        impl Drop for BusyGuard {
+            fn drop(&mut self) {
+                self.0.busy.fetch_sub(1, Ordering::Relaxed);
+                self.0.executed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters.queued.fetch_add(1, Ordering::Relaxed);
+        let counters = Arc::clone(&self.counters);
+        let wrapped: Job = Box::new(move || {
+            counters.queued.fetch_sub(1, Ordering::Relaxed);
+            counters.busy.fetch_add(1, Ordering::Relaxed);
+            let _guard = BusyGuard(counters);
+            job();
+        });
         self.sender
             .as_ref()
             .expect("pool already shut down")
-            .send(job)
+            .send(wrapped)
             .expect("worker threads terminated early");
+    }
+
+    /// Current saturation counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            queued: self.counters.queued.load(Ordering::Relaxed),
+            busy: self.counters.busy.load(Ordering::Relaxed),
+            executed: self.counters.executed.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs every task on the pool and returns their outputs **in submission
@@ -308,6 +361,47 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stats_count_executed_jobs_and_drain_to_idle() {
+        let pool = WorkerPool::new(2);
+        let results = pool.run_batch((0..8usize).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results.len(), 8);
+        // run_batch returns once results arrive; the final busy-guard drop may
+        // trail by an instant, so poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = pool.stats();
+            if stats.executed == 8 && stats.busy == 0 && stats.queued == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stats stuck: {stats:?}"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn stats_balance_after_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send>])
+        }));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = pool.stats();
+            if stats.executed == 1 && stats.busy == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stats stuck: {stats:?}"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Std-only observability primitives shared by `mani-engine` and `mani-serve`.
+//!
+//! Four small, dependency-free pieces:
+//!
+//! * [`log`] — a structured [logfmt](https://brandur.org/logfmt) logger
+//!   writing to stderr, level-filtered via the `MANI_LOG` environment
+//!   variable or [`set_level`], with [`error!`], [`warn!`], [`info!`],
+//!   [`debug!`] macros that skip field formatting entirely when the level is
+//!   disabled.
+//! * [`trace`] — [`TraceTimeline`], a per-job phase timeline fed by RAII
+//!   [`Span`] timers (`queue_wait`, `cache_lookup`, `matrix_build`, `solve`,
+//!   `render`, …) cheap enough to leave on in production.
+//! * [`ring`] — [`SlowRing`], a bounded worst-N ring of slow requests with
+//!   their request id and phase breakdown, surfaced at `/v1/stats`.
+//! * [`prom`] — [`PromWriter`], a Prometheus text-exposition (version 0.0.4)
+//!   renderer for counters, gauges, and cumulative `_bucket`/`_sum`/`_count`
+//!   histograms, backing `GET /metrics`.
+//!
+//! Request correlation lives in [`reqid`]: accept a well-formed incoming
+//! `x-request-id` or mint a fresh process-unique one, echo it on every
+//! response, and stamp it into access-log lines and job records.
+//!
+//! ```
+//! use mani_obs::{Span, TraceTimeline};
+//!
+//! let timeline = TraceTimeline::new();
+//! {
+//!     let _span = Span::enter(&timeline, "solve");
+//!     // ... work ...
+//! }
+//! assert_eq!(timeline.snapshot().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod log;
+pub mod prom;
+pub mod reqid;
+pub mod ring;
+pub mod trace;
+
+pub use log::{set_level, Level, Logger};
+pub use prom::PromWriter;
+pub use reqid::{fresh_request_id, request_id_from_header, sanitize_request_id};
+pub use ring::{SlowEntry, SlowRing};
+pub use trace::{PhaseSnapshot, Span, TraceTimeline};

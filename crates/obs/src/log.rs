@@ -1,0 +1,356 @@
+//! Structured logfmt logging to stderr.
+//!
+//! One line per event: `ts=<ISO-8601> level=<level> target=<subsystem>
+//! msg=<message> key=value ...`. Values containing spaces, quotes, or `=`
+//! are quoted with `\"`/`\\` escapes so lines stay machine-parseable.
+//!
+//! The global logger is created on first use, reading its level from the
+//! `MANI_LOG` environment variable (`off`, `error`, `warn`, `info`, `debug`,
+//! `trace`; default `info`). `--log-level` on the CLI overrides it via
+//! [`set_level`]. The level check is a single relaxed atomic load, so
+//! disabled [`debug!`](crate::debug)- and trace-level call sites cost
+//! nothing beyond it —
+//! the macros only format fields after the check passes. Emission itself
+//! serializes on a mutexed writer handle, keeping concurrent lines whole.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or request-fatal conditions.
+    Error = 1,
+    /// Degraded but continuing (rejected connections, malformed requests).
+    Warn = 2,
+    /// Lifecycle events (startup, shutdown, configuration).
+    Info = 3,
+    /// Per-request access lines and cache decisions.
+    Debug = 4,
+    /// Per-phase spam; only for chasing a specific bug.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive). `off` maps to `None`,
+    /// silencing everything; unknown names are rejected.
+    pub fn parse(name: &str) -> Option<Option<Level>> {
+        match name.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    /// The lower-case label rendered into log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Where a [`Logger`] writes: stderr in production, a shared in-memory
+/// buffer under test.
+enum Sink {
+    Stderr,
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+/// A level-filtered logfmt writer. The process-wide instance is reached via
+/// the [`error!`](crate::error)/[`warn!`](crate::warn)/[`info!`](crate::info)/
+/// [`debug!`](crate::debug) macros; standalone instances exist for tests.
+pub struct Logger {
+    /// Maximum enabled level as a `u8`; `0` disables all output.
+    level: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    /// A stderr logger at the given level (`None` = silent).
+    pub fn new(level: Option<Level>) -> Self {
+        Self {
+            level: AtomicU8::new(level.map_or(0, |l| l as u8)),
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    /// A logger writing into a shared buffer, for asserting on output.
+    pub fn with_buffer(level: Option<Level>, buffer: Arc<Mutex<Vec<u8>>>) -> Self {
+        Self {
+            level: AtomicU8::new(level.map_or(0, |l| l as u8)),
+            sink: Mutex::new(Sink::Buffer(buffer)),
+        }
+    }
+
+    /// Changes the maximum enabled level (`None` = silent).
+    pub fn set_level(&self, level: Option<Level>) {
+        self.level
+            .store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// Whether a record at `level` would be emitted. One relaxed load.
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Redirects output into a shared buffer (tests only; the capture is
+    /// process-global when called on the global logger).
+    pub fn capture(&self, buffer: Arc<Mutex<Vec<u8>>>) {
+        *self.sink.lock().expect("log sink poisoned") = Sink::Buffer(buffer);
+    }
+
+    /// Emits one logfmt line. Call sites should check [`Logger::enabled`]
+    /// first (the macros do) so field values are never formatted for
+    /// disabled levels; this re-checks for correctness.
+    pub fn log(&self, level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        line.push_str("ts=");
+        line.push_str(&format_timestamp(SystemTime::now()));
+        line.push_str(" level=");
+        line.push_str(level.label());
+        line.push_str(" target=");
+        push_value(&mut line, target);
+        line.push_str(" msg=");
+        push_value(&mut line, msg);
+        for (key, value) in fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            push_value(&mut line, value);
+        }
+        line.push('\n');
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        match &mut *sink {
+            Sink::Stderr => {
+                let _ = std::io::stderr().write_all(line.as_bytes());
+            }
+            Sink::Buffer(buffer) => {
+                buffer
+                    .lock()
+                    .expect("log buffer poisoned")
+                    .extend_from_slice(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// The process-wide logger, created on first use from `MANI_LOG`
+/// (default `info`).
+pub fn global() -> &'static Logger {
+    static GLOBAL: OnceLock<Logger> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let level = std::env::var("MANI_LOG")
+            .ok()
+            .and_then(|raw| Level::parse(&raw))
+            .unwrap_or(Some(Level::Info));
+        Logger::new(level)
+    })
+}
+
+/// Sets the global logger's level (e.g. from a `--log-level` flag).
+pub fn set_level(level: Option<Level>) {
+    global().set_level(level);
+}
+
+/// Appends a logfmt value, quoting when it contains characters that would
+/// break `key=value` tokenization.
+fn push_value(line: &mut String, value: &str) {
+    let needs_quotes = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c == ' ' || c == '"' || c == '=' || c == '\\' || c.is_control());
+    if !needs_quotes {
+        line.push_str(value);
+        return;
+    }
+    line.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            '\r' => line.push_str("\\r"),
+            '\t' => line.push_str("\\t"),
+            other if other.is_control() => {
+                line.push_str(&format!("\\u{:04x}", other as u32));
+            }
+            other => line.push(other),
+        }
+    }
+    line.push('"');
+}
+
+/// UTC ISO-8601 timestamp with millisecond precision, e.g.
+/// `2026-08-07T14:03:25.017Z`. Std-only (no chrono): civil date from days
+/// via Howard Hinnant's algorithm.
+pub fn format_timestamp(now: SystemTime) -> String {
+    let since_epoch = now.duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO);
+    let secs = since_epoch.as_secs();
+    let millis = since_epoch.subsec_millis();
+    let (year, month, day) = civil_from_days((secs / 86_400) as i64);
+    let tod = secs % 86_400;
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3_600,
+        (tod % 3_600) / 60,
+        tod % 60
+    )
+}
+
+/// Gregorian `(year, month, day)` for a day count since 1970-01-01.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // day of era [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // day of year, Mar 1 = 0
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if month <= 2 { year + 1 } else { year }, month, day)
+}
+
+/// Emits one record through the global logger. Prefer the leveled macros.
+#[macro_export]
+macro_rules! logmsg {
+    ($level:expr, $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $level;
+        let logger = $crate::log::global();
+        if logger.enabled(level) {
+            logger.log(
+                level,
+                $target,
+                &$msg.to_string(),
+                &[$((stringify!($key), $value.to_string())),*],
+            );
+        }
+    }};
+}
+
+/// Logs at [`Level::Error`]: `error!("serve", "bind failed", error = e)`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::logmsg!($crate::Level::Error, $target, $msg $(, $key = $value)*)
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::logmsg!($crate::Level::Warn, $target, $msg $(, $key = $value)*)
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::logmsg!($crate::Level::Info, $target, $msg $(, $key = $value)*)
+    };
+}
+
+/// Logs at [`Level::Debug`] (the access-log level).
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::logmsg!($crate::Level::Debug, $target, $msg $(, $key = $value)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn captured(logger: &Logger, buffer: &Arc<Mutex<Vec<u8>>>) -> String {
+        let _ = logger;
+        String::from_utf8(buffer.lock().unwrap().clone()).unwrap()
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("banana"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn disabled_levels_emit_nothing() {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let logger = Logger::with_buffer(Some(Level::Warn), Arc::clone(&buffer));
+        logger.log(Level::Debug, "t", "hidden", &[]);
+        logger.log(Level::Warn, "t", "shown", &[]);
+        let out = captured(&logger, &buffer);
+        assert!(!out.contains("hidden"));
+        assert!(out.contains("level=warn"));
+        assert!(out.contains("msg=shown"));
+    }
+
+    #[test]
+    fn fields_are_quoted_when_needed() {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let logger = Logger::with_buffer(Some(Level::Info), Arc::clone(&buffer));
+        logger.log(
+            Level::Info,
+            "http",
+            "request done",
+            &[
+                ("path", "/v1/stats".to_string()),
+                ("note", "a \"quoted\" = value".to_string()),
+                ("empty", String::new()),
+            ],
+        );
+        let out = captured(&logger, &buffer);
+        assert!(out.contains("msg=\"request done\""));
+        assert!(out.contains("path=/v1/stats"));
+        assert!(out.contains("note=\"a \\\"quoted\\\" = value\""));
+        assert!(out.contains("empty=\"\""));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn timestamps_are_iso_8601() {
+        let ts = format_timestamp(UNIX_EPOCH + Duration::from_millis(1_700_000_000_123));
+        assert_eq!(ts, "2023-11-14T22:13:20.123Z");
+        assert_eq!(format_timestamp(UNIX_EPOCH), "1970-01-01T00:00:00.000Z");
+        // Leap-year day.
+        let leap = UNIX_EPOCH + Duration::from_secs(951_782_400); // 2000-02-29
+        assert!(format_timestamp(leap).starts_with("2000-02-29T"));
+    }
+
+    #[test]
+    fn silent_logger_drops_everything() {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let logger = Logger::with_buffer(None, Arc::clone(&buffer));
+        assert!(!logger.enabled(Level::Error));
+        logger.log(Level::Error, "t", "m", &[]);
+        assert!(buffer.lock().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Request-id acceptance and generation.
+//!
+//! Every HTTP exchange gets an id: a well-formed incoming `x-request-id`
+//! header is accepted verbatim (so upstream proxies and retrying clients can
+//! correlate), anything else gets a generated `req-<seed>-<n>` id unique
+//! within the process. The id is echoed on the response, written into
+//! access-log lines, and stamped onto async job records so one grep follows
+//! a request from socket to solver.
+
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Longest accepted incoming id; longer values are replaced, not truncated,
+/// so an id is always either the client's exactly or clearly server-minted.
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// Per-process entropy for generated ids, so ids from different server
+/// processes don't collide in shared logs.
+fn process_seed() -> u32 {
+    static SEED: OnceLock<u32> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        // RandomState is seeded per-process; hashing the pid through it
+        // yields a stable-in-process, distinct-across-process tag.
+        let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+        hasher.write_u32(std::process::id());
+        hasher.finish() as u32
+    })
+}
+
+/// Mints a fresh process-unique request id, e.g. `req-9f21c3aa-42`.
+pub fn fresh_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("req-{:08x}-{n}", process_seed())
+}
+
+/// Accepts an incoming id iff it is 1..=[`MAX_REQUEST_ID_LEN`] chars of
+/// ASCII alphanumerics, `-`, `_`, or `.` — safe to echo into headers and
+/// logfmt lines unquoted.
+pub fn sanitize_request_id(raw: &str) -> Option<&str> {
+    let ok = !raw.is_empty()
+        && raw.len() <= MAX_REQUEST_ID_LEN
+        && raw
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.');
+    ok.then_some(raw)
+}
+
+/// The id for a request: the sanitized incoming header value, or a fresh
+/// generated id when the header is absent or malformed.
+pub fn request_id_from_header(header: Option<&str>) -> String {
+    header
+        .and_then(sanitize_request_id)
+        .map(str::to_string)
+        .unwrap_or_else(fresh_request_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_unique_and_well_formed() {
+        let a = fresh_request_id();
+        let b = fresh_request_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"));
+        assert!(sanitize_request_id(&a).is_some(), "{a}");
+    }
+
+    #[test]
+    fn sanitization_accepts_proxy_style_ids() {
+        assert_eq!(sanitize_request_id("abc-123_DEF.7"), Some("abc-123_DEF.7"));
+        assert_eq!(sanitize_request_id(""), None);
+        assert_eq!(sanitize_request_id("has space"), None);
+        assert_eq!(sanitize_request_id("quote\"me"), None);
+        assert_eq!(sanitize_request_id("new\nline"), None);
+        assert_eq!(sanitize_request_id(&"x".repeat(65)), None);
+        assert_eq!(sanitize_request_id(&"x".repeat(64)).map(str::len), Some(64));
+    }
+
+    #[test]
+    fn header_fallback_generates() {
+        assert_eq!(request_id_from_header(Some("client-1")), "client-1");
+        assert!(request_id_from_header(None).starts_with("req-"));
+        assert!(request_id_from_header(Some("bad id")).starts_with("req-"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Bounded worst-N ring of slow requests.
+//!
+//! [`SlowRing`] keeps the `capacity` slowest requests seen so far, each with
+//! its request id, endpoint, status, and phase breakdown — enough to answer
+//! "what were the worst requests lately and where did they spend their
+//! time?" straight off `/v1/stats` without log archaeology. Insertion is a
+//! short mutex hold; the ring is tiny (default capacity 16) so snapshotting
+//! is cheap.
+
+use std::sync::Mutex;
+
+/// One slow request: identity plus phase breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// The request's `x-request-id` (accepted or generated).
+    pub request_id: String,
+    /// Metrics endpoint label (`consensus`, `jobs`, …).
+    pub endpoint: &'static str,
+    /// Human-readable target, e.g. `POST /v1/consensus`.
+    pub target: String,
+    /// Response status code.
+    pub status: u16,
+    /// End-to-end duration in nanoseconds.
+    pub duration_ns: u64,
+    /// `(phase name, accumulated nanoseconds)` pairs in recorded order.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// A bounded collection of the worst requests by duration.
+#[derive(Debug)]
+pub struct SlowRing {
+    capacity: usize,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowRing {
+    /// An empty ring keeping at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one request to the ring; kept only while it ranks among the
+    /// `capacity` slowest seen.
+    pub fn record(&self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow ring poisoned");
+        if entries.len() < self.capacity {
+            entries.push(entry);
+            entries.sort_by_key(|kept| std::cmp::Reverse(kept.duration_ns));
+            return;
+        }
+        // Full: replace the fastest kept entry if this one is slower.
+        let last = entries.len() - 1;
+        if entry.duration_ns > entries[last].duration_ns {
+            entries[last] = entry;
+            entries.sort_by_key(|kept| std::cmp::Reverse(kept.duration_ns));
+        }
+    }
+
+    /// The kept entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slow ring poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, duration_ns: u64) -> SlowEntry {
+        SlowEntry {
+            request_id: id.to_string(),
+            endpoint: "consensus",
+            target: "POST /v1/consensus".to_string(),
+            status: 200,
+            duration_ns,
+            phases: vec![("solve", duration_ns / 2)],
+        }
+    }
+
+    #[test]
+    fn keeps_the_worst_n_sorted() {
+        let ring = SlowRing::new(3);
+        for (id, d) in [("a", 10), ("b", 50), ("c", 30), ("d", 40), ("e", 5)] {
+            ring.record(entry(id, d));
+        }
+        let kept = ring.snapshot();
+        let ids: Vec<&str> = kept.iter().map(|e| e.request_id.as_str()).collect();
+        assert_eq!(ids, ["b", "d", "c"], "{kept:?}");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let ring = SlowRing::new(0);
+        ring.record(entry("a", 10));
+        assert!(ring.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-job phase timelines fed by RAII span timers.
+//!
+//! A [`TraceTimeline`] is created when a request or job is born and records
+//! named phases (`queue_wait`, `cache_lookup`, `matrix_build`, `solve`,
+//! `render`, …) as `(start, duration)` offsets from its origin instant.
+//! Phases **merge by name**: recording `solve` twice accumulates duration
+//! and bumps a count instead of growing the list, so a batch job's timeline
+//! stays bounded and every phase appears exactly once in the rendered trace.
+//!
+//! Recording is a short mutex hold over a tiny vec (jobs have ~6 phases);
+//! timelines are shared as `Arc<TraceTimeline>` between the worker running
+//! the job and the handler rendering `GET /v1/jobs/{id}/trace`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One named phase: earliest start, accumulated duration, merge count.
+#[derive(Debug, Clone)]
+struct PhaseRecord {
+    name: &'static str,
+    start_ns: u64,
+    duration_ns: u64,
+    count: u64,
+}
+
+/// Point-in-time copy of one merged phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Phase name (static: phases are compile-time known).
+    pub name: &'static str,
+    /// Nanoseconds from the timeline origin to the phase's earliest start.
+    pub start_ns: u64,
+    /// Accumulated nanoseconds across all merged recordings.
+    pub duration_ns: u64,
+    /// How many recordings merged into this phase.
+    pub count: u64,
+}
+
+/// A phase timeline anchored at an origin instant.
+#[derive(Debug)]
+pub struct TraceTimeline {
+    origin: Instant,
+    phases: Mutex<Vec<PhaseRecord>>,
+}
+
+impl TraceTimeline {
+    /// A fresh timeline anchored at "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            phases: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The instant the timeline was created.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Wall time since the timeline was created.
+    pub fn age(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    /// Records one phase occurrence, merging into an existing record of the
+    /// same name (duration accumulates, start keeps the earliest).
+    pub fn record(&self, name: &'static str, start: Instant, duration: Duration) {
+        let start_ns = saturating_ns(start.saturating_duration_since(self.origin));
+        let duration_ns = saturating_ns(duration);
+        let mut phases = self.phases.lock().expect("trace phases poisoned");
+        if let Some(existing) = phases.iter_mut().find(|p| p.name == name) {
+            existing.start_ns = existing.start_ns.min(start_ns);
+            existing.duration_ns = existing.duration_ns.saturating_add(duration_ns);
+            existing.count += 1;
+        } else {
+            phases.push(PhaseRecord {
+                name,
+                start_ns,
+                duration_ns,
+                count: 1,
+            });
+        }
+    }
+
+    /// Records a phase that ran from the origin until now (e.g. queue wait,
+    /// which starts when the timeline is born).
+    pub fn record_since_origin(&self, name: &'static str) {
+        self.record(name, self.origin, self.origin.elapsed());
+    }
+
+    /// Copies out the merged phases in first-recorded order.
+    pub fn snapshot(&self) -> Vec<PhaseSnapshot> {
+        self.phases
+            .lock()
+            .expect("trace phases poisoned")
+            .iter()
+            .map(|p| PhaseSnapshot {
+                name: p.name,
+                start_ns: p.start_ns,
+                duration_ns: p.duration_ns,
+                count: p.count,
+            })
+            .collect()
+    }
+
+    /// The latest phase end (`start + duration`) in nanoseconds from the
+    /// origin — the traced span of the timeline. Phases that ran in parallel
+    /// may sum to more than this.
+    pub fn span_ns(&self) -> u64 {
+        self.phases
+            .lock()
+            .expect("trace phases poisoned")
+            .iter()
+            .map(|p| p.start_ns.saturating_add(p.duration_ns))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for TraceTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn saturating_ns(duration: Duration) -> u64 {
+    duration.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// RAII phase timer: records `name` into the timeline when dropped.
+///
+/// ```
+/// use mani_obs::{Span, TraceTimeline};
+/// let timeline = TraceTimeline::new();
+/// {
+///     let _span = Span::enter(&timeline, "matrix_build");
+///     // ... work ...
+/// } // recorded here
+/// assert_eq!(timeline.snapshot()[0].name, "matrix_build");
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    timeline: &'a TraceTimeline,
+    name: &'static str,
+    started: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `name` against `timeline`.
+    pub fn enter(timeline: &'a TraceTimeline, name: &'static str) -> Self {
+        Self {
+            timeline,
+            name,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.timeline
+            .record(self.name, self.started, self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_and_merge_by_name() {
+        let timeline = TraceTimeline::new();
+        {
+            let _a = Span::enter(&timeline, "solve");
+        }
+        {
+            let _b = Span::enter(&timeline, "solve");
+        }
+        {
+            let _c = Span::enter(&timeline, "render");
+        }
+        let phases = timeline.snapshot();
+        assert_eq!(phases.len(), 2, "solve merged: {phases:?}");
+        let solve = phases.iter().find(|p| p.name == "solve").unwrap();
+        assert_eq!(solve.count, 2);
+        assert_eq!(phases.iter().filter(|p| p.name == "render").count(), 1);
+    }
+
+    #[test]
+    fn sequential_phases_sum_to_at_most_span() {
+        let timeline = TraceTimeline::new();
+        for name in ["queue_wait", "solve", "render"] {
+            let _span = Span::enter(&timeline, name);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let phases = timeline.snapshot();
+        let total: u64 = phases.iter().map(|p| p.duration_ns).sum();
+        assert!(total > 0);
+        assert!(
+            total <= timeline.span_ns(),
+            "sequential phases exceed span: {total} > {}",
+            timeline.span_ns()
+        );
+        assert!(timeline.span_ns() <= saturating_ns(timeline.age()));
+    }
+
+    #[test]
+    fn record_since_origin_starts_at_zero() {
+        let timeline = TraceTimeline::new();
+        std::thread::sleep(Duration::from_millis(1));
+        timeline.record_since_origin("queue_wait");
+        let phases = timeline.snapshot();
+        assert_eq!(phases[0].start_ns, 0);
+        assert!(phases[0].duration_ns >= 1_000_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! Stamps the git describe string into the build as `MANI_GIT_DESCRIBE`,
+//! surfaced by `GET /v1/version`. Builds from a tarball (no git) simply omit
+//! the variable; the endpoint reports `null`.
+
+fn main() {
+    // Re-stamp when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let describe = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|raw| raw.trim().to_string())
+        .filter(|described| !described.is_empty());
+    if let Some(described) = describe {
+        println!("cargo:rustc-env=MANI_GIT_DESCRIBE={described}");
+    }
+}

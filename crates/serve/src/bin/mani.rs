@@ -67,6 +67,9 @@ SERVE OPTIONS (see docs/API.md for the JSON wire format):
     --idle-timeout-ms MS         keep-alive idle timeout (default 5000)
     --max-requests-per-conn N    exchanges per connection before Connection: close
                                  (default 128)
+    --log-level LEVEL            structured-log verbosity to stderr: off, error,
+                                 warn, info, debug, trace (default: MANI_LOG
+                                 env var, else info; debug adds access lines)
 
 SAMPLE OPTIONS:
     --dir DIR                    output directory (created if missing)
@@ -108,7 +111,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("mani: {e}");
+            mani_obs::error!("mani", "command failed", error = e);
             ExitCode::FAILURE
         }
     }
@@ -378,9 +381,18 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
             "conn-threads",
             "idle-timeout-ms",
             "max-requests-per-conn",
+            "log-level",
         ],
         &[],
     )?;
+    if let Some(raw) = flags.get("log-level") {
+        let level = mani_obs::Level::parse(raw).ok_or_else(|| {
+            EngineError::invalid(format!(
+                "cannot parse --log-level value `{raw}` (expected off, error, warn, info, debug, or trace)"
+            ))
+        })?;
+        mani_obs::set_level(level);
+    }
     let addr = flags.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let threads: usize = flags.get_parsed("threads", 0)?;
     let kernel_threads: usize = flags.get_parsed("kernel-threads", 1)?;
@@ -426,7 +438,7 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
         server.conn_threads(),
         server.max_connections(),
     ));
-    emit("endpoints: POST /v1/consensus  POST /v1/audit  POST /v1/datasets  GET /v1/datasets/{id}  GET /v1/jobs/{id}  GET /v1/methods  GET /v1/stats");
+    emit("endpoints: POST /v1/consensus  POST /v1/audit  POST /v1/datasets  GET /v1/datasets/{id}  GET /v1/jobs/{id}  GET /v1/jobs/{id}/trace  GET /v1/methods  GET /v1/stats  GET /v1/version  GET /metrics");
     server.run().map_err(EngineError::from)
 }
 

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mani_aggregation::CopelandAggregator;
 use mani_core::{MethodKind, MfcrContext};
@@ -20,6 +20,7 @@ use mani_engine::{
     EngineError, JobHandle, JobId, JobStatus,
 };
 use mani_fairness::{FairnessAudit, FairnessThresholds};
+use mani_obs::{PromWriter, SlowEntry, SlowRing, Span, TraceTimeline};
 use mani_ranking::GroupIndex;
 use serde::{Serialize, Value};
 
@@ -36,6 +37,35 @@ use crate::router::{route, Route, Routed};
 /// Most jobs tracked by the registry before completed ones are pruned
 /// (oldest first), bounding registry memory under sustained async traffic.
 pub const MAX_TRACKED_JOBS: usize = 4096;
+
+/// Worst requests kept in the in-memory slow-request ring (`/v1/stats`,
+/// `"slow_requests"`).
+pub const SLOW_RING_CAPACITY: usize = 16;
+
+/// Per-request observability context, created once per dispatched request:
+/// the request id (taken from a well-formed incoming `x-request-id` header or
+/// freshly generated) and the serve-side phase timeline (`parse`,
+/// `cache_probe`, `submit`, `wait`, `render`) feeding the access log and the
+/// slow-request ring.
+#[derive(Debug, Clone)]
+pub struct RequestContext {
+    id: String,
+    trace: Arc<TraceTimeline>,
+}
+
+impl RequestContext {
+    fn for_request(request: &HttpRequest) -> Self {
+        Self {
+            id: mani_obs::request_id_from_header(request.header("x-request-id")),
+            trace: Arc::new(TraceTimeline::new()),
+        }
+    }
+
+    /// The id echoed on the response as `x-request-id`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
 
 /// Outcome of dispatching one request: either a fully materialized response,
 /// or a streaming consensus batch whose NDJSON lines are produced as jobs
@@ -74,6 +104,10 @@ pub struct ConsensusStream {
     /// Maps engine batch index → spec index.
     batch_to_spec: Vec<usize>,
     started: Instant,
+    /// Request id echoed on the chunked response head and the access log.
+    request_id: String,
+    /// The originating request's serve-side timeline (parse/submit phases).
+    trace: Arc<TraceTimeline>,
 }
 
 impl ConsensusStream {
@@ -120,7 +154,11 @@ impl ConsensusStream {
         while let Some(item) = self.batch.wait_next() {
             let spec_index = self.batch_to_spec[item.index];
             let spec = &self.specs[spec_index];
-            let payload = state.rendered_response(spec, &item.response);
+            let job_trace = self.batch.handles()[item.index].trace();
+            let payload = {
+                let _render = Span::enter(&job_trace, "render");
+                state.rendered_response(spec, &item.response)
+            };
             completed += 1;
             if !item.response.is_complete() {
                 errors += 1;
@@ -193,6 +231,7 @@ pub struct AppState {
     metrics: EndpointMetrics,
     connections: ServeCounters,
     jobs: Mutex<HashMap<u64, JobEntry>>,
+    slow: SlowRing,
     started: Instant,
 }
 
@@ -204,6 +243,10 @@ struct JobEntry {
     dataset: Arc<EngineDataset>,
     cache_keys: Vec<String>,
     cached: AtomicBool,
+    /// `x-request-id` of the submitting request, surfaced by the job and
+    /// trace endpoints so a poll can be correlated with the original access
+    /// log line.
+    request_id: String,
 }
 
 impl AppState {
@@ -217,6 +260,7 @@ impl AppState {
             metrics: EndpointMetrics::new(),
             connections: ServeCounters::new(),
             jobs: Mutex::new(HashMap::new()),
+            slow: SlowRing::new(SLOW_RING_CAPACITY),
             started: Instant::now(),
         }
     }
@@ -249,9 +293,11 @@ impl AppState {
     /// Dispatches one parsed HTTP request to its handler. Complete responses
     /// have their latency recorded immediately; a [`Handled::Stream`] records
     /// its latency (under `consensus_stream`) when the stream finishes, since
-    /// its wall-clock spans the whole batch drain.
+    /// its wall-clock spans the whole batch drain. Every response — buffered,
+    /// streamed, or error — carries the request's `x-request-id` (accepted
+    /// from the client or generated here).
     pub fn dispatch(&self, request: &HttpRequest) -> Handled {
-        let started = Instant::now();
+        let ctx = RequestContext::for_request(request);
         let routed = route(&request.method, &request.path);
         let label = match &routed {
             Routed::Found(found) => found.metrics_label(),
@@ -266,9 +312,10 @@ impl AppState {
                 405,
                 format!("{} does not accept {}", request.path, request.method),
             )),
-            Routed::Found(Route::Consensus) => self.consensus(request),
+            Routed::Found(Route::Consensus) => self.consensus(request, &ctx),
             Routed::Found(Route::Audit) => self.audit(request).map(Handled::Response),
             Routed::Found(Route::Job(id)) => self.job(&id).map(Handled::Response),
+            Routed::Found(Route::JobTrace(id)) => self.job_trace(&id).map(Handled::Response),
             Routed::Found(Route::DatasetCreate) => {
                 self.dataset_create(request).map(Handled::Response)
             }
@@ -278,22 +325,80 @@ impl AppState {
             }
             Routed::Found(Route::Methods) => Ok(Handled::Response(methods_response())),
             Routed::Found(Route::Stats) => Ok(Handled::Response(self.stats_response())),
+            Routed::Found(Route::Version) => Ok(Handled::Response(version_response())),
+            Routed::Found(Route::Metrics) => Ok(Handled::Response(self.metrics_response())),
         };
         match outcome {
+            // The stream carries the context; its latency, access-log line,
+            // and header stamp happen when the drain finishes.
             Ok(Handled::Stream(stream)) => Handled::Stream(stream),
             Ok(Handled::Response(response)) => {
-                self.metrics.record(label, started.elapsed());
-                Handled::Response(response)
+                Handled::Response(self.finish_request(request, label, &ctx, response))
             }
             Err(error) => {
                 let response = HttpResponse::json(
                     if error.status == 0 { 400 } else { error.status },
                     error_body(&error.message),
                 );
-                self.metrics.record(label, started.elapsed());
-                Handled::Response(response)
+                Handled::Response(self.finish_request(request, label, &ctx, response))
             }
         }
+    }
+
+    /// Completes one buffered exchange: records its latency, emits the
+    /// access-log line, offers it to the slow ring, and stamps
+    /// `x-request-id` onto the response.
+    fn finish_request(
+        &self,
+        request: &HttpRequest,
+        label: &'static str,
+        ctx: &RequestContext,
+        response: HttpResponse,
+    ) -> HttpResponse {
+        let elapsed = ctx.trace.age();
+        self.metrics.record(label, elapsed);
+        self.observe(
+            label,
+            format!("{} {}", request.method, request.path),
+            ctx.id.clone(),
+            &ctx.trace,
+            response.status,
+            elapsed,
+        );
+        response.with_header("x-request-id", ctx.id.clone())
+    }
+
+    /// Access-log line plus slow-ring offer, shared by the buffered and
+    /// streamed completion paths.
+    fn observe(
+        &self,
+        label: &'static str,
+        target: String,
+        request_id: String,
+        trace: &TraceTimeline,
+        status: u16,
+        elapsed: Duration,
+    ) {
+        mani_obs::debug!(
+            "http",
+            "request",
+            req_id = request_id,
+            target = target,
+            status = status,
+            dur_ms = format!("{:.3}", elapsed.as_secs_f64() * 1e3),
+        );
+        self.slow.record(SlowEntry {
+            request_id,
+            endpoint: label,
+            target,
+            status,
+            duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+            phases: trace
+                .snapshot()
+                .into_iter()
+                .map(|phase| (phase.name, phase.duration_ns))
+                .collect(),
+        });
     }
 
     /// Dispatches one request to a fully buffered [`HttpResponse`]: a
@@ -316,18 +421,33 @@ impl AppState {
         keep_alive: bool,
     ) -> std::io::Result<()> {
         let started = stream.started;
+        let request_id = stream.request_id.clone();
+        let trace = Arc::clone(&stream.trace);
         let result = (|| {
-            let mut body = ChunkedResponse::ndjson(200).begin(writer, keep_alive)?;
+            let mut body = ChunkedResponse::ndjson(200)
+                .with_header("x-request-id", request_id.clone())
+                .begin(writer, keep_alive)?;
             stream.emit_lines(self, &mut |line: &str| body.write_chunk(line.as_bytes()))?;
             body.finish()
         })();
-        self.metrics.record("consensus_stream", started.elapsed());
+        let elapsed = started.elapsed();
+        self.metrics.record("consensus_stream", elapsed);
+        self.observe(
+            "consensus_stream",
+            "POST /v1/consensus".to_string(),
+            request_id,
+            &trace,
+            200,
+            elapsed,
+        );
         result
     }
 
     /// Drains a [`ConsensusStream`] into one buffered NDJSON response.
     fn collect_stream(&self, stream: ConsensusStream) -> HttpResponse {
         let started = stream.started;
+        let request_id = stream.request_id.clone();
+        let trace = Arc::clone(&stream.trace);
         let mut body = String::new();
         match stream.emit_lines::<std::convert::Infallible>(self, &mut |line| {
             body.push_str(line);
@@ -336,18 +456,30 @@ impl AppState {
             Ok(()) => {}
             Err(never) => match never {},
         }
-        self.metrics.record("consensus_stream", started.elapsed());
+        let elapsed = started.elapsed();
+        self.metrics.record("consensus_stream", elapsed);
+        self.observe(
+            "consensus_stream",
+            "POST /v1/consensus".to_string(),
+            request_id.clone(),
+            &trace,
+            200,
+            elapsed,
+        );
         HttpResponse {
             status: 200,
             content_type: "application/x-ndjson",
-            extra_headers: Vec::new(),
+            extra_headers: vec![("x-request-id", request_id)],
             body,
         }
     }
 
     /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch,
-    /// buffered by default, streamed NDJSON with `"stream": true`.
-    fn consensus(&self, request: &HttpRequest) -> Result<Handled, HttpError> {
+    /// buffered by default, streamed NDJSON with `"stream": true`. Serve-side
+    /// phases (`parse`, `cache_probe`, `submit`, `wait`, `render`) are
+    /// recorded into the request context's timeline.
+    fn consensus(&self, request: &HttpRequest, ctx: &RequestContext) -> Result<Handled, HttpError> {
+        let parse_span = Span::enter(&ctx.trace, "parse");
         let body = parse_body(request.body_utf8()?)?;
         let (specs, single) = match body.get("requests") {
             Some(raw) => {
@@ -386,9 +518,11 @@ impl AppState {
                  delivers each result as it completes",
             ));
         }
+        drop(parse_span);
 
         // Probe the response cache per spec: a spec whose every method outcome
         // is cached never reaches the engine.
+        let probe_span = Span::enter(&ctx.trace, "cache_probe");
         let mut to_submit: Vec<ConsensusRequest> = Vec::new();
         let mut dispositions = Vec::with_capacity(specs.len());
         for spec in &specs {
@@ -410,6 +544,7 @@ impl AppState {
                 to_submit.push(spec.request());
             }
         }
+        drop(probe_span);
 
         let overload_error = |error: EngineError| {
             let status = match error {
@@ -426,6 +561,7 @@ impl AppState {
             let batch = if to_submit.is_empty() {
                 BatchHandle::new(Vec::new())
             } else {
+                let _submit = Span::enter(&ctx.trace, "submit");
                 self.engine
                     .submit_batch_streaming(to_submit)
                     .map_err(overload_error)?
@@ -441,7 +577,7 @@ impl AppState {
             // `GET /v1/jobs/{id}` using the `job_id` values it already saw
             // (or re-send the batch, which replays from the response cache).
             for (batch_index, handle) in batch.handles().iter().enumerate() {
-                self.register_job(&specs[batch_to_spec[batch_index]], handle.clone());
+                self.register_job(&specs[batch_to_spec[batch_index]], handle.clone(), &ctx.id);
             }
             return Ok(Handled::Stream(ConsensusStream {
                 specs,
@@ -449,12 +585,15 @@ impl AppState {
                 batch,
                 batch_to_spec,
                 started: Instant::now(),
+                request_id: ctx.id.clone(),
+                trace: Arc::clone(&ctx.trace),
             }));
         }
 
         let handles = if to_submit.is_empty() {
             Vec::new()
         } else {
+            let _submit = Span::enter(&ctx.trace, "submit");
             self.engine
                 .submit_batch_async(to_submit)
                 .map_err(overload_error)?
@@ -468,11 +607,20 @@ impl AppState {
                 Disposition::Submitted(index) => {
                     let handle = &handles[index];
                     if wait {
-                        let response = handle.wait();
+                        let response = {
+                            let _wait = Span::enter(&ctx.trace, "wait");
+                            handle.wait()
+                        };
+                        // Rendering counts against both the request timeline
+                        // and the job's own trace (it is the job's last
+                        // phase before the bytes leave).
+                        let job_trace = handle.trace();
+                        let _render_request = Span::enter(&ctx.trace, "render");
+                        let _render_job = Span::enter(&job_trace, "render");
                         self.rendered_response(spec, &response)
                     } else {
                         any_pending = true;
-                        self.register_job(spec, handle.clone());
+                        self.register_job(spec, handle.clone(), &ctx.id);
                         obj(vec![
                             ("id", s(handle.id().to_string())),
                             ("status", s(handle.status().label())),
@@ -527,7 +675,7 @@ impl AppState {
 
     /// Tracks an async job for `GET /v1/jobs/{id}`, pruning completed entries
     /// once the registry outgrows [`MAX_TRACKED_JOBS`].
-    fn register_job(&self, spec: &ConsensusSpec, handle: JobHandle) {
+    fn register_job(&self, spec: &ConsensusSpec, handle: JobHandle, request_id: &str) {
         let entry = JobEntry {
             dataset: Arc::clone(&spec.dataset),
             cache_keys: spec
@@ -536,6 +684,7 @@ impl AppState {
                 .map(|method| spec.cache_key(*method))
                 .collect(),
             cached: AtomicBool::new(false),
+            request_id: request_id.to_string(),
             handle,
         };
         let mut jobs = self.jobs.lock().expect("job registry lock poisoned");
@@ -564,7 +713,7 @@ impl AppState {
             .unwrap_or(raw_id)
             .parse()
             .map_err(|_| HttpError::bad(format!("malformed job id `{raw_id}`")))?;
-        let (handle, dataset, cache_keys, already_cached) = {
+        let (handle, dataset, cache_keys, already_cached, request_id) = {
             let jobs = self.jobs.lock().expect("job registry lock poisoned");
             let entry = jobs
                 .get(&id)
@@ -574,6 +723,7 @@ impl AppState {
                 Arc::clone(&entry.dataset),
                 entry.cache_keys.clone(),
                 entry.cached.swap(true, Ordering::AcqRel),
+                entry.request_id.clone(),
             )
         };
         let Some(response) = handle.try_poll() else {
@@ -588,6 +738,7 @@ impl AppState {
                     ("id", s(format!("job-{id}"))),
                     ("status", s(handle.status().label())),
                     ("dataset", s(dataset.name())),
+                    ("request_id", s(&request_id)),
                 ])),
             ));
         };
@@ -613,11 +764,62 @@ impl AppState {
                 ("id", s(format!("job-{id}"))),
                 ("status", s(JobStatus::Done.label())),
                 ("dataset", s(&response.dataset)),
+                ("request_id", s(&request_id)),
                 ("results", Value::Array(results)),
                 (
                     "total_solve_time_ms",
                     Value::Float(response.total_solve_time.as_secs_f64() * 1e3),
                 ),
+            ])),
+        ))
+    }
+
+    /// `GET /v1/jobs/{id}/trace` — the job's phase timeline: queue wait,
+    /// cache lookup or matrix build, solve, and render, each phase exactly
+    /// once (merged by name), plus the submitting request's id for log
+    /// correlation.
+    fn job_trace(&self, raw_id: &str) -> Result<HttpResponse, HttpError> {
+        let id: u64 = raw_id
+            .strip_prefix("job-")
+            .unwrap_or(raw_id)
+            .parse()
+            .map_err(|_| HttpError::bad(format!("malformed job id `{raw_id}`")))?;
+        let (handle, dataset, request_id) = {
+            let jobs = self.jobs.lock().expect("job registry lock poisoned");
+            let entry = jobs
+                .get(&id)
+                .ok_or_else(|| HttpError::new(404, format!("no such job `job-{id}`")))?;
+            (
+                entry.handle.clone(),
+                Arc::clone(&entry.dataset),
+                entry.request_id.clone(),
+            )
+        };
+        let trace = handle.trace();
+        let phases = Value::Array(
+            trace
+                .snapshot()
+                .into_iter()
+                .map(|phase| {
+                    obj(vec![
+                        ("name", s(phase.name)),
+                        ("start_ms", Value::Float(phase.start_ns as f64 / 1e6)),
+                        ("duration_ms", Value::Float(phase.duration_ns as f64 / 1e6)),
+                        ("count", Value::UInt(phase.count)),
+                    ])
+                })
+                .collect(),
+        );
+        Ok(HttpResponse::json(
+            200,
+            render(&obj(vec![
+                ("id", s(format!("job-{id}"))),
+                ("request_id", s(&request_id)),
+                ("dataset", s(dataset.name())),
+                ("status", s(handle.status().label())),
+                ("span_ms", Value::Float(trace.span_ns() as f64 / 1e6)),
+                ("age_ms", Value::Float(trace.age().as_secs_f64() * 1e3)),
+                ("phases", phases),
             ])),
         ))
     }
@@ -848,12 +1050,321 @@ impl AppState {
             ),
             ("jobs_tracked", Value::UInt(jobs_tracked as u64)),
             (
-                "uptime_s",
+                "slow_requests",
+                Value::Array(
+                    self.slow
+                        .snapshot()
+                        .into_iter()
+                        .map(|entry| {
+                            obj(vec![
+                                ("request_id", s(&entry.request_id)),
+                                ("endpoint", s(entry.endpoint)),
+                                ("target", s(&entry.target)),
+                                ("status", Value::UInt(u64::from(entry.status))),
+                                ("duration_ms", Value::Float(entry.duration_ns as f64 / 1e6)),
+                                (
+                                    "phases",
+                                    Value::Object(
+                                        entry
+                                            .phases
+                                            .iter()
+                                            .map(|(name, ns)| {
+                                                (name.to_string(), Value::Float(*ns as f64 / 1e6))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "uptime_seconds",
                 Value::Float(self.started.elapsed().as_secs_f64()),
             ),
         ]);
         HttpResponse::json(200, render(&body))
     }
+
+    /// `GET /metrics` — the whole counter surface in Prometheus text
+    /// exposition 0.0.4: per-endpoint request counts and latency histograms,
+    /// engine queue/job/kernel counters, worker-pool saturation, both cache
+    /// layers, and the connection pool.
+    fn metrics_response(&self) -> HttpResponse {
+        let engine = self.engine.stats();
+        let precedence = self.engine.cache().stats();
+        let responses = self.cache.stats();
+        let connections = self.connections.snapshot();
+        let jobs_tracked = self.jobs.lock().expect("job registry lock poisoned").len();
+        let snapshots = self.metrics.snapshots();
+
+        let mut w = PromWriter::new();
+        w.family("mani_build_info", "gauge", "Build identity (constant 1).");
+        w.sample(
+            "mani_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
+        w.gauge(
+            "mani_uptime_seconds",
+            "Seconds since this server state was created.",
+            self.started.elapsed().as_secs_f64(),
+        );
+
+        w.family(
+            "mani_http_requests_total",
+            "counter",
+            "HTTP requests dispatched, by endpoint label.",
+        );
+        for (label, snap) in &snapshots {
+            w.sample(
+                "mani_http_requests_total",
+                &[("endpoint", *label)],
+                snap.count as f64,
+            );
+        }
+        w.family(
+            "mani_http_request_duration_seconds",
+            "histogram",
+            "HTTP request latency, by endpoint label.",
+        );
+        let bounds: Vec<f64> = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .map(|us| *us as f64 / 1e6)
+            .collect();
+        for (label, snap) in &snapshots {
+            w.histogram(
+                "mani_http_request_duration_seconds",
+                &[("endpoint", *label)],
+                &bounds,
+                &snap.buckets,
+                snap.total_ns as f64 / 1e9,
+            );
+        }
+
+        w.counter(
+            "mani_connections_accepted_total",
+            "Connections handed to the worker pool.",
+            connections.accepted,
+        );
+        w.counter(
+            "mani_connections_rejected_total",
+            "Connections answered 503 at the accept path.",
+            connections.rejected_busy,
+        );
+        w.counter(
+            "mani_requests_served_total",
+            "HTTP exchanges served across all connections.",
+            connections.requests,
+        );
+        w.counter(
+            "mani_keepalive_reuses_total",
+            "Exchanges served on an already-used keep-alive connection.",
+            connections.keepalive_reuses,
+        );
+        w.gauge(
+            "mani_connections_max",
+            "Configured concurrent-connection bound.",
+            connections.max_connections as f64,
+        );
+        w.gauge(
+            "mani_connection_threads",
+            "Configured connection worker threads.",
+            connections.conn_threads as f64,
+        );
+
+        w.gauge(
+            "mani_engine_queue_depth",
+            "Configured engine job-queue bound.",
+            engine.queue_depth as f64,
+        );
+        w.gauge(
+            "mani_engine_jobs_in_flight",
+            "Jobs admitted and not yet completed.",
+            engine.in_flight as f64,
+        );
+        w.counter(
+            "mani_engine_jobs_submitted_total",
+            "Jobs admitted to the engine queue.",
+            engine.submitted,
+        );
+        w.counter(
+            "mani_engine_jobs_completed_total",
+            "Jobs that finished solving.",
+            engine.completed,
+        );
+        w.counter(
+            "mani_engine_jobs_rejected_total",
+            "Jobs refused because the queue was full.",
+            engine.rejected,
+        );
+        w.family(
+            "mani_engine_matrix_build_seconds_total",
+            "counter",
+            "Cumulative time spent building precedence matrices.",
+        );
+        w.sample(
+            "mani_engine_matrix_build_seconds_total",
+            &[],
+            engine.matrix_build_ns as f64 / 1e9,
+        );
+        w.family(
+            "mani_engine_solve_seconds_total",
+            "counter",
+            "Cumulative time spent inside method solvers.",
+        );
+        w.sample(
+            "mani_engine_solve_seconds_total",
+            &[],
+            engine.solve_ns as f64 / 1e9,
+        );
+        w.counter(
+            "mani_engine_nodes_expanded_total",
+            "Exact-solver search nodes expanded.",
+            engine.nodes_expanded,
+        );
+        w.counter(
+            "mani_engine_batches_opened_total",
+            "Streaming batches opened.",
+            engine.batches_opened,
+        );
+        w.counter(
+            "mani_engine_batches_drained_total",
+            "Streaming batches fully drained.",
+            engine.batches_drained,
+        );
+        w.counter(
+            "mani_engine_batch_results_yielded_total",
+            "Streaming results yielded in as-completed order.",
+            engine.batch_results_yielded,
+        );
+        w.gauge(
+            "mani_pool_queued",
+            "Engine worker-pool jobs waiting for a thread.",
+            engine.pool_queued as f64,
+        );
+        w.gauge(
+            "mani_pool_busy",
+            "Engine worker-pool threads currently running a job.",
+            engine.pool_busy as f64,
+        );
+        w.counter(
+            "mani_pool_tasks_executed_total",
+            "Engine worker-pool jobs executed to completion.",
+            engine.pool_tasks_executed,
+        );
+
+        w.counter(
+            "mani_precedence_cache_lookups_total",
+            "Precedence-cache lookups.",
+            precedence.lookups,
+        );
+        w.counter(
+            "mani_precedence_cache_hits_total",
+            "Precedence-cache hits (matrix reused).",
+            precedence.hits,
+        );
+        w.counter(
+            "mani_precedence_cache_builds_total",
+            "Precedence matrices built.",
+            precedence.builds,
+        );
+        w.gauge(
+            "mani_precedence_cache_entries",
+            "Precedence-cache resident entries.",
+            precedence.entries as f64,
+        );
+
+        w.gauge(
+            "mani_response_cache_capacity",
+            "Response-cache entry bound.",
+            responses.capacity as f64,
+        );
+        w.gauge(
+            "mani_response_cache_entries",
+            "Response-cache resident entries.",
+            responses.entries as f64,
+        );
+        w.counter(
+            "mani_response_cache_hits_total",
+            "Response-cache hits.",
+            responses.hits,
+        );
+        w.counter(
+            "mani_response_cache_misses_total",
+            "Response-cache misses.",
+            responses.misses,
+        );
+        w.counter(
+            "mani_response_cache_insertions_total",
+            "Response-cache insertions.",
+            responses.insertions,
+        );
+        w.counter(
+            "mani_response_cache_evictions_total",
+            "Response-cache LRU evictions.",
+            responses.evictions,
+        );
+
+        w.gauge(
+            "mani_datasets_registered",
+            "Datasets resident in the registry.",
+            self.datasets.len() as f64,
+        );
+        w.gauge(
+            "mani_jobs_tracked",
+            "Async jobs tracked for polling.",
+            jobs_tracked as f64,
+        );
+
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: w.finish(),
+        }
+    }
+}
+
+/// `GET /v1/version` — build identity: crate version, git description when
+/// baked in at build time (`MANI_GIT_DESCRIBE`), compile profile, and the
+/// feature surface.
+fn version_response() -> HttpResponse {
+    let git = match option_env!("MANI_GIT_DESCRIBE") {
+        Some(describe) => s(describe),
+        None => Value::Null,
+    };
+    HttpResponse::json(
+        200,
+        render(&obj(vec![
+            ("name", s("mani-serve")),
+            ("version", s(env!("CARGO_PKG_VERSION"))),
+            ("git", git),
+            (
+                "profile",
+                s(if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }),
+            ),
+            (
+                "features",
+                Value::Array(
+                    [
+                        "std-only",
+                        "streaming-ndjson",
+                        "prometheus-metrics",
+                        "request-tracing",
+                    ]
+                    .into_iter()
+                    .map(s)
+                    .collect(),
+                ),
+            ),
+        ])),
+    )
 }
 
 /// `GET /v1/methods`.
@@ -1115,6 +1626,173 @@ mod tests {
         assert_eq!(total, 1, "bucket counts must sum to the sample count");
         assert!(stats.body.contains("\"server\""));
         assert!(stats.body.contains("\"datasets_registered\":0"));
+    }
+
+    fn header_of<'a>(response: &'a HttpResponse, name: &str) -> Option<&'a str> {
+        response
+            .extra_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn request_ids_echo_and_generate() {
+        let state = state();
+        // A well-formed incoming id is echoed back verbatim.
+        let mut request = get("/v1/methods");
+        request
+            .headers
+            .push(("x-request-id".to_string(), "client-abc.1".to_string()));
+        let response = state.handle(&request);
+        assert_eq!(header_of(&response, "x-request-id"), Some("client-abc.1"));
+
+        // Missing id: one is generated — also on error responses.
+        let err = state.handle(&get("/nope"));
+        assert_eq!(err.status, 404);
+        let generated = header_of(&err, "x-request-id").expect("id on 404");
+        assert!(generated.starts_with("req-"), "{generated}");
+
+        // Malformed (spaces) id is replaced, not echoed.
+        let mut bad = get("/v1/methods");
+        bad.headers
+            .push(("x-request-id".to_string(), "has spaces".to_string()));
+        let replaced = state.handle(&bad);
+        let id = header_of(&replaced, "x-request-id").expect("replacement id");
+        assert!(id.starts_with("req-"), "{id}");
+    }
+
+    #[test]
+    fn version_and_metrics_endpoints_render() {
+        let state = state();
+        let version = state.handle(&get("/v1/version"));
+        assert_eq!(version.status, 200, "{}", version.body);
+        assert!(version.body.contains("\"version\""), "{}", version.body);
+        assert!(version.body.contains("\"profile\""), "{}", version.body);
+        assert!(version.body.contains("\"features\""), "{}", version.body);
+
+        let solved = state.handle(&post("/v1/consensus", &demo_consensus_body(0.2, true)));
+        assert_eq!(solved.status, 200);
+        let metrics = state.handle(&get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.content_type.starts_with("text/plain"));
+        assert!(
+            metrics
+                .body
+                .contains("# TYPE mani_http_request_duration_seconds histogram"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("mani_http_requests_total{endpoint=\"consensus\"} 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("mani_engine_jobs_submitted_total 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(metrics.body.contains("le=\"+Inf\""), "{}", metrics.body);
+        assert!(metrics.body.contains("mani_uptime_seconds"));
+        assert!(metrics.body.contains("mani_pool_tasks_executed_total"));
+        assert!(metrics
+            .body
+            .contains("mani_precedence_cache_builds_total 1"));
+    }
+
+    #[test]
+    fn job_trace_reports_each_phase_once_within_wall_time() {
+        let state = state();
+        let accepted = state.handle(&post("/v1/consensus", &demo_consensus_body(0.25, false)));
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let polled = state.handle(&get("/v1/jobs/job-1"));
+            if polled.body.contains("\"status\":\"done\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never completed");
+            std::thread::yield_now();
+        }
+        let trace = state.handle(&get("/v1/jobs/job-1/trace"));
+        assert_eq!(trace.status, 200, "{}", trace.body);
+        let parsed = parse_body(&trace.body).unwrap();
+        assert!(
+            matches!(parsed.get("request_id"), Some(Value::String(_))),
+            "{}",
+            trace.body
+        );
+        let as_f64 = |value: &Value| match value {
+            Value::Float(f) => *f,
+            Value::UInt(u) => *u as f64,
+            Value::Int(i) => *i as f64,
+            other => panic!("not a number: {other:?}"),
+        };
+        let age_ms = as_f64(parsed.get("age_ms").expect("age_ms"));
+        let span_ms = as_f64(parsed.get("span_ms").expect("span_ms"));
+        assert!(span_ms <= age_ms, "span {span_ms} > age {age_ms}");
+        let phases = parsed
+            .get("phases")
+            .and_then(Value::as_array)
+            .expect("phases");
+        let mut names = Vec::new();
+        let mut total_ms = 0.0;
+        for phase in phases {
+            names.push(
+                phase
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .expect("phase name")
+                    .to_string(),
+            );
+            total_ms += as_f64(phase.get("duration_ms").expect("duration"));
+        }
+        for expected in ["queue_wait", "solve"] {
+            assert_eq!(
+                names.iter().filter(|n| *n == expected).count(),
+                1,
+                "{names:?}"
+            );
+        }
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "each phase once: {names:?}");
+        assert!(
+            total_ms <= age_ms,
+            "sequential phases exceed wall: {total_ms} > {age_ms}"
+        );
+
+        // Unknown and malformed ids behave like the job endpoint.
+        assert_eq!(state.handle(&get("/v1/jobs/job-99/trace")).status, 404);
+        assert_eq!(state.handle(&get("/v1/jobs/banana/trace")).status, 400);
+    }
+
+    #[test]
+    fn stats_expose_slow_requests_with_phases() {
+        let state = state();
+        let solved = state.handle(&post("/v1/consensus", &demo_consensus_body(0.2, true)));
+        assert_eq!(solved.status, 200);
+        let stats = state.handle(&get("/v1/stats"));
+        let parsed = parse_body(&stats.body).unwrap();
+        let slow = parsed
+            .get("slow_requests")
+            .and_then(Value::as_array)
+            .expect("slow_requests");
+        assert!(!slow.is_empty(), "{}", stats.body);
+        let consensus_entry = slow
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Value::as_str) == Some("consensus"))
+            .expect("consensus slow entry");
+        assert_eq!(
+            consensus_entry.get("target").and_then(Value::as_str),
+            Some("POST /v1/consensus")
+        );
+        let phases = consensus_entry.get("phases").expect("phases");
+        assert!(phases.get("parse").is_some(), "{}", stats.body);
+        assert!(phases.get("wait").is_some(), "{}", stats.body);
+        assert!(stats.body.contains("\"uptime_seconds\""), "{}", stats.body);
     }
 
     #[test]

@@ -28,12 +28,25 @@
 //! |---|---|
 //! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, `"stream": true` streams one NDJSON line per request in completion order, otherwise a job id is returned |
 //! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
+//! | `GET /v1/jobs/{id}/trace` | Per-phase timing timeline of a job (queue wait, cache lookup, matrix build, solve, render) |
 //! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
 //! | `POST /v1/datasets` | Register a dataset; returns its content id for `dataset_id` solves |
 //! | `GET /v1/datasets/{id}` | Metadata of a registered dataset |
 //! | `DELETE /v1/datasets/{id}` | Unregister a dataset |
 //! | `GET /v1/methods` | The eight available consensus methods |
-//! | `GET /v1/stats` | Queue, cache, connection-pool, and latency-histogram counters |
+//! | `GET /v1/stats` | Queue, cache, connection-pool, and latency-histogram counters, plus the slowest recent requests |
+//! | `GET /v1/version` | Build identity: crate version, git describe, profile, feature summary |
+//! | `GET /metrics` | Every counter and histogram in Prometheus text exposition format 0.0.4 |
+//!
+//! ## Observability
+//!
+//! Every HTTP response carries an `x-request-id` header — the client's own
+//! (if it sent a well-formed one) or a generated `req-...` id — stamped on
+//! buffered, streamed, cached-replay, and error responses alike, logged in
+//! the access line, and recorded on async job records. Structured logfmt
+//! logs go to stderr, filtered by the `MANI_LOG` env var or `--log-level`
+//! (access lines at `debug`). See `docs/OBSERVABILITY.md` for the log
+//! schema, trace phase names, and the full metric inventory.
 //!
 //! ## Connection model
 //!

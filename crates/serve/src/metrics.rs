@@ -89,7 +89,7 @@ pub struct HistogramSnapshot {
 /// requests from buffered ones: a streamed request's latency spans the whole
 /// batch drain, so mixing the two in one histogram would make the buffered
 /// tail unreadable.
-pub const ENDPOINT_LABELS: [&str; 8] = [
+pub const ENDPOINT_LABELS: [&str; 10] = [
     "consensus",
     "consensus_stream",
     "audit",
@@ -97,6 +97,8 @@ pub const ENDPOINT_LABELS: [&str; 8] = [
     "datasets",
     "methods",
     "stats",
+    "version",
+    "metrics",
     "other",
 ];
 

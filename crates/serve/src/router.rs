@@ -9,6 +9,8 @@ pub enum Route {
     Audit,
     /// `GET /v1/jobs/{id}` — poll an async job.
     Job(String),
+    /// `GET /v1/jobs/{id}/trace` — the job's phase timeline.
+    JobTrace(String),
     /// `POST /v1/datasets` — register a dataset, returning its content id.
     DatasetCreate,
     /// `GET /v1/datasets/{id}` — metadata of a registered dataset.
@@ -19,6 +21,10 @@ pub enum Route {
     Methods,
     /// `GET /v1/stats` — engine, cache, queue, and latency counters.
     Stats,
+    /// `GET /v1/version` — build identity (crate version, git, profile).
+    Version,
+    /// `GET /metrics` — Prometheus text exposition of every counter.
+    Metrics,
 }
 
 impl Route {
@@ -27,10 +33,12 @@ impl Route {
         match self {
             Route::Consensus => "consensus",
             Route::Audit => "audit",
-            Route::Job(_) => "jobs",
+            Route::Job(_) | Route::JobTrace(_) => "jobs",
             Route::DatasetCreate | Route::DatasetGet(_) | Route::DatasetDelete(_) => "datasets",
             Route::Methods => "methods",
             Route::Stats => "stats",
+            Route::Version => "version",
+            Route::Metrics => "metrics",
         }
     }
 }
@@ -55,6 +63,9 @@ pub fn route(method: &str, path: &str) -> Routed {
         ["v1", "consensus"] => vec![("POST", Route::Consensus)],
         ["v1", "audit"] => vec![("POST", Route::Audit)],
         ["v1", "jobs", id] if !id.is_empty() => vec![("GET", Route::Job((*id).to_string()))],
+        ["v1", "jobs", id, "trace"] if !id.is_empty() => {
+            vec![("GET", Route::JobTrace((*id).to_string()))]
+        }
         ["v1", "datasets"] => vec![("POST", Route::DatasetCreate)],
         ["v1", "datasets", id] if !id.is_empty() => vec![
             ("GET", Route::DatasetGet((*id).to_string())),
@@ -62,6 +73,8 @@ pub fn route(method: &str, path: &str) -> Routed {
         ],
         ["v1", "methods"] => vec![("GET", Route::Methods)],
         ["v1", "stats"] => vec![("GET", Route::Stats)],
+        ["v1", "version"] => vec![("GET", Route::Version)],
+        ["metrics"] => vec![("GET", Route::Metrics)],
         _ => Vec::new(),
     };
     if endpoints.is_empty() {
@@ -102,6 +115,12 @@ mod tests {
         );
         assert_eq!(route("GET", "/v1/methods"), Routed::Found(Route::Methods));
         assert_eq!(route("GET", "/v1/stats"), Routed::Found(Route::Stats));
+        assert_eq!(route("GET", "/v1/version"), Routed::Found(Route::Version));
+        assert_eq!(route("GET", "/metrics"), Routed::Found(Route::Metrics));
+        assert_eq!(
+            route("GET", "/v1/jobs/job-17/trace"),
+            Routed::Found(Route::JobTrace("job-17".into()))
+        );
         // Trailing slash tolerated.
         assert_eq!(route("GET", "/v1/stats/"), Routed::Found(Route::Stats));
     }
@@ -112,8 +131,15 @@ mod tests {
         assert_eq!(route("POST", "/v1/stats"), Routed::MethodNotAllowed);
         assert_eq!(route("GET", "/v1/datasets"), Routed::MethodNotAllowed);
         assert_eq!(route("POST", "/v1/datasets/ds-1"), Routed::MethodNotAllowed);
+        assert_eq!(route("POST", "/metrics"), Routed::MethodNotAllowed);
+        assert_eq!(route("POST", "/v1/version"), Routed::MethodNotAllowed);
+        assert_eq!(
+            route("POST", "/v1/jobs/job-1/trace"),
+            Routed::MethodNotAllowed
+        );
         assert_eq!(route("GET", "/v2/stats"), Routed::NotFound);
         assert_eq!(route("GET", "/v1/jobs"), Routed::NotFound);
+        assert_eq!(route("GET", "/v1/jobs/job-1/nope"), Routed::NotFound);
         assert_eq!(route("GET", "/"), Routed::NotFound);
     }
 
@@ -125,5 +151,8 @@ mod tests {
         assert_eq!(Route::DatasetGet("d".into()).metrics_label(), "datasets");
         assert_eq!(Route::DatasetDelete("d".into()).metrics_label(), "datasets");
         assert_eq!(Route::Stats.metrics_label(), "stats");
+        assert_eq!(Route::JobTrace("j".into()).metrics_label(), "jobs");
+        assert_eq!(Route::Version.metrics_label(), "version");
+        assert_eq!(Route::Metrics.metrics_label(), "metrics");
     }
 }

@@ -204,10 +204,19 @@ impl Server {
         for index in 0..self.conn_threads {
             // A failed spawn leaves fewer workers; zero workers means every
             // connection is answered 503 below — never a hang.
-            if let Ok(handle) = self.spawn_worker(index, &receiver, &in_flight, stop) {
-                workers.push(handle);
+            match self.spawn_worker(index, &receiver, &in_flight, stop) {
+                Ok(handle) => workers.push(handle),
+                Err(error) => {
+                    mani_obs::warn!("serve", "worker spawn failed", index = index, error = error);
+                }
             }
         }
+        mani_obs::info!(
+            "serve",
+            "accepting connections",
+            workers = workers.len(),
+            max_connections = self.max_connections,
+        );
 
         for stream in self.listener.incoming() {
             if stop.load(Ordering::Acquire) {
@@ -295,9 +304,18 @@ impl Server {
 /// belt-and-braces against pathological socket states.
 fn reject_busy(state: &AppState, mut stream: TcpStream) {
     state.connections().record_rejected_busy();
+    // The request was never read, so no client id exists: generate one so the
+    // rejection is still correlatable between the response and the log line.
+    let request_id = mani_obs::fresh_request_id();
+    mani_obs::warn!(
+        "serve",
+        "connection rejected: pool saturated",
+        req_id = request_id,
+    );
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let response = HttpResponse::json(503, error_body("connection pool saturated; retry shortly"))
-        .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+        .with_header("Retry-After", RETRY_AFTER_SECS.to_string())
+        .with_header("x-request-id", request_id);
     let _ = response.write_conn(&mut stream, false);
 }
 
@@ -390,9 +408,19 @@ fn handle_connection(
             // Peer closed before sending a request: close silently.
             Err(error) if error.is_closed() => return,
             // Any other parse failure poisons the framing (a partial request
-            // may be sitting in the buffer): answer and close.
+            // may be sitting in the buffer): answer and close. Parse errors
+            // never reach dispatch, so the request id is generated here.
             Err(error) => {
-                let response = HttpResponse::json(error.status, error_body(&error.message));
+                let request_id = mani_obs::fresh_request_id();
+                mani_obs::warn!(
+                    "serve",
+                    "request parse failed",
+                    req_id = request_id,
+                    status = error.status,
+                    error = error.message,
+                );
+                let response = HttpResponse::json(error.status, error_body(&error.message))
+                    .with_header("x-request-id", request_id);
                 let _ = response.write_conn(&mut writer, false);
                 return;
             }

@@ -198,6 +198,17 @@ pub fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16,
     (status, value)
 }
 
+/// One one-shot `GET` returning `(status, headers, raw body text)` — for
+/// non-JSON endpoints like `/metrics` (Prometheus text exposition).
+pub fn fetch_text(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_request(&mut stream, "GET", path, "", true);
+    read_response(&mut stream)
+}
+
 /// Integer lookup along a JSON path; panics with context when absent.
 pub fn get_u64(value: &Value, path: &[&str]) -> u64 {
     let mut current = value;

@@ -10,10 +10,65 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use common::{
-    connection_header, consensus_body, exchange, get_u64, read_response, send_request,
+    connection_header, consensus_body, exchange, fetch_text, get_u64, read_response, send_request,
     small_engine, spawn_server,
 };
 use mani_serve::ServerConfig;
+
+/// Sum of every `mani_http_requests_total{endpoint=...}` sample in a
+/// Prometheus exposition body.
+fn total_http_requests(exposition: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|line| line.starts_with("mani_http_requests_total{"))
+        .map(|line| {
+            line.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample line: {line}"))
+        })
+        .sum()
+}
+
+/// Checks the request-duration histogram invariants for one endpoint label:
+/// cumulative `_bucket` values are monotone non-decreasing in `le` order and
+/// the `+Inf` bucket equals `_count`.
+fn assert_histogram_invariants(exposition: &str, endpoint: &str) {
+    let label = format!("endpoint=\"{endpoint}\"");
+    let buckets: Vec<u64> = exposition
+        .lines()
+        .filter(|line| {
+            line.starts_with("mani_http_request_duration_seconds_bucket{") && line.contains(&label)
+        })
+        .map(|line| {
+            line.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable bucket line: {line}"))
+        })
+        .collect();
+    assert!(
+        !buckets.is_empty(),
+        "no duration buckets for endpoint {endpoint}"
+    );
+    assert!(
+        buckets.windows(2).all(|pair| pair[0] <= pair[1]),
+        "buckets for {endpoint} are not cumulative-monotone: {buckets:?}"
+    );
+    let count = exposition
+        .lines()
+        .find(|line| {
+            line.starts_with("mani_http_request_duration_seconds_count{") && line.contains(&label)
+        })
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no _count sample for endpoint {endpoint}"));
+    assert_eq!(
+        *buckets.last().unwrap(),
+        count,
+        "+Inf bucket must equal _count for {endpoint}"
+    );
+}
 
 /// Concurrent client threads.
 const CLIENTS: usize = 8;
@@ -38,6 +93,18 @@ fn pooled_keep_alive_survives_concurrent_and_pipelined_load() {
     let solve = consensus_body("smoke", r#""Fair-Borda""#, 0.2, true);
     let (status, _) = exchange(addr, "POST", "/v1/consensus", &solve);
     assert_eq!(status, 200);
+
+    // Scrape /metrics before the load so the after-scrape can assert the
+    // counters actually moved by at least the driven request volume.
+    let (scrape_status, scrape_headers, before) = fetch_text(addr, "/metrics");
+    assert_eq!(scrape_status, 200);
+    assert!(
+        scrape_headers
+            .iter()
+            .any(|(n, v)| n == "content-type" && v.contains("version=0.0.4")),
+        "Prometheus content type: {scrape_headers:?}"
+    );
+    let requests_before = total_http_requests(&before);
 
     // Phase 1: CLIENTS threads, each one keep-alive connection serving
     // EXCHANGES_PER_CLIENT sequential exchanges. Every request must get a
@@ -107,5 +174,23 @@ fn pooled_keep_alive_survives_concurrent_and_pipelined_load() {
         "{stats:?}"
     );
     assert!(get_u64(&stats, &["latency", "consensus", "count"]) >= 1);
+
+    // Scrape /metrics after the load: the per-endpoint request counters must
+    // have advanced by at least the driven volume, and the latency histograms
+    // must still satisfy the exposition invariants under concurrency.
+    let (_, _, after) = fetch_text(addr, "/metrics");
+    let requests_after = total_http_requests(&after);
+    assert!(
+        requests_after >= requests_before + expected,
+        "request counters moved by {} but the load drove {expected}",
+        requests_after - requests_before
+    );
+    for endpoint in ["consensus", "methods", "stats", "metrics"] {
+        assert_histogram_invariants(&after, endpoint);
+    }
+    assert!(
+        after.contains("mani_engine_jobs_submitted_total"),
+        "engine counters missing from the exposition"
+    );
     handle.stop();
 }

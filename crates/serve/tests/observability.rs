@@ -1,0 +1,491 @@
+//! Wire-level checks for the observability surfaces: the Prometheus text
+//! exposition on `/metrics` (parsed by a small hand-rolled exposition parser
+//! that enforces the format's invariants), the `x-request-id` contract on
+//! every response shape (buffered, streamed, cached replay, errors), the
+//! build-identity endpoint, and the per-job trace timeline.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use common::{
+    consensus_body, exchange, fetch_text, read_chunk, read_head, read_response, send_request,
+    small_engine, spawn_server,
+};
+use mani_serve::ServerConfig;
+use serde::Value;
+
+/// The value of a (lower-cased) response header.
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// One exchange with an `x-request-id` request header, returning
+/// `(status, headers, body)`.
+fn exchange_with_id(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    request_id: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nX-Request-Id: {request_id}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    read_response(&mut stream)
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition parser
+// ---------------------------------------------------------------------------
+
+/// `(sample name, labels, value)` — labels keep document order.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// One metric family parsed out of the exposition: its `TYPE`, whether a
+/// `HELP` line preceded the samples, and the samples in document order.
+struct Family {
+    kind: String,
+    has_help: bool,
+    samples: Vec<Sample>,
+}
+
+/// Parses a Prometheus text-exposition (format 0.0.4) body, panicking on any
+/// structural violation: samples before their family's `HELP`/`TYPE` lines,
+/// unparsable sample lines, or unknown metadata.
+fn parse_exposition(body: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().expect("HELP metric name");
+            let previous = families.insert(
+                name.to_string(),
+                Family {
+                    kind: String::new(),
+                    has_help: true,
+                    samples: Vec::new(),
+                },
+            );
+            assert!(previous.is_none(), "duplicate HELP for {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE metric name");
+            let kind = parts.next().expect("TYPE kind");
+            let family = families
+                .get_mut(name)
+                .unwrap_or_else(|| panic!("TYPE without preceding HELP for {name}"));
+            assert!(family.kind.is_empty(), "duplicate TYPE for {name}");
+            assert!(
+                family.samples.is_empty(),
+                "samples of {name} appeared before its TYPE line"
+            );
+            family.kind = kind.to_string();
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown metadata line: {line}");
+        // Sample: `name{label="v",...} value` or `name value`.
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample value");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable sample value: {line}"));
+        let (sample_name, labels) = match name_and_labels.split_once('{') {
+            None => (name_and_labels.to_string(), Vec::new()),
+            Some((name, raw_labels)) => {
+                let raw_labels = raw_labels
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated label set: {line}"));
+                let labels = raw_labels
+                    .split("\",")
+                    .map(|pair| {
+                        let (key, value) = pair.split_once("=\"").expect("label pair");
+                        (key.to_string(), value.trim_end_matches('"').to_string())
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+        };
+        // A sample belongs to the family whose name it extends: exact match,
+        // or the histogram suffixes `_bucket` / `_sum` / `_count`.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suffix| sample_name.strip_suffix(suffix))
+            .find(|stem| families.contains_key(*stem))
+            .map(str::to_string)
+            .unwrap_or_else(|| sample_name.clone());
+        let family = families
+            .get_mut(&family_name)
+            .unwrap_or_else(|| panic!("sample {sample_name} has no preceding HELP/TYPE family"));
+        assert!(
+            family.has_help && !family.kind.is_empty(),
+            "sample {sample_name} precedes its HELP/TYPE metadata"
+        );
+        family.samples.push((sample_name, labels, value));
+    }
+    families
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_prometheus_text() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        conn_threads: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Drive a little traffic so counters and histograms are non-trivial.
+    let solve = consensus_body("prom", r#""Fair-Borda""#, 0.2, true);
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200);
+    let (status, _) = exchange(addr, "GET", "/v1/methods", "");
+    assert_eq!(status, 200);
+    let (status, _) = exchange(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+
+    let (status, headers, body) = fetch_text(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+
+    let families = parse_exposition(&body);
+
+    // Counters the API layer must expose.
+    for name in [
+        "mani_http_requests_total",
+        "mani_connections_accepted_total",
+        "mani_requests_served_total",
+        "mani_engine_jobs_submitted_total",
+        "mani_engine_jobs_completed_total",
+        "mani_engine_queue_depth",
+        "mani_pool_queued",
+        "mani_pool_busy",
+        "mani_precedence_cache_lookups_total",
+        "mani_response_cache_entries",
+        "mani_uptime_seconds",
+    ] {
+        assert!(families.contains_key(name), "missing family {name}");
+    }
+    for (name, family) in &families {
+        assert!(family.has_help, "{name} lacks HELP");
+        assert!(!family.kind.is_empty(), "{name} lacks TYPE");
+        assert!(
+            !family.samples.is_empty(),
+            "{name} declared but has no samples"
+        );
+        if name.ends_with("_total") {
+            assert_eq!(family.kind, "counter", "{name} should be a counter");
+        }
+    }
+
+    // The request-duration histogram: per endpoint, buckets must be
+    // cumulative-monotone in document order, end at `+Inf`, and agree with
+    // `_count`; `_sum` must be present and non-negative.
+    let duration = &families["mani_http_request_duration_seconds"];
+    assert_eq!(duration.kind, "histogram");
+    let mut per_endpoint: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    for (sample_name, labels, value) in &duration.samples {
+        let endpoint = header_label(labels, "endpoint");
+        match sample_name.as_str() {
+            "mani_http_request_duration_seconds_bucket" => {
+                let le = header_label(labels, "le");
+                per_endpoint.entry(endpoint).or_default().push((le, *value));
+            }
+            "mani_http_request_duration_seconds_count" => {
+                counts.insert(endpoint, *value);
+            }
+            "mani_http_request_duration_seconds_sum" => {
+                assert!(*value >= 0.0);
+                sums.insert(endpoint, *value);
+            }
+            other => panic!("unexpected histogram sample {other}"),
+        }
+    }
+    assert!(
+        per_endpoint.len() >= 4,
+        "expected several endpoint histograms, got {:?}",
+        per_endpoint.keys().collect::<Vec<_>>()
+    );
+    for (endpoint, buckets) in &per_endpoint {
+        assert_eq!(
+            buckets.last().map(|(le, _)| le.as_str()),
+            Some("+Inf"),
+            "{endpoint} buckets must end at +Inf"
+        );
+        // Bounds strictly increase; cumulative counts never decrease.
+        let bounds: Vec<f64> = buckets[..buckets.len() - 1]
+            .iter()
+            .map(|(le, _)| le.parse().expect("numeric le"))
+            .collect();
+        assert!(bounds.windows(2).all(|p| p[0] < p[1]), "{endpoint} bounds");
+        assert!(
+            buckets.windows(2).all(|p| p[0].1 <= p[1].1),
+            "{endpoint} buckets must be cumulative-monotone: {buckets:?}"
+        );
+        assert_eq!(
+            buckets.last().unwrap().1,
+            counts[endpoint],
+            "{endpoint}: +Inf bucket must equal _count"
+        );
+        assert!(sums.contains_key(endpoint), "{endpoint} lacks _sum");
+    }
+    // The driven consensus request landed in its histogram.
+    assert!(counts["consensus"] >= 1.0);
+    assert!(counts["other"] >= 1.0, "404 traffic lands in `other`");
+    handle.stop();
+}
+
+/// A label's value, panicking when absent.
+fn header_label(labels: &[(String, String)], name: &str) -> String {
+    labels
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value.clone())
+        .unwrap_or_else(|| panic!("label {name} missing from {labels:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// x-request-id contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_ids_round_trip_on_every_response_shape() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        conn_threads: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let solve = consensus_body("reqid", r#""Fair-Borda""#, 0.2, true);
+
+    // Buffered 200: the client's id comes back verbatim.
+    let (status, headers, _) =
+        exchange_with_id(addr, "POST", "/v1/consensus", &solve, "client-id-001");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("client-id-001"));
+
+    // Cached replay (same body second time): still carries the new request's
+    // own id, not the original's.
+    let (status, headers, body) =
+        exchange_with_id(addr, "POST", "/v1/consensus", &solve, "client-id-002");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("client-id-002"));
+    assert!(body.contains("\"cached\""), "replay should be cache-marked");
+
+    // No header sent: the server generates one.
+    let (status, headers, _) = {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        send_request(&mut stream, "GET", "/v1/methods", "", true);
+        read_response(&mut stream)
+    };
+    assert_eq!(status, 200);
+    let generated = header(&headers, "x-request-id").expect("generated id");
+    assert!(generated.starts_with("req-"), "generated id: {generated}");
+
+    // Malformed client id (spaces) is replaced by a generated one.
+    let (_, headers, _) =
+        exchange_with_id(addr, "GET", "/v1/methods", "", "has%20spaces%20encoded!!");
+    let replaced = header(&headers, "x-request-id").expect("id on response");
+    assert!(replaced.starts_with("req-"), "replaced id: {replaced}");
+
+    // Error paths carry ids too: 404 unknown route, 400 malformed body.
+    let (status, headers, _) = exchange_with_id(addr, "GET", "/v1/nope", "", "err-404-id");
+    assert_eq!(status, 404);
+    assert_eq!(header(&headers, "x-request-id"), Some("err-404-id"));
+    let (status, headers, _) =
+        exchange_with_id(addr, "POST", "/v1/consensus", "{not json", "err-400-id");
+    assert_eq!(status, 400);
+    assert_eq!(header(&headers, "x-request-id"), Some("err-400-id"));
+
+    // Streamed NDJSON: the chunked head itself carries the id.
+    let stream_body = format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2, "stream": true}}"#,
+        common::demo_dataset("reqid-stream")
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/consensus HTTP/1.1\r\nHost: test\r\nConnection: close\r\nX-Request-Id: stream-id-9\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        stream_body.len(),
+        stream_body
+    )
+    .expect("send streamed request");
+    let (status, headers) = read_head(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id"), Some("stream-id-9"));
+    assert_eq!(
+        header(&headers, "transfer-encoding").map(str::to_ascii_lowercase),
+        Some("chunked".into())
+    );
+    let mut lines = Vec::new();
+    while let Some(line) = read_chunk(&mut stream) {
+        lines.push(line);
+    }
+    assert_eq!(
+        lines.len(),
+        2,
+        "one dataset in: one result line plus the summary line"
+    );
+    let summary: Value = serde_json::from_str(lines.last().unwrap()).expect("summary JSON");
+    assert_eq!(summary.get("summary"), Some(&Value::Bool(true)));
+    handle.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Build identity + job traces
+// ---------------------------------------------------------------------------
+
+#[test]
+fn version_endpoint_reports_build_identity() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        conn_threads: 1,
+        ..ServerConfig::default()
+    });
+    let (status, body) = exchange(handle.addr(), "GET", "/v1/version", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("name").and_then(Value::as_str), Some("mani-serve"));
+    let version = body
+        .get("version")
+        .and_then(Value::as_str)
+        .expect("crate version");
+    assert!(version.split('.').count() >= 3, "semver-ish: {version}");
+    let features = body.get("features").and_then(|f| match f {
+        Value::Array(items) => Some(items),
+        _ => None,
+    });
+    let features = features.expect("features array");
+    assert!(features
+        .iter()
+        .any(|f| f == &Value::String("prometheus-metrics".into())));
+    handle.stop();
+}
+
+#[test]
+fn job_trace_times_phases_over_the_wire() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        conn_threads: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Async submit (no wait) → job id; poll it done, then read its trace.
+    let submit = consensus_body("traced", r#""Fair-Borda""#, 0.2, false);
+    let (status, headers, body) =
+        exchange_with_id(addr, "POST", "/v1/consensus", &submit, "trace-client");
+    assert_eq!(status, 202, "{body}");
+    assert_eq!(header(&headers, "x-request-id"), Some("trace-client"));
+    let submitted: Value = serde_json::from_str(&body).expect("submit JSON");
+    let job_id = submitted
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("job id")
+        .to_string();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, poll) = exchange(addr, "GET", &format!("/v1/jobs/{job_id}"), "");
+        assert_eq!(status, 200);
+        if poll.get("status").and_then(Value::as_str) == Some("done") {
+            // The job record remembers the submitting request's id.
+            assert_eq!(
+                poll.get("request_id").and_then(Value::as_str),
+                Some("trace-client")
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never finished: {poll:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (status, trace) = exchange(addr, "GET", &format!("/v1/jobs/{job_id}/trace"), "");
+    assert_eq!(status, 200, "{trace:?}");
+    assert_eq!(
+        trace.get("request_id").and_then(Value::as_str),
+        Some("trace-client")
+    );
+    let phases = match trace.get("phases") {
+        Some(Value::Array(items)) => items.clone(),
+        other => panic!("phases array missing: {other:?}"),
+    };
+    let names: Vec<&str> = phases
+        .iter()
+        .map(|p| p.get("name").and_then(Value::as_str).expect("phase name"))
+        .collect();
+    for required in ["queue_wait", "solve"] {
+        assert_eq!(
+            names.iter().filter(|n| **n == required).count(),
+            1,
+            "phase {required} must appear exactly once: {names:?}"
+        );
+    }
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "phases must be unique: {names:?}"
+    );
+
+    // Per-phase durations can never exceed the job's wall-clock age.
+    let age_ms = as_f64(trace.get("age_ms")).expect("age_ms");
+    let span_ms = as_f64(trace.get("span_ms")).expect("span_ms");
+    assert!(span_ms <= age_ms + 1e-6, "span {span_ms} > age {age_ms}");
+    let total_phase_ms: f64 = phases
+        .iter()
+        .map(|p| as_f64(p.get("duration_ms")).expect("duration_ms"))
+        .sum();
+    assert!(
+        total_phase_ms <= age_ms + 1e-6,
+        "phases sum to {total_phase_ms} ms but the job is only {age_ms} ms old"
+    );
+
+    // Unknown and malformed ids fail crisply.
+    let (status, _) = exchange(addr, "GET", "/v1/jobs/job-99999/trace", "");
+    assert_eq!(status, 404);
+    let (status, _) = exchange(addr, "GET", "/v1/jobs/banana/trace", "");
+    assert_eq!(status, 400);
+    handle.stop();
+}
+
+/// Numeric view of a shim JSON value (render may emit Float/UInt/Int).
+fn as_f64(value: Option<&Value>) -> Option<f64> {
+    match value? {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
