@@ -5,7 +5,7 @@
 //! Fair-Copeland description). Copeland is a Condorcet method and the fastest pairwise
 //! consensus generator used in the paper.
 
-use mani_ranking::{PrecedenceMatrix, Ranking, RankingProfile, Result};
+use mani_ranking::{Parallelism, PrecedenceMatrix, Ranking, RankingProfile, Result};
 
 use crate::borda::ranking_from_points;
 use crate::traits::ConsensusMethod;
@@ -22,7 +22,23 @@ impl CopelandAggregator {
 
     /// Computes the Copeland consensus from a precomputed precedence matrix.
     pub fn consensus_from_matrix(&self, matrix: &PrecedenceMatrix) -> Ranking {
-        let wins: Vec<u64> = matrix.copeland_wins().into_iter().map(u64::from).collect();
+        self.consensus_from_matrix_with(matrix, &Parallelism::serial())
+    }
+
+    /// Computes the Copeland consensus from a precedence matrix under an
+    /// explicit kernel-parallelism budget: the O(n²) win-count pass is sharded
+    /// over candidate ranges, producing identical win counts (and hence the
+    /// identical ranking) for every thread count.
+    pub fn consensus_from_matrix_with(
+        &self,
+        matrix: &PrecedenceMatrix,
+        parallelism: &Parallelism,
+    ) -> Ranking {
+        let wins: Vec<u64> = matrix
+            .copeland_wins_parallel(parallelism)
+            .into_iter()
+            .map(u64::from)
+            .collect();
         ranking_from_points(&wins)
     }
 
@@ -81,6 +97,22 @@ mod tests {
             agg.consensus_from_matrix(&profile.precedence_matrix())
         );
         assert_eq!(agg.name(), "Copeland");
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_consensus() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let rankings: Vec<Ranking> = (0..6).map(|_| Ranking::random(9, &mut rng)).collect();
+        let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+        let agg = CopelandAggregator::new();
+        for threads in [1usize, 2, 8] {
+            let par = mani_ranking::Parallelism::new(threads).with_min_candidates(0);
+            assert_eq!(
+                agg.consensus_from_matrix_with(&matrix, &par),
+                agg.consensus_from_matrix(&matrix),
+                "threads = {threads}"
+            );
+        }
     }
 
     proptest! {

@@ -7,31 +7,52 @@
 //! many opponents they beat in the strongest-path comparison (`p[a][b] > p[b][a]`), which
 //! yields a complete, Condorcet-consistent order; ties are broken by candidate id.
 //!
-//! Two kernels implement the strongest-path computation:
+//! Three kernels implement the strongest-path computation:
 //!
 //! * [`SchulzeAggregator::strongest_paths`] — the straightforward nested-`Vec`
 //!   reference implementation, retained for differential tests and as the
 //!   serial baseline in `mani-bench`'s kernel benchmarks.
-//! * [`SchulzeAggregator::strongest_paths_matrix`] — the production kernel: a
-//!   flat row-major [`PathMatrix`], matrix rows read as slices, entire
-//!   relaxation rows skipped when `p[a][k] == 0`, and the Floyd–Warshall
-//!   `k`-step optionally parallelised by row blocks (rows are independent for
-//!   a fixed `k`). Both kernels produce bit-identical strengths.
+//! * [`SchulzeAggregator::strongest_paths_flat`] — the untiled flat kernel
+//!   (the PR-3 production kernel, now on `u32` cells): flat row-major
+//!   [`PathMatrix`], rows read as slices, entire relaxation rows skipped when
+//!   `p[a][k] == 0`.
+//! * [`SchulzeAggregator::strongest_paths_matrix`] — the production
+//!   dispatcher: cache-blocked (tiled) Floyd–Warshall on `u32` cells in the
+//!   standard three-phase blocked order (diagonal tile, then the pivot
+//!   row/column panels, then the remainder), optionally parallelised by
+//!   tile-row blocks. Falls back to the untiled kernels below
+//!   [`mani_ranking::parallel::FW_TILE_MIN_N`] candidates.
+//!
+//! All kernels produce bit-identical strengths: the max–min (widest-path)
+//! closure is unique, every relaxation uses genuine path strengths (so no
+//! kernel can overshoot it), and each kernel performs a complete
+//! Floyd–Warshall schedule (so none can undershoot it).
+//!
+//! Cells are `u32`: path strengths are bounded by the largest pairwise
+//! support, and [`PrecedenceMatrix`] construction rejects profiles whose total
+//! ranking weight exceeds `u32::MAX`, so the conversion is exact. Halving the
+//! cell width halves memory bandwidth and doubles SIMD lanes in the
+//! autovectorized inner loops.
 
 use std::sync::{Barrier, Mutex};
 
+use mani_ranking::parallel::{record_fw_blocked_solve, record_pair_shard_tasks};
 use mani_ranking::{
-    shard_ranges, CandidateId, Parallelism, PrecedenceMatrix, Ranking, RankingProfile, Result,
+    run_parts, shard_ranges, CandidateId, Parallelism, PrecedenceMatrix, Ranking, RankingProfile,
+    Result,
 };
 
 use crate::borda::ranking_from_points;
 use crate::traits::ConsensusMethod;
 
 /// Flat row-major matrix of strongest path strengths.
+///
+/// Cells are `u32`: strengths are min/max combinations of pairwise supports,
+/// which the precedence-matrix build guarantees fit in `u32`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathMatrix {
     n: usize,
-    strengths: Vec<u64>,
+    strengths: Vec<u32>,
 }
 
 impl PathMatrix {
@@ -41,20 +62,26 @@ impl PathMatrix {
     }
 
     /// Strength of the strongest path from `a` to `b`.
-    pub fn strength(&self, a: usize, b: usize) -> u64 {
+    pub fn strength(&self, a: usize, b: usize) -> u32 {
         self.strengths[a * self.n + b]
     }
 
     /// Row `a`: strengths of the strongest paths from `a` to every candidate.
-    pub fn row(&self, a: usize) -> &[u64] {
+    pub fn row(&self, a: usize) -> &[u32] {
         &self.strengths[a * self.n..][..self.n]
     }
 
-    /// The strengths in the legacy nested layout.
+    /// The strengths in the legacy nested `u64` layout.
+    ///
+    /// **Compat shim for differential tests only**: it exists solely to
+    /// compare against [`SchulzeAggregator::strongest_paths`], allocates
+    /// `n + 1` vectors and widens every cell, and must not be called on hot
+    /// paths — production consumers read [`PathMatrix::row`] /
+    /// [`PathMatrix::strength`] directly.
     pub fn to_nested(&self) -> Vec<Vec<u64>> {
         self.strengths
             .chunks_exact(self.n)
-            .map(<[u64]>::to_vec)
+            .map(|row| row.iter().map(|&s| s as u64).collect())
             .collect()
     }
 }
@@ -114,42 +141,54 @@ impl SchulzeAggregator {
         p
     }
 
-    /// Computes strongest path strengths into a flat [`PathMatrix`],
-    /// parallelising the Floyd–Warshall `k`-step by row blocks when
-    /// `parallelism` allows it for this `n`.
+    /// Computes strongest path strengths with the untiled flat serial kernel
+    /// (the PR-3 production kernel ported to `u32` cells).
     ///
-    /// Bit-identical to [`SchulzeAggregator::strongest_paths`] for every
-    /// thread count: row blocks partition independent rows, and the per-`k`
-    /// arithmetic is unchanged.
+    /// Kept public as the benchmark comparison point for the tiled kernel and
+    /// as the middle rung of the differential tests; production call sites use
+    /// [`SchulzeAggregator::strongest_paths_matrix`].
+    pub fn strongest_paths_flat(&self, matrix: &PrecedenceMatrix) -> PathMatrix {
+        let n = matrix.num_candidates();
+        let mut strengths = direct_edges(matrix);
+        floyd_warshall_serial(&mut strengths, n);
+        zero_diagonal(&mut strengths, n);
+        PathMatrix { n, strengths }
+    }
+
+    /// Computes strongest path strengths into a flat [`PathMatrix`], choosing
+    /// the kernel from `parallelism`: tile size via
+    /// [`Parallelism::fw_tile_size`] (auto-tiled at
+    /// [`mani_ranking::parallel::FW_TILE_MIN_N`] candidates and above, untiled
+    /// below) and thread count via [`Parallelism::kernel_threads`]
+    /// (parallelised by row blocks, or tile-row blocks when tiled).
+    ///
+    /// Bit-identical to [`SchulzeAggregator::strongest_paths`] for every tile
+    /// size and thread count: the widest-path closure is unique, so any
+    /// complete Floyd–Warshall schedule — blocked or not, sharded or not —
+    /// computes the same integers.
     pub fn strongest_paths_matrix(
         &self,
         matrix: &PrecedenceMatrix,
         parallelism: &Parallelism,
     ) -> PathMatrix {
         let n = matrix.num_candidates();
-        let mut strengths = vec![0u64; n * n];
-        // Initial direct edges: p[a][b] = support(a, b) when it beats the
-        // opposing support. support_for(a, b) is row(b)[a] in the precedence
-        // layout, so the inner read of `against` walks row `a` sequentially.
-        for a in 0..n {
-            let row_a = matrix.row(CandidateId(a as u32));
-            let dst = &mut strengths[a * n..][..n];
-            for (b, (slot, &against)) in dst.iter_mut().zip(row_a).enumerate() {
-                if b == a {
-                    continue;
-                }
-                let support = matrix.row(CandidateId(b as u32))[a];
-                if support > against {
-                    *slot = support as u64;
-                }
-            }
-        }
+        let mut strengths = direct_edges(matrix);
+        let tile = parallelism.fw_tile_size(n);
         let threads = parallelism.kernel_threads(n);
-        if threads > 1 && n >= 2 {
+        if tile < n {
+            let nb = n.div_ceil(tile);
+            if threads > 1 && nb > 1 {
+                floyd_warshall_tiled_parallel(&mut strengths, n, tile, threads);
+            } else {
+                floyd_warshall_tiled_serial(&mut strengths, n, tile);
+            }
+            record_fw_blocked_solve((nb * nb * nb) as u64);
+        } else if threads > 1 && n >= 2 {
             floyd_warshall_parallel(&mut strengths, n, threads);
         } else {
             floyd_warshall_serial(&mut strengths, n);
         }
+        zero_diagonal(&mut strengths, n);
         PathMatrix { n, strengths }
     }
 
@@ -159,7 +198,10 @@ impl SchulzeAggregator {
     }
 
     /// Computes the Schulze consensus from a precedence matrix under an
-    /// explicit kernel-parallelism budget.
+    /// explicit kernel-parallelism budget. The O(n²) beat-count scoring pass
+    /// is sharded over candidate ranges when the budget allows; each
+    /// candidate's score is an independent count, so the scores (and the
+    /// resulting ranking) are identical for every thread count.
     pub fn consensus_from_matrix_with(
         &self,
         matrix: &PrecedenceMatrix,
@@ -168,15 +210,44 @@ impl SchulzeAggregator {
         let n = matrix.num_candidates();
         let p = self.strongest_paths_matrix(matrix, parallelism);
         // Score = number of opponents beaten in the strongest-path relation.
-        let mut scores = vec![0u64; n];
-        for (a, score) in scores.iter_mut().enumerate() {
-            let row_a = p.row(a);
-            for (b, &forward) in row_a.iter().enumerate() {
-                if b != a && forward > p.strength(b, a) {
-                    *score += 1;
+        let threads = parallelism.kernel_threads(n);
+        let scores = if threads > 1 {
+            let p = &p;
+            let parts: Vec<_> = shard_ranges(n, threads)
+                .into_iter()
+                .map(|range| {
+                    move || {
+                        let mut scores = vec![0u64; range.len()];
+                        for (score, a) in scores.iter_mut().zip(range.clone()) {
+                            let row_a = p.row(a);
+                            for (b, &forward) in row_a.iter().enumerate() {
+                                if b != a && forward > p.strength(b, a) {
+                                    *score += 1;
+                                }
+                            }
+                        }
+                        scores
+                    }
+                })
+                .collect();
+            record_pair_shard_tasks(parts.len() as u64);
+            let mut scores = Vec::with_capacity(n);
+            for part in run_parts(threads, parts) {
+                scores.extend_from_slice(&part);
+            }
+            scores
+        } else {
+            let mut scores = vec![0u64; n];
+            for (a, score) in scores.iter_mut().enumerate() {
+                let row_a = p.row(a);
+                for (b, &forward) in row_a.iter().enumerate() {
+                    if b != a && forward > p.strength(b, a) {
+                        *score += 1;
+                    }
                 }
             }
-        }
+            scores
+        };
         ranking_from_points(&scores)
     }
 
@@ -186,28 +257,57 @@ impl SchulzeAggregator {
     }
 }
 
-/// One Floyd–Warshall relaxation of row `a` through pivot `k`.
-///
-/// `row_a` is row `a` of the strength matrix, `row_k` a snapshot of row `k`,
-/// and `pak` the current `p[a][k]`. Entries `b == k` are harmless
-/// (`min(pak, p[k][k] = 0) = 0` never improves), and the `b == a` diagonal
-/// write is undone afterwards — cheaper than branching in the hot loop.
-fn relax_row(row_a: &mut [u64], row_k: &[u64], pak: u64, a: usize) {
-    for (slot, &pkb) in row_a.iter_mut().zip(row_k) {
-        let through_k = pak.min(pkb);
-        if through_k > *slot {
-            *slot = through_k;
+/// Initial direct edges: `p[a][b] = support(a, b)` when it beats the opposing
+/// support. `support_for(a, b)` is `row(b)[a]` in the precedence layout, so
+/// the inner read of `against` walks row `a` sequentially.
+fn direct_edges(matrix: &PrecedenceMatrix) -> Vec<u32> {
+    let n = matrix.num_candidates();
+    let mut strengths = vec![0u32; n * n];
+    for a in 0..n {
+        let row_a = matrix.row(CandidateId(a as u32));
+        let dst = &mut strengths[a * n..][..n];
+        for (b, (slot, &against)) in dst.iter_mut().zip(row_a).enumerate() {
+            if b == a {
+                continue;
+            }
+            let support = matrix.row(CandidateId(b as u32))[a];
+            if support > against {
+                *slot = support;
+            }
         }
     }
-    row_a[a] = 0;
+    strengths
 }
 
-/// Serial Floyd–Warshall over the flat strength buffer.
-fn floyd_warshall_serial(p: &mut [u64], n: usize) {
-    let mut row_k = vec![0u64; n];
+/// Restores `p[a][a] = 0` after a kernel run.
+///
+/// The kernels let diagonal cells grow during relaxation (a cycle strength is
+/// a genuine path strength, so `min`-ing against it can never corrupt an
+/// off-diagonal cell) and pay one cheap pass here instead of branching in the
+/// O(n³) hot loop.
+fn zero_diagonal(p: &mut [u32], n: usize) {
+    for a in 0..n {
+        p[a * n + a] = 0;
+    }
+}
+
+/// One branchless widest-path relaxation of a full row: for every column `b`,
+/// `row_a[b] = max(row_a[b], min(pak, row_k[b]))`. Equal-length zipped slices
+/// with no bounds checks, so the loop autovectorizes (8 `u32` lanes per AVX2
+/// op).
+fn relax_full_row(row_a: &mut [u32], row_k: &[u32], pak: u32) {
+    for (slot, &pkb) in row_a.iter_mut().zip(row_k) {
+        *slot = (*slot).max(pak.min(pkb));
+    }
+}
+
+/// Serial untiled Floyd–Warshall over the flat strength buffer.
+fn floyd_warshall_serial(p: &mut [u32], n: usize) {
+    let mut row_k = vec![0u32; n];
     for k in 0..n {
-        // Row k is stable during step k (p[k][k] = 0 relaxes nothing), so one
-        // snapshot lets every other row read it without aliasing `p`.
+        // Row k is stable during step k (relaxing it through itself is a
+        // no-op), so one snapshot lets every other row read it without
+        // aliasing `p`.
         row_k.copy_from_slice(&p[k * n..][..n]);
         for a in 0..n {
             if a == k {
@@ -220,25 +320,25 @@ fn floyd_warshall_serial(p: &mut [u64], n: usize) {
                 // skips roughly half of all (a, k) pairs.
                 continue;
             }
-            relax_row(&mut p[a * n..][..n], &row_k, pak, a);
+            relax_full_row(&mut p[a * n..][..n], &row_k, pak);
         }
     }
 }
 
-/// Row-block-parallel Floyd–Warshall: for a fixed `k` every row is updated
-/// independently, so `threads` workers each own a contiguous block of rows and
-/// synchronise twice per `k`-step on a barrier (once after the pivot row is
-/// published, once before the next pivot is written).
-fn floyd_warshall_parallel(p: &mut [u64], n: usize, threads: usize) {
+/// Row-block-parallel untiled Floyd–Warshall: for a fixed `k` every row is
+/// updated independently, so `threads` workers each own a contiguous block of
+/// rows and synchronise twice per `k`-step on a barrier (once after the pivot
+/// row is published, once before the next pivot is written).
+fn floyd_warshall_parallel(p: &mut [u32], n: usize, threads: usize) {
     let ranges = shard_ranges(n, threads);
     if ranges.len() <= 1 {
         floyd_warshall_serial(p, n);
         return;
     }
     let barrier = Barrier::new(ranges.len());
-    let pivot_row = Mutex::new(vec![0u64; n]);
+    let pivot_row = Mutex::new(vec![0u32; n]);
     // Split the flat buffer into per-worker row blocks.
-    let mut blocks: Vec<(usize, &mut [u64])> = Vec::with_capacity(ranges.len());
+    let mut blocks: Vec<(usize, &mut [u32])> = Vec::with_capacity(ranges.len());
     let mut rest = p;
     for range in &ranges {
         let (block, tail) = rest.split_at_mut(range.len() * n);
@@ -251,7 +351,7 @@ fn floyd_warshall_parallel(p: &mut [u64], n: usize, threads: usize) {
             let pivot_row = &pivot_row;
             scope.spawn(move || {
                 let rows = block.len() / n;
-                let mut row_k = vec![0u64; n];
+                let mut row_k = vec![0u32; n];
                 for k in 0..n {
                     if (start..start + rows).contains(&k) {
                         let mut shared = pivot_row.lock().expect("pivot row lock poisoned");
@@ -269,10 +369,345 @@ fn floyd_warshall_parallel(p: &mut [u64], n: usize, threads: usize) {
                         if pak == 0 {
                             continue;
                         }
-                        relax_row(row_a, &row_k, pak, a);
+                        relax_full_row(row_a, &row_k, pak);
                     }
                     // Nobody may publish pivot k+1 while a worker still reads
                     // the shared buffer for pivot k.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+/// Phase 1 + 2 (row panel) of a `k`-block: closes the pivot rows `k0..k1` —
+/// full width, which covers the diagonal tile and the row panel together —
+/// against their own pivots with a mini Floyd–Warshall (`k` ascending,
+/// snapshot of the self-dependent pivot row per step).
+///
+/// `block` is a contiguous row block starting at matrix row `row_start` that
+/// contains rows `k0..k1`; `row_k` is an `n`-cell scratch buffer.
+fn close_pivot_rows(
+    block: &mut [u32],
+    n: usize,
+    row_start: usize,
+    k0: usize,
+    k1: usize,
+    row_k: &mut [u32],
+) {
+    for k in k0..k1 {
+        row_k.copy_from_slice(&block[(k - row_start) * n..][..n]);
+        for a in k0..k1 {
+            if a == k {
+                continue;
+            }
+            let row_a = &mut block[(a - row_start) * n..][..n];
+            let pak = row_a[k];
+            if pak == 0 {
+                continue;
+            }
+            relax_full_row(row_a, row_k, pak);
+        }
+    }
+}
+
+/// Phase 2 (column panel) for one row: relaxes the pivot-column segment
+/// `seg = p[a][k0..k1]` through pivots `k0..k1` in ascending order. The
+/// segment is self-dependent — `p[a][k]` for a later pivot may be improved by
+/// an earlier one — so `pak` is re-read from the segment each step.
+fn relax_pivot_segment(seg: &mut [u32], panel: &[u32], n: usize, k0: usize) {
+    for t in 0..seg.len() {
+        let pak = seg[t];
+        if pak == 0 {
+            continue;
+        }
+        let brow = &panel[t * n + k0..][..seg.len()];
+        for (slot, &pkb) in seg.iter_mut().zip(brow) {
+            *slot = (*slot).max(pak.min(pkb));
+        }
+    }
+}
+
+/// SIMD-register width (in `u32` lanes) for the phase-3 accumulator: 64 bytes,
+/// i.e. two AVX2 or one AVX-512 register's worth per accumulator block.
+const PHASE3_LANES: usize = 32;
+
+/// Phase 3 (remainder) for one row and one column tile: relaxes
+/// `seg = p[a][j0..j0 + seg.len()]` through the block's pivots. `pa[t]` is the
+/// final `p[a][k0 + t]` for this block (the column panel runs first), `panel`
+/// the closed pivot rows, so no cell read here is concurrently written.
+///
+/// Because every `pa[t]` and panel cell is already final, the `t`-loop is a
+/// pure `max` reduction — reorderable without changing a single bit. The
+/// kernel exploits that by running `j`-outer / `t`-inner with a fixed-width
+/// accumulator that the compiler keeps in vector registers: each relaxation
+/// costs one panel load instead of the load + load + store of a `t`-outer
+/// sweep. This register blocking is what the cache blocking buys — the flat
+/// kernel's global `k` steps are sequentially dependent, so it cannot batch
+/// pivots this way.
+fn relax_segment(seg: &mut [u32], pa: &[u32], panel: &[u32], n: usize, j0: usize) {
+    let mut chunks = seg.chunks_exact_mut(PHASE3_LANES);
+    let mut j = j0;
+    for chunk in &mut chunks {
+        let mut acc = [0u32; PHASE3_LANES];
+        acc.copy_from_slice(chunk);
+        for (t, &pak) in pa.iter().enumerate() {
+            if pak == 0 {
+                continue;
+            }
+            let brow: &[u32; PHASE3_LANES] = panel[t * n + j..][..PHASE3_LANES]
+                .try_into()
+                .expect("panel tile chunk is PHASE3_LANES wide");
+            for (slot, &pkb) in acc.iter_mut().zip(brow) {
+                *slot = (*slot).max(pak.min(pkb));
+            }
+        }
+        chunk.copy_from_slice(&acc);
+        j += PHASE3_LANES;
+    }
+    let tail = chunks.into_remainder();
+    for (t, &pak) in pa.iter().enumerate() {
+        if pak == 0 {
+            continue;
+        }
+        let brow = &panel[t * n + j..][..tail.len()];
+        for (slot, &pkb) in tail.iter_mut().zip(brow) {
+            *slot = (*slot).max(pak.min(pkb));
+        }
+    }
+}
+
+/// Rows relaxed together in phase 3: one panel load is shared by this many
+/// row accumulators (GEMM-style register blocking in the row dimension), so
+/// the per-relaxation cost drops from one load + one `min` + one `max` to
+/// `1/ROW_GROUP` loads + one `min` + one `max`.
+const ROW_GROUP: usize = 8;
+
+/// Phase 3 for one column tile of a group of `ROW_GROUP` contiguous rows
+/// (`group` is `ROW_GROUP × n`, `pa` is `ROW_GROUP × width` final
+/// pivot-column strengths). Each loaded panel chunk feeds all `ROW_GROUP`
+/// accumulators; the `pak == 0` skip is dropped here because a zero pivot
+/// strength relaxes to `max(slot, 0) = slot` — a bit-exact no-op — and the
+/// branchless form keeps the accumulators in vector registers.
+fn relax_segment_group(
+    group: &mut [u32],
+    pa: &[u32],
+    panel: &[u32],
+    n: usize,
+    width: usize,
+    j0: usize,
+    j1: usize,
+) {
+    let mut j = j0;
+    while j + PHASE3_LANES <= j1 {
+        let mut acc = [[0u32; PHASE3_LANES]; ROW_GROUP];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            acc_r.copy_from_slice(&group[r * n + j..][..PHASE3_LANES]);
+        }
+        for t in 0..width {
+            let brow: &[u32; PHASE3_LANES] = panel[t * n + j..][..PHASE3_LANES]
+                .try_into()
+                .expect("panel chunk is PHASE3_LANES wide");
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let pak = pa[r * width + t];
+                for (slot, &pkb) in acc_r.iter_mut().zip(brow) {
+                    *slot = (*slot).max(pak.min(pkb));
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            group[r * n + j..][..PHASE3_LANES].copy_from_slice(acc_r);
+        }
+        j += PHASE3_LANES;
+    }
+    if j < j1 {
+        for r in 0..ROW_GROUP {
+            let seg = &mut group[r * n + j..][..j1 - j];
+            relax_segment_tail(seg, &pa[r * width..][..width], panel, n, j);
+        }
+    }
+}
+
+/// Scalar (`t`-outer) phase-3 fallback for a sub-lane-width column tail.
+fn relax_segment_tail(seg: &mut [u32], pa: &[u32], panel: &[u32], n: usize, j0: usize) {
+    for (t, &pak) in pa.iter().enumerate() {
+        if pak == 0 {
+            continue;
+        }
+        let brow = &panel[t * n + j0..][..seg.len()];
+        for (slot, &pkb) in seg.iter_mut().zip(brow) {
+            *slot = (*slot).max(pak.min(pkb));
+        }
+    }
+}
+
+/// Column panel + remainder phases for a group of `ROW_GROUP` contiguous
+/// non-pivot rows. Phase 2 (the self-dependent pivot-column segment) runs per
+/// row; phase 3 runs over the whole group per column tile so panel loads are
+/// shared.
+fn relax_row_group(
+    group: &mut [u32],
+    panel: &[u32],
+    pa: &mut [u32],
+    n: usize,
+    tile: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let width = k1 - k0;
+    for r in 0..ROW_GROUP {
+        let row = &mut group[r * n..][..n];
+        relax_pivot_segment(&mut row[k0..k1], panel, n, k0);
+        pa[r * width..][..width].copy_from_slice(&row[k0..k1]);
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + tile).min(n);
+        if j0 != k0 {
+            relax_segment_group(group, &pa[..ROW_GROUP * width], panel, n, width, j0, j1);
+        }
+        j0 = j1;
+    }
+}
+
+/// Relaxes every row of a contiguous region against the closed pivot panel.
+/// The region must contain no pivot row (callers split around the pivot
+/// block). Full groups of [`ROW_GROUP`] rows take the register-blocked path;
+/// the remainder rows fall back to the single-row kernel. `pa` is a
+/// `ROW_GROUP × tile` scratch buffer.
+fn relax_rows(
+    region: &mut [u32],
+    panel: &[u32],
+    pa: &mut [u32],
+    n: usize,
+    tile: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let width = k1 - k0;
+    let mut groups = region.chunks_exact_mut(ROW_GROUP * n);
+    for group in &mut groups {
+        relax_row_group(group, panel, pa, n, tile, k0, k1);
+    }
+    for row in groups.into_remainder().chunks_exact_mut(n) {
+        relax_row_blocked(row, panel, &mut pa[..width], n, tile, k0, k1);
+    }
+}
+
+/// Column panel + remainder phases for one non-pivot row of a `k`-block.
+fn relax_row_blocked(
+    row_a: &mut [u32],
+    panel: &[u32],
+    pa: &mut [u32],
+    n: usize,
+    tile: usize,
+    k0: usize,
+    k1: usize,
+) {
+    relax_pivot_segment(&mut row_a[k0..k1], panel, n, k0);
+    pa.copy_from_slice(&row_a[k0..k1]);
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + tile).min(n);
+        if j0 != k0 {
+            relax_segment(&mut row_a[j0..j1], pa, panel, n, j0);
+        }
+        j0 = j1;
+    }
+}
+
+/// Serial cache-blocked Floyd–Warshall with `tile × tile` tiles.
+///
+/// Per `k`-block (pivots `k0..k1`) the standard three-phase blocked order
+/// runs: the diagonal tile and pivot row panel are closed in place
+/// ([`close_pivot_rows`]), the closed pivot rows are snapshotted into `panel`
+/// (so every other row can read them without aliasing), then each remaining
+/// row relaxes its pivot-column segment (phase 2) followed by the other
+/// column tiles (phase 3). Working-set per phase-3 step: one `tile`-cell row
+/// segment, a `tile`-cell pivot-strength cache, and one `tile × tile` panel
+/// tile — sized for L1 at the default tile of 64 (16 KiB per tile).
+fn floyd_warshall_tiled_serial(p: &mut [u32], n: usize, tile: usize) {
+    let nb = n.div_ceil(tile);
+    let mut panel = vec![0u32; tile * n];
+    let mut row_k = vec![0u32; n];
+    let mut pa = vec![0u32; ROW_GROUP * tile];
+    for kb in 0..nb {
+        let k0 = kb * tile;
+        let k1 = (k0 + tile).min(n);
+        let width = k1 - k0;
+        close_pivot_rows(p, n, 0, k0, k1, &mut row_k);
+        panel[..width * n].copy_from_slice(&p[k0 * n..k1 * n]);
+        let (before, rest) = p.split_at_mut(k0 * n);
+        let after = &mut rest[width * n..];
+        relax_rows(before, &panel, &mut pa, n, tile, k0, k1);
+        relax_rows(after, &panel, &mut pa, n, tile, k0, k1);
+    }
+}
+
+/// Tile-row-parallel cache-blocked Floyd–Warshall.
+///
+/// Workers own contiguous blocks of *tile rows* (so every `k`-block's pivot
+/// rows live inside exactly one worker). Per `k`-block the owner closes the
+/// pivot rows (phases 1 + 2-row) and publishes them into a shared panel
+/// buffer; after a barrier every worker copies the panel locally and runs the
+/// column-panel and remainder phases on its own rows. A second barrier keeps
+/// block `kb + 1`'s publish from racing block `kb`'s readers — the same
+/// two-barrier schedule as the untiled parallel kernel, at tile-row
+/// granularity.
+fn floyd_warshall_tiled_parallel(p: &mut [u32], n: usize, tile: usize, threads: usize) {
+    let nb = n.div_ceil(tile);
+    let tile_ranges = shard_ranges(nb, threads);
+    if tile_ranges.len() <= 1 {
+        floyd_warshall_tiled_serial(p, n, tile);
+        return;
+    }
+    let barrier = Barrier::new(tile_ranges.len());
+    let shared_panel = Mutex::new(vec![0u32; tile * n]);
+    // Split the flat buffer into per-worker blocks of whole tile rows.
+    let mut blocks: Vec<(usize, &mut [u32])> = Vec::with_capacity(tile_ranges.len());
+    let mut rest = p;
+    for range in &tile_ranges {
+        let row_start = range.start * tile;
+        let row_end = (range.end * tile).min(n);
+        let (block, tail) = rest.split_at_mut((row_end - row_start) * n);
+        blocks.push((row_start, block));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (row_start, block) in blocks {
+            let barrier = &barrier;
+            let shared_panel = &shared_panel;
+            scope.spawn(move || {
+                let rows = block.len() / n;
+                let mut panel = vec![0u32; tile * n];
+                let mut row_k = vec![0u32; n];
+                let mut pa = vec![0u32; ROW_GROUP * tile];
+                for kb in 0..nb {
+                    let k0 = kb * tile;
+                    let k1 = (k0 + tile).min(n);
+                    let width = k1 - k0;
+                    let owns_pivot = (row_start..row_start + rows).contains(&k0);
+                    if owns_pivot {
+                        close_pivot_rows(block, n, row_start, k0, k1, &mut row_k);
+                        let mut shared = shared_panel.lock().expect("panel lock poisoned");
+                        shared[..width * n]
+                            .copy_from_slice(&block[(k0 - row_start) * n..(k1 - row_start) * n]);
+                    }
+                    // All workers see the closed pivot rows before relaxing.
+                    barrier.wait();
+                    panel[..width * n].copy_from_slice(
+                        &shared_panel.lock().expect("panel lock poisoned")[..width * n],
+                    );
+                    if owns_pivot {
+                        let (before, rest) = block.split_at_mut((k0 - row_start) * n);
+                        let after = &mut rest[width * n..];
+                        relax_rows(before, &panel, &mut pa, n, tile, k0, k1);
+                        relax_rows(after, &panel, &mut pa, n, tile, k0, k1);
+                    } else {
+                        relax_rows(block, &panel, &mut pa, n, tile, k0, k1);
+                    }
+                    // Nobody may publish block kb + 1 while a worker still
+                    // reads the shared panel for block kb.
                     barrier.wait();
                 }
             });
@@ -373,6 +808,13 @@ mod tests {
             let rankings: Vec<Ranking> = (0..9).map(|_| Ranking::random(n, &mut rng)).collect();
             let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
             let reference = SchulzeAggregator::new().strongest_paths(&matrix);
+            assert_eq!(
+                SchulzeAggregator::new()
+                    .strongest_paths_flat(&matrix)
+                    .to_nested(),
+                reference,
+                "flat kernel, n = {n}"
+            );
             for threads in [1usize, 2, 3, 8] {
                 let par = Parallelism::new(threads).with_min_candidates(0);
                 let flat = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
@@ -384,6 +826,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiled_kernel_matches_reference_across_tile_sizes_and_threads() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for n in [2usize, 5, 13, 31, 64, 70] {
+            let rankings: Vec<Ranking> = (0..7).map(|_| Ranking::random(n, &mut rng)).collect();
+            let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+            let reference = SchulzeAggregator::new().strongest_paths_flat(&matrix);
+            for tile in [1usize, 3, 8, 32, 64, n] {
+                for threads in [1usize, 2, 8] {
+                    let par = Parallelism::new(threads)
+                        .with_min_candidates(0)
+                        .with_tile_size(tile);
+                    let tiled = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
+                    assert_eq!(
+                        tiled, reference,
+                        "n = {n}, tile = {tile}, threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_solves_bump_kernel_counters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rankings: Vec<Ranking> = (0..5).map(|_| Ranking::random(20, &mut rng)).collect();
+        let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+        let before = mani_ranking::kernel_counter_snapshot();
+        let par = Parallelism::serial().with_tile_size(8);
+        SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
+        let after = mani_ranking::kernel_counter_snapshot();
+        assert!(after.fw_blocked_solves > before.fw_blocked_solves);
+        // 20 candidates at tile 8 -> 3 tile rows -> 27 tile relaxations.
+        assert!(after.fw_tiles_relaxed >= before.fw_tiles_relaxed + 27);
     }
 
     proptest! {
@@ -400,6 +878,22 @@ mod tests {
             let par = Parallelism::new(threads).with_min_candidates(0);
             let flat = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
             prop_assert_eq!(flat.to_nested(), SchulzeAggregator::new().strongest_paths(&matrix));
+        }
+
+        #[test]
+        fn prop_tiled_kernel_bit_identical_to_flat(
+            n in 1usize..20,
+            m in 1usize..8,
+            tile in 1usize..9,
+            threads in 1usize..9,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+            let par = Parallelism::new(threads).with_min_candidates(0).with_tile_size(tile);
+            let tiled = SchulzeAggregator::new().strongest_paths_matrix(&matrix, &par);
+            prop_assert_eq!(tiled, SchulzeAggregator::new().strongest_paths_flat(&matrix));
         }
 
         #[test]

@@ -121,13 +121,29 @@ fn main() {
 
     // (n, |R|) grid points per kernel; the smoke grid keeps CI runs in
     // seconds while staying large enough (tens of microseconds per gated
-    // kernel) that best-of-N timings are stable for the --compare gate.
+    // kernel) that best-of-N timings are stable for the --compare gate. The
+    // smoke grid carries one large-n Schulze point (n = 1000, iters capped by
+    // `capped_iters`) so the regression gate exercises the tiled-kernel
+    // regime, and the full grid extends to the CSRankings-scale points
+    // n ∈ {1000, 2000, 5000}.
     let (matrix_grid, schulze_grid, kemeny_grid, mut iters) = if smoke {
-        (vec![(48, 64)], vec![(48, 24)], vec![(10, 8)], 3usize)
+        (
+            vec![(48, 64)],
+            vec![(48, 24), (1000, 16)],
+            vec![(10, 8)],
+            3usize,
+        )
     } else {
         (
-            vec![(160, 400), (240, 240)],
-            vec![(160, 40), (256, 40), (384, 40)],
+            vec![(160, 400), (240, 240), (1000, 200), (2000, 100)],
+            vec![
+                (160, 40),
+                (256, 40),
+                (384, 40),
+                (1000, 40),
+                (2000, 40),
+                (5000, 40),
+            ],
             vec![(20, 12), (26, 12)],
             3usize,
         )
@@ -138,11 +154,11 @@ fn main() {
 
     for &(n, r) in &matrix_grid {
         eprintln!("matrix-build n={n} |R|={r} ...");
-        entries.push(bench_matrix_build(n, r, &parallel, iters));
+        entries.push(bench_matrix_build(n, r, &parallel, capped_iters(n, iters)));
     }
     for &(n, r) in &schulze_grid {
         eprintln!("schulze n={n} |R|={r} ...");
-        entries.push(bench_schulze(n, r, &parallel, iters));
+        entries.push(bench_schulze(n, r, &parallel, capped_iters(n, iters)));
     }
     for &(n, r) in &kemeny_grid {
         eprintln!("fair-kemeny n={n} |R|={r} ...");
@@ -157,7 +173,7 @@ fn main() {
     eprintln!("wrote {} entries to {out}", entries.len());
 
     if let Some(baseline_path) = compare {
-        let failures = compare_with_baseline(&baseline_path, &entries, max_slowdown);
+        let failures = compare_with_baseline(&baseline_path, &entries, max_slowdown, threads);
         if failures > 0 {
             eprintln!(
                 "mani-bench: {failures} gated kernel metric(s) regressed more than {:.0}% \
@@ -193,7 +209,12 @@ const GATED_METRICS: [(&str, &str, &str); 2] = [
 /// change can hollow the gate out by accident (mismatched points are
 /// reported individually; re-baseline with `--out` after intentional
 /// changes).
-fn compare_with_baseline(path: &str, fresh: &[Entry], max_slowdown: f64) -> usize {
+fn compare_with_baseline(
+    path: &str,
+    fresh: &[Entry],
+    max_slowdown: f64,
+    current_threads: usize,
+) -> usize {
     let baseline = match Baseline::load(path) {
         Ok(baseline) => baseline,
         Err(error) => {
@@ -201,6 +222,25 @@ fn compare_with_baseline(path: &str, fresh: &[Entry], max_slowdown: f64) -> usiz
             return 1;
         }
     };
+    // Non-fatal: serial latencies gate fine across machines, but parallel
+    // speedup figures recorded at a different thread count are not comparable
+    // — a 1-thread baseline never exercised the parallel kernels at all.
+    match baseline.threads_available {
+        Some(baseline_threads) if baseline_threads != current_threads as u64 => {
+            eprintln!(
+                "mani-bench: WARNING: baseline {path} was recorded with threads_available = \
+                 {baseline_threads}, this run has {current_threads} — parallel speedup figures \
+                 are not comparable (re-baseline with --out on this machine to fix)"
+            );
+        }
+        None => {
+            eprintln!(
+                "mani-bench: WARNING: baseline {path} does not record threads_available; \
+                 cannot check thread-count comparability"
+            );
+        }
+        _ => {}
+    }
     let mut failures = 0usize;
     for (kernel, field, what) in GATED_METRICS {
         let mut compared = 0usize;
@@ -251,6 +291,10 @@ fn compare_with_baseline(path: &str, fresh: &[Entry], max_slowdown: f64) -> usiz
 /// A parsed baseline file (the output of an earlier `--json` run).
 struct Baseline {
     entries: Vec<serde::Value>,
+    /// Thread count the baseline was recorded with: read from
+    /// `meta.threads_available` (current format) or the top-level
+    /// `threads_available` (pre-`meta` files).
+    threads_available: Option<u64>,
 }
 
 impl Baseline {
@@ -263,7 +307,16 @@ impl Baseline {
             .and_then(serde::Value::as_array)
             .ok_or_else(|| "no `entries` array".to_string())?
             .to_vec();
-        Ok(Self { entries })
+        let threads_available = as_u64(
+            parsed
+                .get("meta")
+                .and_then(|meta| meta.get("threads_available"))
+                .or_else(|| parsed.get("threads_available")),
+        );
+        Ok(Self {
+            entries,
+            threads_available,
+        })
     }
 
     /// The integer `field` of the baseline entry matching a grid point.
@@ -310,6 +363,25 @@ fn ratio(baseline: u64, candidate: u64) -> f64 {
     }
 }
 
+/// Per-point iteration cap: the CSRankings-scale points run fewer iterations
+/// so the full grid and the CI smoke run stay wall-clock bounded (an n = 5000
+/// Schulze solve is tens of seconds on one core — best-of-1 is the budget).
+fn capped_iters(n: usize, iters: usize) -> usize {
+    if n >= 5000 {
+        1
+    } else if n >= 1000 {
+        iters.min(2)
+    } else {
+        iters
+    }
+}
+
+/// Largest `n` at which the legacy nested-`Vec` Schulze kernel is still timed
+/// (and its bit-identity checked). Beyond this the O(n³) legacy kernel alone
+/// would dominate the run's wall clock, so large-n entries compare the flat,
+/// tiled and parallel kernels against each other only.
+const LEGACY_SCHULZE_MAX_N: usize = 512;
+
 fn bench_matrix_build(n: usize, r: usize, parallel: &Parallelism, iters: usize) -> Entry {
     let fixture = BenchFixture::low_fair(n, r, 0.6, 0xA11CE);
     let (serial_ns, serial) = time_best(iters, || fixture.profile.precedence_matrix());
@@ -323,6 +395,7 @@ fn bench_matrix_build(n: usize, r: usize, parallel: &Parallelism, iters: usize) 
         fields: vec![
             ("serial_ns".into(), serial_ns.to_string()),
             ("parallel_ns".into(), parallel_ns.to_string()),
+            ("threads".into(), parallel.max_threads().to_string()),
             (
                 "speedup_parallel_vs_serial".into(),
                 format!("{:.3}", ratio(serial_ns, parallel_ns)),
@@ -336,36 +409,59 @@ fn bench_schulze(n: usize, r: usize, parallel: &Parallelism, iters: usize) -> En
     let matrix = fixture.profile.precedence_matrix();
     let aggregator = SchulzeAggregator::new();
     let serial = Parallelism::serial();
-    let (legacy_ns, reference) = time_best(iters, || aggregator.strongest_paths(&matrix));
-    let (flat_ns, flat) = time_best(iters, || {
+    // Un-tiled flat serial kernel: the gated `flat_serial_ns` metric and the
+    // denominator for the tiled/parallel speedup figures.
+    let (flat_ns, flat) = time_best(iters, || aggregator.strongest_paths_flat(&matrix));
+    // Tiled serial kernel under the auto tile policy (untiled below the
+    // FW_TILE_MIN_N threshold, in which case this times the same flat path).
+    let (tiled_ns, tiled) = time_best(iters, || {
         aggregator.strongest_paths_matrix(&matrix, &serial)
     });
-    let (parallel_ns, flat_par) = time_best(iters, || {
+    let (parallel_ns, tiled_par) = time_best(iters, || {
         aggregator.strongest_paths_matrix(&matrix, parallel)
     });
-    assert_eq!(
-        flat.to_nested(),
-        reference,
-        "flat kernel must be bit-identical"
-    );
-    assert_eq!(flat_par, flat, "parallel kernel must be bit-identical");
+    assert_eq!(tiled, flat, "tiled kernel must be bit-identical");
+    assert_eq!(tiled_par, flat, "parallel kernel must be bit-identical");
+    let mut fields = vec![
+        ("flat_serial_ns".into(), flat_ns.to_string()),
+        ("tiled_serial_ns".into(), tiled_ns.to_string()),
+        ("parallel_ns".into(), parallel_ns.to_string()),
+        (
+            "tile_size".into(),
+            serial.fw_tile_size(n.max(1)).to_string(),
+        ),
+        ("threads".into(), parallel.max_threads().to_string()),
+        (
+            "speedup_tiled_vs_flat".into(),
+            format!("{:.3}", ratio(flat_ns, tiled_ns)),
+        ),
+        (
+            "speedup_parallel_vs_flat".into(),
+            format!("{:.3}", ratio(flat_ns, parallel_ns)),
+        ),
+    ];
+    if n <= LEGACY_SCHULZE_MAX_N {
+        let (legacy_ns, reference) = time_best(iters, || aggregator.strongest_paths(&matrix));
+        assert_eq!(
+            flat.to_nested(),
+            reference,
+            "flat kernel must be bit-identical"
+        );
+        fields.push(("legacy_serial_ns".into(), legacy_ns.to_string()));
+        fields.push((
+            "speedup_flat_vs_legacy".into(),
+            format!("{:.3}", ratio(legacy_ns, flat_ns)),
+        ));
+        fields.push((
+            "speedup_parallel_vs_legacy".into(),
+            format!("{:.3}", ratio(legacy_ns, parallel_ns)),
+        ));
+    }
     Entry {
         kernel: "schulze_strongest_paths",
         n,
         rankings: r,
-        fields: vec![
-            ("legacy_serial_ns".into(), legacy_ns.to_string()),
-            ("flat_serial_ns".into(), flat_ns.to_string()),
-            ("parallel_ns".into(), parallel_ns.to_string()),
-            (
-                "speedup_flat_vs_legacy".into(),
-                format!("{:.3}", ratio(legacy_ns, flat_ns)),
-            ),
-            (
-                "speedup_parallel_vs_legacy".into(),
-                format!("{:.3}", ratio(legacy_ns, parallel_ns)),
-            ),
-        ],
+        fields,
     }
 }
 
@@ -404,6 +500,7 @@ fn bench_fair_kemeny(
         fields: vec![
             ("serial_ns".into(), serial_ns.to_string()),
             ("parallel_ns".into(), parallel_ns.to_string()),
+            ("threads".into(), parallel.max_threads().to_string()),
             (
                 "speedup_parallel_vs_serial".into(),
                 format!("{:.3}", ratio(serial_ns, parallel_ns)),

@@ -26,7 +26,8 @@ impl MfcrMethod for FairCopeland {
 
     fn solve(&self, ctx: &MfcrContext<'_>) -> Result<MfcrOutcome> {
         let matrix = ctx.precedence_matrix();
-        let consensus = CopelandAggregator::new().consensus_from_matrix(&matrix);
+        let consensus =
+            CopelandAggregator::new().consensus_from_matrix_with(&matrix, &ctx.parallelism());
         let correction = make_mr_fair(&consensus, ctx.groups, &ctx.thresholds);
         MfcrOutcome::evaluate(self.name(), ctx, correction.ranking, correction.swaps, true)
     }

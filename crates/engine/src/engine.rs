@@ -65,6 +65,12 @@ pub struct EngineConfig {
     /// `0` means the default threshold
     /// ([`mani_ranking::parallel::DEFAULT_MIN_CANDIDATES`]).
     pub kernel_min_candidates: usize,
+    /// Floyd–Warshall tile size for the blocked Schulze kernel; `0` — the
+    /// default — picks automatically ([`mani_ranking::parallel::DEFAULT_FW_TILE`]
+    /// at [`mani_ranking::parallel::FW_TILE_MIN_N`] candidates and above,
+    /// untiled below). Results are bit-identical for every tile size; this
+    /// only tunes cache behaviour.
+    pub kernel_tile_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +81,7 @@ impl Default for EngineConfig {
             queue_depth: 0,
             kernel_threads: 1,
             kernel_min_candidates: 0,
+            kernel_tile_size: 0,
         }
     }
 }
@@ -87,9 +94,13 @@ impl EngineConfig {
             0 => Parallelism::auto(),
             threads => Parallelism::new(threads),
         };
-        match self.kernel_min_candidates {
+        let parallelism = match self.kernel_min_candidates {
             0 => parallelism,
             min => parallelism.with_min_candidates(min),
+        };
+        match self.kernel_tile_size {
+            0 => parallelism,
+            tile => parallelism.with_tile_size(tile),
         }
     }
 }
@@ -128,6 +139,18 @@ pub struct EngineStats {
     pub pool_busy: usize,
     /// Worker-pool tasks finished since the engine was created.
     pub pool_tasks_executed: u64,
+    /// Blocked (tiled) Floyd–Warshall solves, process-wide (the tiled kernel
+    /// operates on borrowed buffers, so its counters are shared by every
+    /// engine in the process).
+    pub fw_blocked_solves: u64,
+    /// Tile relaxations performed by blocked Floyd–Warshall solves,
+    /// process-wide (`⌈n / tile⌉³` per solve).
+    pub fw_tiles_relaxed: u64,
+    /// Candidate-pair (row/column-range) shard tasks spawned by matrix build
+    /// and scoring kernels, process-wide.
+    pub pair_shard_tasks: u64,
+    /// Ranking-shard tasks spawned by matrix build kernels, process-wide.
+    pub ranking_shard_tasks: u64,
 }
 
 /// Counters shared between the engine and its in-flight job collectors.
@@ -236,6 +259,7 @@ impl ConsensusEngine {
     /// Current submission-queue and kernel-timing counters.
     pub fn stats(&self) -> EngineStats {
         let pool = self.pool.stats();
+        let kernels = mani_ranking::kernel_counter_snapshot();
         EngineStats {
             queue_depth: self.queue_depth,
             in_flight: self.counters.in_flight.load(Ordering::Acquire),
@@ -251,6 +275,10 @@ impl ConsensusEngine {
             pool_queued: pool.queued,
             pool_busy: pool.busy,
             pool_tasks_executed: pool.executed,
+            fw_blocked_solves: kernels.fw_blocked_solves,
+            fw_tiles_relaxed: kernels.fw_tiles_relaxed,
+            pair_shard_tasks: kernels.pair_shard_tasks,
+            ranking_shard_tasks: kernels.ranking_shard_tasks,
         }
     }
 

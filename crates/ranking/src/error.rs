@@ -61,6 +61,13 @@ pub enum RankingError {
         /// Number of candidates in the container.
         len: usize,
     },
+    /// The total ranking weight of a profile would overflow the `u32` support
+    /// cells of the precedence matrix.
+    SupportOverflow {
+        /// Total weight (sum of ranking weights, or the ranking count for
+        /// unweighted profiles) that exceeded the cell capacity.
+        total_weight: u64,
+    },
 }
 
 impl fmt::Display for RankingError {
@@ -112,6 +119,12 @@ impl fmt::Display for RankingError {
             RankingError::CandidateOutOfRange { id, len } => {
                 write!(f, "candidate id {id} out of range for {len} candidates")
             }
+            RankingError::SupportOverflow { total_weight } => write!(
+                f,
+                "total ranking weight {total_weight} exceeds the u32 support-cell capacity \
+                 ({}) of the precedence matrix",
+                u32::MAX
+            ),
         }
     }
 }
@@ -136,6 +149,12 @@ mod tests {
 
         let err = RankingError::LengthMismatch { left: 3, right: 5 };
         assert!(err.to_string().contains("3 vs 5"));
+
+        let err = RankingError::SupportOverflow {
+            total_weight: 5_000_000_000,
+        };
+        assert!(err.to_string().contains("5000000000"));
+        assert!(err.to_string().contains("u32"));
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub use error::RankingError;
 pub use group::{GroupIndex, GroupKey, GroupMembership};
 pub use kendall::{kendall_tau, kendall_tau_naive, normalized_kendall_tau};
 pub use pairs::{mixed_pairs_for_group, total_mixed_pairs, total_pairs};
-pub use parallel::{available_threads, run_parts, shard_ranges, Parallelism};
+pub use parallel::{
+    available_threads, kernel_counter_snapshot, run_parts, shard_ranges, KernelCounterSnapshot,
+    Parallelism,
+};
 pub use precedence::PrecedenceMatrix;
 pub use profile::RankingProfile;
 pub use ranking::Ranking;

@@ -20,6 +20,7 @@
 //! merges).
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -29,8 +30,24 @@ use serde::{Deserialize, Serialize};
 /// `n < 48` finish in comparable time, so threading them is pure overhead.
 pub const DEFAULT_MIN_CANDIDATES: usize = 48;
 
-/// Kernel parallelism budget: how many threads one solve may use, and the
-/// problem-size gate that keeps small solves serial.
+/// Default Floyd–Warshall tile edge when [`Parallelism::tile_size`] is auto.
+///
+/// A 64×64 tile of `u32` cells is 16 KiB; the three tiles a blocked-FW phase
+/// touches (C, the A column panel, and the B row panel) fit comfortably in a
+/// 64 KiB L1 with room for the pivot-row scratch, and a whole tile-row panel
+/// at CSRankings scale (64 × 5000 × 4 B ≈ 1.2 MiB) still fits mid-size L2.
+pub const DEFAULT_FW_TILE: usize = 64;
+
+/// Candidate count below which the auto tile policy keeps Floyd–Warshall
+/// untiled: under this size the whole strength matrix (≤ 512² × 4 B = 1 MiB)
+/// sits in L2 anyway and the blocked schedule's phase overhead is pure loss —
+/// measured on the dev host the tiled kernel only pulls ahead of the flat one
+/// between n = 384 (0.9×) and n = 1000 (1.5×).
+pub const FW_TILE_MIN_N: usize = 512;
+
+/// Kernel parallelism budget: how many threads one solve may use, the
+/// problem-size gate that keeps small solves serial, and the cache-tile edge
+/// used by blocked kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Parallelism {
     /// Maximum worker threads a single kernel may occupy (minimum one).
@@ -38,11 +55,16 @@ pub struct Parallelism {
     /// Candidate count below which kernels run serially regardless of
     /// `threads`.
     min_candidates: usize,
+    /// Floyd–Warshall tile edge; `0` selects the auto policy
+    /// (see [`Parallelism::fw_tile_size`]).
+    tile_size: usize,
 }
 
 // Manual impl rather than derive: wire payloads must not be able to bypass
 // the `threads >= 1` invariant every constructor enforces, so the field is
-// clamped on the way in exactly like `Parallelism::new` does.
+// clamped on the way in exactly like `Parallelism::new` does. `tile_size` is
+// optional so payloads serialized before the field existed keep
+// deserializing (absent means auto).
 impl Deserialize for Parallelism {
     fn deserialize_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let field = |name: &str| {
@@ -54,6 +76,10 @@ impl Deserialize for Parallelism {
         Ok(Self {
             threads: field("threads")?.max(1),
             min_candidates: field("min_candidates")?,
+            tile_size: match value.get("tile_size") {
+                Some(raw) => usize::deserialize_value(raw)?,
+                None => 0,
+            },
         })
     }
 }
@@ -73,6 +99,7 @@ impl Parallelism {
         Self {
             threads: 1,
             min_candidates: DEFAULT_MIN_CANDIDATES,
+            tile_size: 0,
         }
     }
 
@@ -82,6 +109,7 @@ impl Parallelism {
         Self {
             threads: threads.max(1),
             min_candidates: DEFAULT_MIN_CANDIDATES,
+            tile_size: 0,
         }
     }
 
@@ -97,6 +125,14 @@ impl Parallelism {
         self
     }
 
+    /// Overrides the Floyd–Warshall tile edge (`0` restores the auto policy).
+    /// Blocked kernels are bit-identical for every tile size, so this is a
+    /// pure tuning knob.
+    pub fn with_tile_size(mut self, tile_size: usize) -> Self {
+        self.tile_size = tile_size;
+        self
+    }
+
     /// The configured maximum thread count.
     pub fn max_threads(&self) -> usize {
         self.threads
@@ -105,6 +141,24 @@ impl Parallelism {
     /// The candidate-count threshold below which kernels stay serial.
     pub fn min_candidates(&self) -> usize {
         self.min_candidates
+    }
+
+    /// The configured tile edge (`0` means auto).
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Resolves the Floyd–Warshall tile edge for a problem of `n` candidates:
+    /// the explicit [`Parallelism::with_tile_size`] override when set, else
+    /// [`DEFAULT_FW_TILE`] once `n` reaches [`FW_TILE_MIN_N`]. A result `>= n`
+    /// means "run untiled". Never returns zero for `n > 0`.
+    pub fn fw_tile_size(&self, n: usize) -> usize {
+        let tile = match self.tile_size {
+            0 if n < FW_TILE_MIN_N => n,
+            0 => DEFAULT_FW_TILE,
+            explicit => explicit,
+        };
+        tile.clamp(1, n.max(1))
     }
 
     /// True when this config never fans out.
@@ -121,6 +175,63 @@ impl Parallelism {
             self.threads
         }
     }
+}
+
+/// Process-wide kernel activity counters (monotone, relaxed atomics).
+///
+/// Kernels record how work was partitioned — blocked Floyd–Warshall solves
+/// and the tiles they relaxed, candidate-pair (row-range) shard tasks, and
+/// ranking shard tasks — so operators can see *which* sharding axis and
+/// kernel shape production traffic actually exercises. The counters are
+/// process-global (kernels run on borrowed request-local buffers and carry no
+/// per-engine handle); `mani-engine` snapshots them into `EngineStats` and
+/// `mani-serve` exports them on `/metrics`.
+static FW_BLOCKED_SOLVES: AtomicU64 = AtomicU64::new(0);
+static FW_TILES_RELAXED: AtomicU64 = AtomicU64::new(0);
+static PAIR_SHARD_TASKS: AtomicU64 = AtomicU64::new(0);
+static RANKING_SHARD_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide kernel partitioning counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounterSnapshot {
+    /// Cache-blocked Floyd–Warshall solves completed.
+    pub fw_blocked_solves: u64,
+    /// Tiles relaxed across all blocked Floyd–Warshall solves.
+    pub fw_tiles_relaxed: u64,
+    /// Candidate-pair (row-range) shard tasks executed by matrix builds and
+    /// O(n²) scoring kernels.
+    pub pair_shard_tasks: u64,
+    /// Ranking shard tasks executed by matrix builds.
+    pub ranking_shard_tasks: u64,
+}
+
+/// Reads the process-wide kernel counters.
+pub fn kernel_counter_snapshot() -> KernelCounterSnapshot {
+    KernelCounterSnapshot {
+        fw_blocked_solves: FW_BLOCKED_SOLVES.load(Ordering::Relaxed),
+        fw_tiles_relaxed: FW_TILES_RELAXED.load(Ordering::Relaxed),
+        pair_shard_tasks: PAIR_SHARD_TASKS.load(Ordering::Relaxed),
+        ranking_shard_tasks: RANKING_SHARD_TASKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one blocked Floyd–Warshall solve that relaxed `tiles` tiles
+/// (observability hook for kernel implementations).
+pub fn record_fw_blocked_solve(tiles: u64) {
+    FW_BLOCKED_SOLVES.fetch_add(1, Ordering::Relaxed);
+    FW_TILES_RELAXED.fetch_add(tiles, Ordering::Relaxed);
+}
+
+/// Records `tasks` candidate-pair (row-range) shard tasks (observability hook
+/// for kernel implementations).
+pub fn record_pair_shard_tasks(tasks: u64) {
+    PAIR_SHARD_TASKS.fetch_add(tasks, Ordering::Relaxed);
+}
+
+/// Records `tasks` ranking shard tasks (observability hook for kernel
+/// implementations).
+pub fn record_ranking_shard_tasks(tasks: u64) {
+    RANKING_SHARD_TASKS.fetch_add(tasks, Ordering::Relaxed);
 }
 
 /// One worker per available core (minimum one).
@@ -220,6 +331,48 @@ mod tests {
         assert_eq!(Parallelism::new(0).max_threads(), 1);
         assert!(available_threads() >= 1);
         assert!(Parallelism::auto().max_threads() >= 1);
+    }
+
+    #[test]
+    fn auto_tile_policy_keeps_small_problems_untiled() {
+        let auto = Parallelism::serial();
+        assert_eq!(auto.tile_size(), 0);
+        // Below the tiling threshold the resolved tile covers the whole
+        // matrix (untiled); at and above it the default tile engages.
+        assert_eq!(auto.fw_tile_size(FW_TILE_MIN_N - 1), FW_TILE_MIN_N - 1);
+        assert_eq!(auto.fw_tile_size(FW_TILE_MIN_N), DEFAULT_FW_TILE);
+        assert_eq!(auto.fw_tile_size(5000), DEFAULT_FW_TILE);
+        // Degenerate sizes stay sane.
+        assert_eq!(auto.fw_tile_size(0), 1);
+        assert_eq!(auto.fw_tile_size(1), 1);
+    }
+
+    #[test]
+    fn explicit_tile_size_wins_and_is_clamped() {
+        let par = Parallelism::new(4).with_tile_size(32);
+        assert_eq!(par.tile_size(), 32);
+        assert_eq!(par.fw_tile_size(5000), 32);
+        // An explicit tile forces tiling even below the auto threshold, but
+        // never exceeds the matrix itself.
+        assert_eq!(par.fw_tile_size(100), 32);
+        assert_eq!(par.fw_tile_size(10), 10);
+        assert_eq!(
+            Parallelism::serial().with_tile_size(0).fw_tile_size(5000),
+            DEFAULT_FW_TILE
+        );
+    }
+
+    #[test]
+    fn kernel_counters_are_monotone() {
+        let before = kernel_counter_snapshot();
+        record_fw_blocked_solve(27);
+        record_pair_shard_tasks(4);
+        record_ranking_shard_tasks(2);
+        let after = kernel_counter_snapshot();
+        assert!(after.fw_blocked_solves > before.fw_blocked_solves);
+        assert!(after.fw_tiles_relaxed >= before.fw_tiles_relaxed + 27);
+        assert!(after.pair_shard_tasks >= before.pair_shard_tasks + 4);
+        assert!(after.ranking_shard_tasks >= before.ranking_shard_tasks + 2);
     }
 
     #[test]

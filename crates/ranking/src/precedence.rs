@@ -6,11 +6,15 @@
 //! Copeland, Schulze and their fair variants) operates on this matrix, so it is computed
 //! once per profile and shared.
 
+use std::ops::Range;
+
 use serde::{Deserialize, Serialize};
 
 use crate::candidate::CandidateId;
 use crate::error::RankingError;
-use crate::parallel::{run_parts, shard_ranges, Parallelism};
+use crate::parallel::{
+    record_pair_shard_tasks, record_ranking_shard_tasks, run_parts, shard_ranges, Parallelism,
+};
 use crate::ranking::Ranking;
 use crate::Result;
 
@@ -56,6 +60,29 @@ fn accumulate_ranking(counts: &mut [u32], n: usize, ranking: &Ranking, w: u32) {
     }
 }
 
+/// Adds one ranking's pairwise precedences into a contiguous block of matrix
+/// rows `rows` (a candidate-pair shard): only pairs whose `below` candidate
+/// falls inside `rows` are written, so disjoint row blocks never alias.
+fn accumulate_ranking_rows(
+    block: &mut [u32],
+    rows: &Range<usize>,
+    n: usize,
+    ranking: &Ranking,
+    w: u32,
+) {
+    let order = ranking.as_slice();
+    for (j, below) in order.iter().enumerate().skip(1) {
+        let b = below.index();
+        if b < rows.start || b >= rows.end {
+            continue;
+        }
+        let row = &mut block[(b - rows.start) * n..][..n];
+        for above in &order[..j] {
+            row[above.index()] += w;
+        }
+    }
+}
+
 /// Builds the counts buffer for a shard of (ranking, weight) pairs.
 fn build_shard(rankings: &[Ranking], weights: Option<&[u32]>, n: usize) -> Vec<u32> {
     let mut counts = vec![0u32; n * n];
@@ -74,37 +101,96 @@ fn build_shard(rankings: &[Ranking], weights: Option<&[u32]>, n: usize) -> Vec<u
     counts
 }
 
-/// Builds counts across `threads` shards and merges by element-wise sum.
+/// Builds the row block `rows` of the matrix by scanning every ranking.
+fn build_row_shard(
+    rankings: &[Ranking],
+    weights: Option<&[u32]>,
+    n: usize,
+    rows: Range<usize>,
+) -> Vec<u32> {
+    let mut block = vec![0u32; rows.len() * n];
+    match weights {
+        None => {
+            for ranking in rankings {
+                accumulate_ranking_rows(&mut block, &rows, n, ranking, 1);
+            }
+        }
+        Some(weights) => {
+            for (ranking, &w) in rankings.iter().zip(weights) {
+                accumulate_ranking_rows(&mut block, &rows, n, ranking, w);
+            }
+        }
+    }
+    block
+}
+
+/// Minimum rankings-per-thread before ranking sharding beats row sharding.
+const RANKING_SHARD_FACTOR: usize = 4;
+
+/// Builds counts across `threads` shards, picking the sharding axis:
 ///
-/// Precedence counts are additive per ranking, so any shard boundary produces
-/// the same matrix: integer addition is order-insensitive, making the parallel
-/// build bit-identical to the serial one.
+/// * **Ranking sharding** — when the profile is long relative to the thread
+///   count, each shard accumulates a disjoint slice of rankings into a private
+///   full matrix and the partials are summed element-wise.
+/// * **Candidate-pair (row) sharding** — for short-but-wide matrices, each
+///   shard scans *every* ranking but writes only a disjoint block of matrix
+///   rows, so there is no `n²` partial-matrix merge and the build scales with
+///   `n` independent of the ranking count.
+///
+/// Precedence counts are additive per ranking and integer addition is
+/// order-insensitive, so both axes (and every shard boundary) are
+/// bit-identical to the serial build.
 fn build_sharded(
     rankings: &[Ranking],
     weights: Option<&[u32]>,
     n: usize,
     threads: usize,
 ) -> Vec<u32> {
-    let threads = threads.max(1).min(rankings.len());
+    let threads = threads.max(1).min(rankings.len().max(n));
     if threads <= 1 {
         return build_shard(rankings, weights, n);
     }
-    let parts: Vec<_> = shard_ranges(rankings.len(), threads)
-        .into_iter()
-        .map(|range| {
-            let shard = &rankings[range.clone()];
-            let shard_weights = weights.map(|w| &w[range]);
-            move || build_shard(shard, shard_weights, n)
-        })
-        .collect();
-    let mut partials = run_parts(threads, parts).into_iter();
-    let mut counts = partials.next().expect("at least one shard");
-    for partial in partials {
-        for (total, part) in counts.iter_mut().zip(&partial) {
-            *total += part;
+    if rankings.len() >= threads * RANKING_SHARD_FACTOR {
+        let parts: Vec<_> = shard_ranges(rankings.len(), threads)
+            .into_iter()
+            .map(|range| {
+                let shard = &rankings[range.clone()];
+                let shard_weights = weights.map(|w| &w[range]);
+                move || build_shard(shard, shard_weights, n)
+            })
+            .collect();
+        record_ranking_shard_tasks(parts.len() as u64);
+        let mut partials = run_parts(threads, parts).into_iter();
+        let mut counts = partials.next().expect("at least one shard");
+        for partial in partials {
+            for (total, part) in counts.iter_mut().zip(&partial) {
+                *total += part;
+            }
         }
+        counts
+    } else {
+        let parts: Vec<_> = shard_ranges(n, threads)
+            .into_iter()
+            .map(|rows| move || build_row_shard(rankings, weights, n, rows))
+            .collect();
+        record_pair_shard_tasks(parts.len() as u64);
+        let mut counts = Vec::with_capacity(n * n);
+        for block in run_parts(threads, parts) {
+            counts.extend_from_slice(&block);
+        }
+        counts
     }
-    counts
+}
+
+/// Every support cell is bounded above by the total ranking weight, so one
+/// `O(|R|)` bound check at build time guarantees no `u32` cell can wrap
+/// during accumulation (and that downstream `u32` path-strength cells in the
+/// Schulze kernel cannot overflow either).
+fn check_support_capacity(total_weight: u64) -> Result<()> {
+    if total_weight > u32::MAX as u64 {
+        return Err(RankingError::SupportOverflow { total_weight });
+    }
+    Ok(())
 }
 
 impl PrecedenceMatrix {
@@ -124,6 +210,7 @@ impl PrecedenceMatrix {
     /// exactly as parallelisable as a tall one.
     pub fn from_rankings_parallel(rankings: &[Ranking], parallelism: &Parallelism) -> Result<Self> {
         let n = validated_len(rankings)?;
+        check_support_capacity(rankings.len() as u64)?;
         let threads = parallelism.kernel_threads(n.max(rankings.len()));
         let counts = build_sharded(rankings, None, n, threads);
         Ok(Self {
@@ -152,12 +239,13 @@ impl PrecedenceMatrix {
             });
         }
         let n = validated_len(rankings)?;
+        let total_weight: u64 = weights.iter().map(|&w| w as u64).sum();
+        check_support_capacity(total_weight)?;
         let threads = parallelism.kernel_threads(n.max(rankings.len()));
         let counts = build_sharded(rankings, Some(weights), n, threads);
-        let total_weight = weights.iter().map(|&w| w as usize).sum();
         Ok(Self {
             n,
-            num_rankings: total_weight,
+            num_rankings: total_weight as usize,
             counts,
         })
     }
@@ -216,6 +304,45 @@ impl PrecedenceMatrix {
         Ok(cost)
     }
 
+    /// Parallel variant of [`PrecedenceMatrix::total_disagreements`]: consensus
+    /// positions are sharded into contiguous ranges whose partial costs are
+    /// summed. `u64` addition is exact and associative, so the total is
+    /// bit-identical to the serial scan for every thread count.
+    pub fn total_disagreements_parallel(
+        &self,
+        consensus: &Ranking,
+        parallelism: &Parallelism,
+    ) -> Result<u64> {
+        if consensus.len() != self.n {
+            return Err(RankingError::LengthMismatch {
+                left: consensus.len(),
+                right: self.n,
+            });
+        }
+        let threads = parallelism.kernel_threads(self.n);
+        if threads <= 1 {
+            return self.total_disagreements(consensus);
+        }
+        let order = consensus.as_slice();
+        let parts: Vec<_> = shard_ranges(self.n, threads)
+            .into_iter()
+            .map(|range| {
+                move || {
+                    let mut cost = 0u64;
+                    for (i, &above) in order.iter().enumerate().take(range.end).skip(range.start) {
+                        let row = self.row(above);
+                        for &below in &order[i + 1..] {
+                            cost += row[below.index()] as u64;
+                        }
+                    }
+                    cost
+                }
+            })
+            .collect();
+        record_pair_shard_tasks(parts.len() as u64);
+        Ok(run_parts(threads, parts).into_iter().sum())
+    }
+
     /// Copeland wins for each candidate: the number of pairwise contests the candidate wins,
     /// counting ties as wins for both sides (as in the paper's Fair-Copeland description).
     pub fn copeland_wins(&self) -> Vec<u32> {
@@ -238,6 +365,44 @@ impl PrecedenceMatrix {
         wins
     }
 
+    /// Parallel variant of [`PrecedenceMatrix::copeland_wins`]: candidates are
+    /// sharded into contiguous ranges and each shard decides all `n - 1`
+    /// contests of its own candidates. Every contest is resolved by the same
+    /// `>=` comparison on the same two cells as the serial triangle pass, so
+    /// the win counts are identical integers.
+    pub fn copeland_wins_parallel(&self, parallelism: &Parallelism) -> Vec<u32> {
+        let threads = parallelism.kernel_threads(self.n);
+        if threads <= 1 {
+            return self.copeland_wins();
+        }
+        let n = self.n;
+        let counts = &self.counts;
+        let parts: Vec<_> = shard_ranges(n, threads)
+            .into_iter()
+            .map(|range| {
+                move || {
+                    let mut wins = vec![0u32; range.len()];
+                    for (w, a) in wins.iter_mut().zip(range.clone()) {
+                        let row_a = &counts[a * n..][..n];
+                        for b in 0..n {
+                            // support_for(a, b) = row(b)[a]; support_for(b, a) = row(a)[b].
+                            if b != a && counts[b * n + a] >= row_a[b] {
+                                *w += 1;
+                            }
+                        }
+                    }
+                    wins
+                }
+            })
+            .collect();
+        record_pair_shard_tasks(parts.len() as u64);
+        let mut wins = Vec::with_capacity(n);
+        for part in run_parts(threads, parts) {
+            wins.extend_from_slice(&part);
+        }
+        wins
+    }
+
     /// Borda-style score for each candidate derived from the matrix: total support the
     /// candidate receives across all pairwise contests.
     pub fn pairwise_support_scores(&self) -> Vec<u64> {
@@ -249,6 +414,40 @@ impl PrecedenceMatrix {
             for (score, &count) in scores.iter_mut().zip(row) {
                 *score += count as u64;
             }
+        }
+        scores
+    }
+
+    /// Parallel variant of [`PrecedenceMatrix::pairwise_support_scores`]: the
+    /// column space is sharded into contiguous ranges and each shard sweeps
+    /// every row restricted to its columns. Per column the accumulation visits
+    /// rows in the same top-to-bottom order as the serial sweep, so every
+    /// score is bit-identical.
+    pub fn pairwise_support_scores_parallel(&self, parallelism: &Parallelism) -> Vec<u64> {
+        let threads = parallelism.kernel_threads(self.n);
+        if threads <= 1 {
+            return self.pairwise_support_scores();
+        }
+        let n = self.n;
+        let counts = &self.counts;
+        let parts: Vec<_> = shard_ranges(n, threads)
+            .into_iter()
+            .map(|cols| {
+                move || {
+                    let mut scores = vec![0u64; cols.len()];
+                    for row in counts.chunks_exact(n) {
+                        for (score, &count) in scores.iter_mut().zip(&row[cols.clone()]) {
+                            *score += count as u64;
+                        }
+                    }
+                    scores
+                }
+            })
+            .collect();
+        record_pair_shard_tasks(parts.len() as u64);
+        let mut scores = Vec::with_capacity(n);
+        for part in run_parts(threads, parts) {
+            scores.extend_from_slice(&part);
         }
         scores
     }
@@ -383,6 +582,71 @@ mod tests {
     }
 
     #[test]
+    fn weighted_build_rejects_u32_support_overflow() {
+        // Two identical rankings whose combined weight (2^31 + 1 each) sums to
+        // 2^32 + 2 > u32::MAX: every cell would wrap, so the build must fail
+        // with a structured error instead.
+        let rankings = vec![
+            Ranking::from_ids([0, 1]).unwrap(),
+            Ranking::from_ids([0, 1]).unwrap(),
+        ];
+        let huge = (1u32 << 31) + 1;
+        let err = PrecedenceMatrix::from_weighted_rankings(&rankings, &[huge, huge]).unwrap_err();
+        assert_eq!(
+            err,
+            RankingError::SupportOverflow {
+                total_weight: 2 * huge as u64
+            }
+        );
+
+        // Exactly at capacity is fine: one ranking carrying the full u32 range.
+        let one = vec![Ranking::from_ids([0, 1]).unwrap()];
+        let w = PrecedenceMatrix::from_weighted_rankings(&one, &[u32::MAX]).unwrap();
+        assert_eq!(w.support_for(CandidateId(0), CandidateId(1)), u32::MAX);
+    }
+
+    #[test]
+    fn row_sharded_build_matches_ranking_sharded() {
+        // Two rankings across eight threads falls below the ranking-shard
+        // factor, forcing the candidate-pair (row) sharding path.
+        let rankings = vec![
+            Ranking::from_ids([3, 1, 4, 0, 2, 5]).unwrap(),
+            Ranking::from_ids([5, 0, 2, 4, 1, 3]).unwrap(),
+        ];
+        let par = Parallelism::new(8).with_min_candidates(0);
+        assert_eq!(
+            PrecedenceMatrix::from_rankings_parallel(&rankings, &par).unwrap(),
+            PrecedenceMatrix::from_rankings(&rankings).unwrap()
+        );
+        let weights = [2, 5];
+        assert_eq!(
+            PrecedenceMatrix::from_weighted_rankings_parallel(&rankings, &weights, &par).unwrap(),
+            PrecedenceMatrix::from_weighted_rankings(&rankings, &weights).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial() {
+        let rankings = sample_rankings();
+        let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        let par = Parallelism::new(3).with_min_candidates(0);
+        let consensus = Ranking::from_ids([2, 0, 3, 1]).unwrap();
+        assert_eq!(
+            w.total_disagreements_parallel(&consensus, &par).unwrap(),
+            w.total_disagreements(&consensus).unwrap()
+        );
+        assert_eq!(w.copeland_wins_parallel(&par), w.copeland_wins());
+        assert_eq!(
+            w.pairwise_support_scores_parallel(&par),
+            w.pairwise_support_scores()
+        );
+        assert!(matches!(
+            w.total_disagreements_parallel(&Ranking::identity(3), &par),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn parallel_build_respects_min_candidates_gate() {
         // Below the threshold the parallel entry point must still produce the
         // same matrix (it just runs serially).
@@ -414,6 +678,29 @@ mod tests {
             let parallel_w =
                 PrecedenceMatrix::from_weighted_rankings_parallel(&rankings, &weights, &par).unwrap();
             prop_assert_eq!(&serial_w, &parallel_w);
+        }
+
+        #[test]
+        fn prop_pair_sharded_scoring_is_bit_identical(
+            n in 2usize..12,
+            m in 1usize..10,
+            shards in 1usize..9,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let consensus = Ranking::random(n, &mut rng);
+            let w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+            let par = Parallelism::new(shards).with_min_candidates(0);
+            prop_assert_eq!(
+                w.total_disagreements_parallel(&consensus, &par).unwrap(),
+                w.total_disagreements(&consensus).unwrap()
+            );
+            prop_assert_eq!(w.copeland_wins_parallel(&par), w.copeland_wins());
+            prop_assert_eq!(
+                w.pairwise_support_scores_parallel(&par),
+                w.pairwise_support_scores()
+            );
         }
 
         #[test]

@@ -983,6 +983,10 @@ impl AppState {
                         "kernel_threads",
                         Value::UInt(self.engine.kernel_parallelism().max_threads() as u64),
                     ),
+                    (
+                        "kernel_tile_size",
+                        Value::UInt(self.engine.kernel_parallelism().tile_size() as u64),
+                    ),
                     ("queue_depth", Value::UInt(engine.queue_depth as u64)),
                     ("in_flight", Value::UInt(engine.in_flight as u64)),
                     ("submitted", Value::UInt(engine.submitted)),
@@ -996,6 +1000,13 @@ impl AppState {
                     ("matrix_build_ns", Value::UInt(engine.matrix_build_ns)),
                     ("solve_ns", Value::UInt(engine.solve_ns)),
                     ("nodes_expanded", Value::UInt(engine.nodes_expanded)),
+                    ("fw_blocked_solves", Value::UInt(engine.fw_blocked_solves)),
+                    ("fw_tiles_relaxed", Value::UInt(engine.fw_tiles_relaxed)),
+                    ("pair_shard_tasks", Value::UInt(engine.pair_shard_tasks)),
+                    (
+                        "ranking_shard_tasks",
+                        Value::UInt(engine.ranking_shard_tasks),
+                    ),
                 ]),
             ),
             (
@@ -1223,6 +1234,26 @@ impl AppState {
             "mani_engine_nodes_expanded_total",
             "Exact-solver search nodes expanded.",
             engine.nodes_expanded,
+        );
+        w.counter(
+            "mani_kernel_fw_blocked_solves_total",
+            "Blocked (tiled) Floyd-Warshall solves, process-wide.",
+            engine.fw_blocked_solves,
+        );
+        w.counter(
+            "mani_kernel_fw_tiles_relaxed_total",
+            "Tiles relaxed by blocked Floyd-Warshall solves, process-wide.",
+            engine.fw_tiles_relaxed,
+        );
+        w.counter(
+            "mani_kernel_pair_shard_tasks_total",
+            "Candidate-pair shard tasks spawned by matrix/scoring kernels, process-wide.",
+            engine.pair_shard_tasks,
+        );
+        w.counter(
+            "mani_kernel_ranking_shard_tasks_total",
+            "Ranking shard tasks spawned by matrix build kernels, process-wide.",
+            engine.ranking_shard_tasks,
         );
         w.counter(
             "mani_engine_batches_opened_total",
@@ -1544,6 +1575,11 @@ mod tests {
         assert!(stats.body.contains("\"matrix_build_ns\""));
         assert!(stats.body.contains("\"nodes_expanded\""));
         assert!(stats.body.contains("\"kernel_threads\""));
+        assert!(stats.body.contains("\"kernel_tile_size\""));
+        assert!(stats.body.contains("\"fw_blocked_solves\""));
+        assert!(stats.body.contains("\"fw_tiles_relaxed\""));
+        assert!(stats.body.contains("\"pair_shard_tasks\""));
+        assert!(stats.body.contains("\"ranking_shard_tasks\""));
     }
 
     #[test]
@@ -1698,6 +1734,12 @@ mod tests {
         assert!(metrics.body.contains("le=\"+Inf\""), "{}", metrics.body);
         assert!(metrics.body.contains("mani_uptime_seconds"));
         assert!(metrics.body.contains("mani_pool_tasks_executed_total"));
+        assert!(metrics.body.contains("mani_kernel_fw_blocked_solves_total"));
+        assert!(metrics.body.contains("mani_kernel_fw_tiles_relaxed_total"));
+        assert!(metrics.body.contains("mani_kernel_pair_shard_tasks_total"));
+        assert!(metrics
+            .body
+            .contains("mani_kernel_ranking_shard_tasks_total"));
         assert!(metrics
             .body
             .contains("mani_precedence_cache_builds_total 1"));

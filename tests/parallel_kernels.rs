@@ -22,6 +22,10 @@ fn forced(threads: usize) -> Parallelism {
     Parallelism::new(threads).with_min_candidates(1)
 }
 
+fn forced_tiled(threads: usize, tile: usize) -> Parallelism {
+    forced(threads).with_tile_size(tile)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
@@ -74,6 +78,79 @@ proptest! {
                 "consensus diverged at threads = {}", threads
             );
         }
+    }
+}
+
+/// Tentpole differential: the cache-blocked (tiled) Floyd–Warshall must be
+/// cell-for-cell identical to the legacy nested reference AND to the untiled
+/// flat serial kernel at every tile size and thread count, on a weighted
+/// profile large enough to cover several partial and full tiles.
+#[test]
+fn tiled_fw_matches_legacy_and_flat_across_tiles_and_threads() {
+    let n = 70;
+    let mut rng = StdRng::seed_from_u64(0x7117ED);
+    let rankings: Vec<Ranking> = (0..9).map(|_| Ranking::random(n, &mut rng)).collect();
+    let weights: Vec<u32> = (0..9u32).map(|w| (w % 5) + 1).collect();
+    let matrix = PrecedenceMatrix::from_weighted_rankings(&rankings, &weights).unwrap();
+    let aggregator = SchulzeAggregator::new();
+    let reference = aggregator.strongest_paths(&matrix);
+    let flat = aggregator.strongest_paths_flat(&matrix);
+    assert_eq!(flat.to_nested(), reference, "flat kernel diverged");
+    for tile in [8usize, 32, 64, n] {
+        for threads in THREAD_COUNTS {
+            let tiled = aggregator.strongest_paths_matrix(&matrix, &forced_tiled(threads, tile));
+            assert_eq!(
+                tiled, flat,
+                "tiled kernel diverged at tile = {tile}, threads = {threads}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_tiled_fw_bit_identical(
+        n in 1usize..24,
+        m in 1usize..8,
+        tile in 1usize..12,
+        threads in 1usize..9,
+        seed in proptest::prelude::any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+        let matrix = RankingProfile::new(rankings).unwrap().precedence_matrix();
+        let aggregator = SchulzeAggregator::new();
+        let flat = aggregator.strongest_paths_flat(&matrix);
+        let tiled = aggregator.strongest_paths_matrix(&matrix, &forced_tiled(threads, tile));
+        prop_assert_eq!(&tiled, &flat, "tile = {}, threads = {}", tile, threads);
+        prop_assert_eq!(flat.to_nested(), aggregator.strongest_paths(&matrix));
+    }
+
+    #[test]
+    fn prop_pair_sharded_scoring_matches_serial(
+        n in 2usize..16,
+        m in 1usize..10,
+        shards in 1usize..9,
+        seed in proptest::prelude::any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rankings: Vec<Ranking> = (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+        let matrix = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        let par = forced(shards);
+        prop_assert_eq!(
+            mani_aggregation::scoring::copeland_wins_parallel(&matrix, &par),
+            mani_aggregation::scoring::copeland_wins(&matrix)
+        );
+        prop_assert_eq!(
+            matrix.pairwise_support_scores_parallel(&par),
+            matrix.pairwise_support_scores()
+        );
+        let consensus = Ranking::random(n, &mut rng);
+        prop_assert_eq!(
+            matrix.total_disagreements_parallel(&consensus, &par).unwrap(),
+            matrix.total_disagreements(&consensus).unwrap()
+        );
     }
 }
 
