@@ -31,7 +31,11 @@ use std::time::Instant;
 use mani_aggregation::SchulzeAggregator;
 use mani_bench::BenchFixture;
 use mani_core::{FairKemeny, MfcrMethod};
+use mani_engine::EngineDataset;
 use mani_ranking::{available_threads, Parallelism};
+use mani_service::{
+    dataset_to_value, decode_dataset, encode_dataset, parse_body, parse_dataset, render,
+};
 use mani_solver::SolverConfig;
 
 /// One benchmark row, rendered as a JSON object.
@@ -125,12 +129,14 @@ fn main() {
     // smoke grid carries one large-n Schulze point (n = 1000, iters capped by
     // `capped_iters`) so the regression gate exercises the tiled-kernel
     // regime, and the full grid extends to the CSRankings-scale points
-    // n ∈ {1000, 2000, 5000}.
-    let (matrix_grid, schulze_grid, kemeny_grid, mut iters) = if smoke {
+    // n ∈ {1000, 2000, 5000}. The wire-codec grid sweeps ranking count (the
+    // axis the two encodings diverge on) at a fixed candidate pool.
+    let (matrix_grid, schulze_grid, kemeny_grid, codec_grid, mut iters) = if smoke {
         (
             vec![(48, 64)],
             vec![(48, 24), (1000, 16)],
             vec![(10, 8)],
+            vec![(32, 200)],
             3usize,
         )
     } else {
@@ -145,6 +151,7 @@ fn main() {
                 (5000, 40),
             ],
             vec![(20, 12), (26, 12)],
+            vec![(50, 1000), (50, 10000)],
             3usize,
         )
     };
@@ -163,6 +170,10 @@ fn main() {
     for &(n, r) in &kemeny_grid {
         eprintln!("fair-kemeny n={n} |R|={r} ...");
         entries.push(bench_fair_kemeny(n, r, &parallel, iters.min(2), smoke));
+    }
+    for &(n, r) in &codec_grid {
+        eprintln!("wire-codec n={n} |R|={r} ...");
+        entries.push(bench_wire_codec(n, r, iters));
     }
 
     let body = render_json(threads, iters, smoke, timestamp.as_deref(), &entries);
@@ -507,6 +518,71 @@ fn bench_fair_kemeny(
             ),
             ("nodes_explored".into(), serial.nodes_explored.to_string()),
             ("optimal".into(), serial.optimal.to_string()),
+        ],
+    }
+}
+
+/// Wire-codec throughput: the JSON and binary columnar dataset encodings,
+/// encode and decode, on the same dataset. Rankings are the axis the two
+/// representations diverge on (JSON repeats every candidate name per ranking
+/// entry; columnar stores u32 ids), so the grid sweeps `|R|` at a fixed pool.
+/// Both decoders run their full validation (columnar additionally re-checks
+/// the header fingerprint), so the rows compare end-to-end upload costs.
+fn bench_wire_codec(n: usize, r: usize, iters: usize) -> Entry {
+    let fixture = BenchFixture::low_fair(n, r, 0.6, 0xC0DEC);
+    let dataset = EngineDataset::new("bench-codec", fixture.db, fixture.profile)
+        .expect("bench fixture dataset");
+
+    let (json_encode_ns, json_text) = time_best(iters, || render(&dataset_to_value(&dataset)));
+    let (json_decode_ns, json_twin) = time_best(iters, || {
+        parse_dataset(&parse_body(&json_text).expect("bench JSON parses"))
+            .expect("bench JSON decodes")
+    });
+    let (col_encode_ns, col_bytes) = time_best(iters, || encode_dataset(&dataset));
+    let (col_decode_ns, col_twin) = time_best(iters, || {
+        decode_dataset(&col_bytes).expect("bench columnar decodes")
+    });
+    assert_eq!(
+        json_twin.fingerprint(),
+        col_twin.fingerprint(),
+        "codec twins must decode to the same dataset"
+    );
+
+    let mb_s = |bytes: usize, ns: u64| format!("{:.1}", bytes as f64 / ns.max(1) as f64 * 1e3);
+    Entry {
+        kernel: "wire_codec",
+        n,
+        rankings: r,
+        fields: vec![
+            ("json_bytes".into(), json_text.len().to_string()),
+            ("col_bytes".into(), col_bytes.len().to_string()),
+            (
+                "size_ratio_json_vs_col".into(),
+                format!(
+                    "{:.3}",
+                    ratio(json_text.len() as u64, col_bytes.len() as u64)
+                ),
+            ),
+            ("json_encode_ns".into(), json_encode_ns.to_string()),
+            ("json_decode_ns".into(), json_decode_ns.to_string()),
+            ("col_encode_ns".into(), col_encode_ns.to_string()),
+            ("col_decode_ns".into(), col_decode_ns.to_string()),
+            (
+                "json_encode_mb_s".into(),
+                mb_s(json_text.len(), json_encode_ns),
+            ),
+            (
+                "json_decode_mb_s".into(),
+                mb_s(json_text.len(), json_decode_ns),
+            ),
+            (
+                "col_encode_mb_s".into(),
+                mb_s(col_bytes.len(), col_encode_ns),
+            ),
+            (
+                "col_decode_mb_s".into(),
+                mb_s(col_bytes.len(), col_decode_ns),
+            ),
         ],
     }
 }

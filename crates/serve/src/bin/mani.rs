@@ -18,12 +18,12 @@ use std::sync::Arc;
 use mani_core::{MethodKind, MfcrContext};
 use mani_datagen::{binary_population, FairnessTarget, MallowsModel, ModalRankingBuilder};
 use mani_engine::{
-    attribute_labels, audit_table, csvio, response_table, ConsensusEngine, ConsensusRequest,
-    EngineConfig, EngineDataset, EngineError,
+    attribute_labels, audit_table, csvio, response_table, EngineConfig, EngineDataset, EngineError,
 };
 use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_ranking::GroupIndex;
 use mani_serve::{Server, ServerConfig};
+use mani_service::{ConsensusSpec, Service};
 
 const USAGE: &str = "\
 mani — MANI-Rank batch consensus engine
@@ -249,29 +249,29 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
             None => None,
         };
 
-    let engine = ConsensusEngine::with_config(EngineConfig {
-        threads,
-        default_budget: budget,
-        kernel_threads,
-        kernel_tile_size,
-        // --stream rides the async submission queue; size it to the batch so
-        // a many-dataset run is never rejected for a capacity bound the
-        // blocking path does not enforce (0 keeps the engine default).
-        queue_depth: if flags.has("stream") {
-            datasets.len()
-        } else {
-            0
+    // Local solves ride the same transport-agnostic service core the HTTP
+    // front-end uses — one submission path, one cache stack, one stats story.
+    let service = Service::new(
+        EngineConfig {
+            threads,
+            default_budget: budget,
+            kernel_threads,
+            kernel_tile_size,
+            // Both CLI paths ride the async submission queue; size it to the
+            // batch so a many-dataset run is never rejected for a capacity
+            // bound meant for network backpressure.
+            queue_depth: datasets.len(),
+            ..EngineConfig::default()
         },
-        ..EngineConfig::default()
-    });
-    let requests: Vec<ConsensusRequest> = datasets
+        0,
+    );
+    let specs: Vec<ConsensusSpec> = datasets
         .iter()
-        .map(|ds| {
-            ConsensusRequest::new(
-                Arc::clone(ds),
-                methods.clone(),
-                FairnessThresholds::uniform(delta),
-            )
+        .map(|ds| ConsensusSpec {
+            dataset: Arc::clone(ds),
+            methods: methods.clone(),
+            thresholds: FairnessThresholds::uniform(delta),
+            budget,
         })
         .collect();
 
@@ -302,7 +302,9 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
         // Streaming batch mode: each dataset's table prints the moment its
         // solve completes, in as-completed order — fast datasets are not
         // held hostage by the slowest exact solve in the batch.
-        let mut batch = engine.submit_batch_streaming(requests)?;
+        let mut batch = service
+            .submit_streaming(&specs)
+            .map_err(|e| EngineError::invalid(e.message))?;
         let total = batch.len();
         let mut done = 0usize;
         while let Some(item) = batch.wait_next() {
@@ -318,13 +320,17 @@ fn cmd_consensus(args: &[String]) -> Result<(), EngineError> {
             failures += print_response(dataset, &item.response);
         }
     } else {
-        let responses = engine.submit_batch(requests);
-        for (dataset, response) in datasets.iter().zip(&responses) {
+        let handles = service
+            .submit(&specs)
+            .map_err(|e| EngineError::invalid(e.message))?;
+        for (dataset, handle) in datasets.iter().zip(&handles) {
+            let response = handle.wait();
             method_runs += response.results.len();
-            failures += print_response(dataset, response);
+            failures += print_response(dataset, &response);
         }
     }
     let wall = started.elapsed();
+    let engine = service.engine();
     let stats = engine.cache().stats();
     emit(format!("batch: {} dataset(s), {} method run(s), {} matrix build(s), {} cache hit(s), {:.1} ms wall on {} thread(s)",
         datasets.len(),

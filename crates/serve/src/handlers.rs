@@ -1,69 +1,60 @@
-//! Endpoint implementations over a shared [`AppState`].
+//! HTTP adapter over the transport-agnostic [`mani_service::Service`] core.
 //!
-//! The consensus endpoint checks the [`ResponseCache`] first: a request whose
-//! every method outcome is already cached is answered in `O(1)` without
-//! touching the engine (no queue slot, no precedence build, no solve). Anything
-//! else is submitted through [`mani_engine::ConsensusEngine::submit_batch_async`],
-//! so the engine's bounded queue backpressures the HTTP layer —
-//! [`mani_engine::EngineError::Overloaded`] surfaces as `429 Too Many Requests`.
+//! Everything behavioral — the response cache probe, engine submission and
+//! backpressure, job tracking, dataset registration, stats and Prometheus
+//! rendering — lives in `mani-service`. This module only does transport:
+//! it resolves routes, negotiates body/response representations through
+//! [`crate::codec`], maps [`ApiError`] kinds onto HTTP status codes, stamps
+//! `x-request-id`, and frames streamed batches as chunked NDJSON.
 
-use std::collections::HashMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-use mani_aggregation::CopelandAggregator;
-use mani_core::{MethodKind, MfcrContext};
-use mani_engine::{
-    BatchHandle, ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset,
-    EngineError, JobHandle, JobId, JobStatus,
+use mani_engine::EngineConfig;
+use mani_obs::Span;
+pub use mani_service::ConsensusStream;
+use mani_service::{
+    decode_dataset, error_body, methods_value, parse_body, render, version_value, ApiError,
+    ApiErrorKind, BuildInfo, ConsensusReply, EndpointMetrics, RequestContext, ResponseCache,
+    Service,
 };
-use mani_fairness::{FairnessAudit, FairnessThresholds};
-use mani_obs::{PromWriter, SlowEntry, SlowRing, Span, TraceTimeline};
-use mani_ranking::GroupIndex;
-use serde::{Serialize, Value};
 
-use crate::datasets::{dataset_id, DatasetRegistry};
-use crate::http::{ChunkedResponse, HttpError, HttpRequest, HttpResponse};
-use crate::json::{
-    attribute_names_json, error_body, method_result_json, obj, parse_body, parse_consensus_spec,
-    parse_dataset, render, resolve_spec_dataset, s, with_entry, ConsensusSpec,
+use crate::codec::{
+    api_error_response, check_accept, columnar_solve_params, negotiate_body, BodyCodec,
+    JSON_CONTENT_TYPE, NDJSON_CONTENT_TYPE,
 };
-use crate::metrics::{EndpointMetrics, ServeCounters, LATENCY_BUCKET_BOUNDS_US};
-use crate::response_cache::ResponseCache;
+use crate::http::{ChunkedBody, ChunkedResponse, HttpError, HttpRequest, HttpResponse};
+use crate::metrics::ServeCounters;
 use crate::router::{route, Route, Routed};
 
-/// Most jobs tracked by the registry before completed ones are pruned
-/// (oldest first), bounding registry memory under sustained async traffic.
-pub const MAX_TRACKED_JOBS: usize = 4096;
+/// Build identity this binary advertises on `/v1/version` and `/metrics`.
+const BUILD_INFO: BuildInfo = BuildInfo {
+    name: "mani-serve",
+    version: env!("CARGO_PKG_VERSION"),
+    git: option_env!("MANI_GIT_DESCRIBE"),
+    profile: if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    },
+    features: &[
+        "std-only",
+        "streaming-ndjson",
+        "prometheus-metrics",
+        "request-tracing",
+    ],
+};
 
-/// Worst requests kept in the in-memory slow-request ring (`/v1/stats`,
-/// `"slow_requests"`).
-pub const SLOW_RING_CAPACITY: usize = 16;
-
-/// Per-request observability context, created once per dispatched request:
-/// the request id (taken from a well-formed incoming `x-request-id` header or
-/// freshly generated) and the serve-side phase timeline (`parse`,
-/// `cache_probe`, `submit`, `wait`, `render`) feeding the access log and the
-/// slow-request ring.
-#[derive(Debug, Clone)]
-pub struct RequestContext {
-    id: String,
-    trace: Arc<TraceTimeline>,
-}
-
-impl RequestContext {
-    fn for_request(request: &HttpRequest) -> Self {
-        Self {
-            id: mani_obs::request_id_from_header(request.header("x-request-id")),
-            trace: Arc::new(TraceTimeline::new()),
-        }
-    }
-
-    /// The id echoed on the response as `x-request-id`.
-    pub fn id(&self) -> &str {
-        &self.id
+/// The HTTP status an [`ApiError`] kind maps to. This is the single place
+/// the service's transport-neutral error vocabulary meets HTTP's.
+pub fn api_error_status(error: &ApiError) -> u16 {
+    match error.kind {
+        ApiErrorKind::InvalidArgument => 400,
+        ApiErrorKind::NotFound => 404,
+        ApiErrorKind::UnsupportedMedia => 415,
+        ApiErrorKind::NotAcceptable => 406,
+        ApiErrorKind::Overloaded => 429,
+        ApiErrorKind::Internal => 500,
     }
 }
 
@@ -79,210 +70,57 @@ pub enum Handled {
     Stream(ConsensusStream),
 }
 
-/// How one spec of a consensus request is satisfied: replayed from the
-/// response cache, or submitted to the engine (index into the submitted
-/// subset).
-#[derive(Debug)]
-enum Disposition {
-    Cached(Vec<Arc<Value>>),
-    Submitted(usize),
-}
-
-/// A pending `"stream": true` consensus batch: the parsed specs, the cache
-/// replays, and the engine [`BatchHandle`] for everything that needs solving.
-///
-/// Lines are emitted cached-first (those results exist before any solve), then
-/// in engine completion order; the payload of each line is built by the same
-/// rendering path as the buffered endpoint, so streamed and non-streamed
-/// results are bit-identical and equally replayable through the response
-/// cache.
-#[derive(Debug)]
-pub struct ConsensusStream {
-    specs: Vec<ConsensusSpec>,
-    dispositions: Vec<Disposition>,
-    batch: BatchHandle,
-    /// Maps engine batch index → spec index.
-    batch_to_spec: Vec<usize>,
-    started: Instant,
-    /// Request id echoed on the chunked response head and the access log.
-    request_id: String,
-    /// The originating request's serve-side timeline (parse/submit phases).
-    trace: Arc<TraceTimeline>,
-}
-
-impl ConsensusStream {
-    /// Number of requests in the batch.
-    pub fn len(&self) -> usize {
-        self.specs.len()
-    }
-
-    /// True for an (impossible via the API) empty batch.
-    pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
-    }
-
-    /// Drives the stream to completion, handing each NDJSON line (newline
-    /// included) to `emit` the moment it is available.
-    fn emit_lines<E>(
-        mut self,
-        state: &AppState,
-        emit: &mut dyn FnMut(&str) -> Result<(), E>,
-    ) -> Result<(), E> {
-        let total = self.specs.len();
-        let mut completed = 0usize;
-        let mut cached = 0usize;
-        let mut errors = 0usize;
-        let mut total_solve_ms = 0f64;
-
-        // Cache replays are complete before any solve: emit them first, in
-        // request order.
-        for (index, (spec, disposition)) in self.specs.iter().zip(&self.dispositions).enumerate() {
-            if let Disposition::Cached(values) = disposition {
-                completed += 1;
-                cached += 1;
-                emit(&stream_line(
-                    index,
-                    None,
-                    cached_response_json(spec.dataset.name(), values),
-                ))?;
-            }
-        }
-
-        // Engine results stream in as-completed order — the whole point: a
-        // cheap Fair-Borda line goes over the wire while a budgeted
-        // Fair-Kemeny in the same batch is still searching.
-        while let Some(item) = self.batch.wait_next() {
-            let spec_index = self.batch_to_spec[item.index];
-            let spec = &self.specs[spec_index];
-            let job_trace = self.batch.handles()[item.index].trace();
-            let payload = {
-                let _render = Span::enter(&job_trace, "render");
-                state.rendered_response(spec, &item.response)
-            };
-            completed += 1;
-            if !item.response.is_complete() {
-                errors += 1;
-            }
-            total_solve_ms += item.response.total_solve_time.as_secs_f64() * 1e3;
-            emit(&stream_line(spec_index, Some(item.id), payload))?;
-        }
-
-        // Terminal summary line with batch totals.
-        let summary = obj(vec![
-            ("summary", Value::Bool(true)),
-            ("requests", Value::UInt(total as u64)),
-            ("completed", Value::UInt(completed as u64)),
-            ("cached", Value::UInt(cached as u64)),
-            ("errors", Value::UInt(errors as u64)),
-            ("total_solve_time_ms", Value::Float(total_solve_ms)),
-        ]);
-        emit(&format!("{}\n", render(&summary)))
-    }
-}
-
-/// One NDJSON result line: the per-request payload prefixed with its batch
-/// `index` and `job_id` (`null` for cache replays, which never reach the
-/// engine).
-fn stream_line(index: usize, job: Option<JobId>, payload: Value) -> String {
-    let mut entries = vec![
-        ("index".to_string(), Value::UInt(index as u64)),
-        (
-            "job_id".to_string(),
-            match job {
-                Some(id) => Value::String(id.to_string()),
-                None => Value::Null,
-            },
-        ),
-    ];
-    match payload {
-        Value::Object(fields) => entries.extend(fields),
-        other => entries.push(("payload".to_string(), other)),
-    }
-    format!("{}\n", render(&Value::Object(entries)))
-}
-
-/// The response object for a spec whose every method outcome came from the
-/// response cache (shared by the buffered and streaming paths).
-fn cached_response_json(dataset: &str, values: &[Arc<Value>]) -> Value {
-    obj(vec![
-        ("dataset", s(dataset)),
-        ("status", s(JobStatus::Done.label())),
-        ("cached", Value::Bool(true)),
-        (
-            "results",
-            Value::Array(
-                values
-                    .iter()
-                    .map(|v| with_entry((**v).clone(), "cached", Value::Bool(true)))
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Everything the handlers share: the engine, the response cache, the dataset
-/// registry, per-endpoint latency histograms, and the async-job registry
-/// behind `GET /v1/jobs/{id}`.
+/// The HTTP front-end's per-server state: the shared [`Service`] core plus
+/// the connection-pool counters only this transport tracks.
 #[derive(Debug)]
 pub struct AppState {
-    engine: ConsensusEngine,
-    cache: ResponseCache,
-    datasets: DatasetRegistry,
-    metrics: EndpointMetrics,
+    service: Service,
     connections: ServeCounters,
-    jobs: Mutex<HashMap<u64, JobEntry>>,
-    slow: SlowRing,
-    started: Instant,
 }
 
-/// One tracked async job: its handle plus what is needed to render and cache
-/// its response when a poll observes completion.
-#[derive(Debug)]
-struct JobEntry {
-    handle: JobHandle,
-    dataset: Arc<EngineDataset>,
-    cache_keys: Vec<String>,
-    cached: AtomicBool,
-    /// `x-request-id` of the submitting request, surfaced by the job and
-    /// trace endpoints so a poll can be correlated with the original access
-    /// log line.
-    request_id: String,
+/// Streamed NDJSON lines go straight to the chunked wire body, one flushed
+/// chunk per line.
+impl<W: Write> mani_service::StreamSink for ChunkedBody<'_, W> {
+    type Error = std::io::Error;
+
+    fn emit_line(&mut self, line: &str) -> Result<(), Self::Error> {
+        self.write_chunk(line.as_bytes())
+    }
 }
 
 impl AppState {
-    /// Builds the state: an engine with `engine_config` and a response cache
-    /// bounded to `cache_capacity` entries (`0` = default).
+    /// Builds the state: a [`Service`] with `engine_config` and a response
+    /// cache bounded to `cache_capacity` entries (`0` = default).
     pub fn new(engine_config: EngineConfig, cache_capacity: usize) -> Self {
         Self {
-            engine: ConsensusEngine::with_config(engine_config),
-            cache: ResponseCache::new(cache_capacity),
-            datasets: DatasetRegistry::default(),
-            metrics: EndpointMetrics::new(),
+            service: Service::new(engine_config, cache_capacity),
             connections: ServeCounters::new(),
-            jobs: Mutex::new(HashMap::new()),
-            slow: SlowRing::new(SLOW_RING_CAPACITY),
-            started: Instant::now(),
         }
     }
 
+    /// The transport-agnostic service core.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
     /// The underlying engine (used by tests and the server banner).
-    pub fn engine(&self) -> &ConsensusEngine {
-        &self.engine
+    pub fn engine(&self) -> &mani_engine::ConsensusEngine {
+        self.service.engine()
     }
 
     /// The response cache (used by tests).
     pub fn response_cache(&self) -> &ResponseCache {
-        &self.cache
+        self.service.response_cache()
     }
 
     /// The persisted dataset registry behind `/v1/datasets`.
-    pub fn datasets(&self) -> &DatasetRegistry {
-        &self.datasets
+    pub fn datasets(&self) -> &mani_service::DatasetRegistry {
+        self.service.datasets()
     }
 
     /// Per-endpoint request latency histograms.
     pub fn metrics(&self) -> &EndpointMetrics {
-        &self.metrics
+        self.service.metrics()
     }
 
     /// Connection-pool counters (updated by [`crate::server`]).
@@ -290,59 +128,68 @@ impl AppState {
         &self.connections
     }
 
-    /// Dispatches one parsed HTTP request to its handler. Complete responses
-    /// have their latency recorded immediately; a [`Handled::Stream`] records
-    /// its latency (under `consensus_stream`) when the stream finishes, since
-    /// its wall-clock spans the whole batch drain. Every response — buffered,
+    /// Dispatches one parsed HTTP request. Complete responses have their
+    /// latency recorded immediately; a [`Handled::Stream`] records its
+    /// latency (under `consensus_stream`) when the stream finishes, since its
+    /// wall-clock spans the whole batch drain. Every response — buffered,
     /// streamed, or error — carries the request's `x-request-id` (accepted
     /// from the client or generated here).
     pub fn dispatch(&self, request: &HttpRequest) -> Handled {
-        let ctx = RequestContext::for_request(request);
+        let ctx = RequestContext::new(request.header("x-request-id"));
         let routed = route(&request.method, &request.path);
         let label = match &routed {
             Routed::Found(found) => found.metrics_label(),
             Routed::NotFound | Routed::MethodNotAllowed => "other",
         };
-        let outcome = match routed {
-            Routed::NotFound => Err(HttpError::new(
+        let outcome: Result<Handled, HttpResponse> = match routed {
+            Routed::NotFound => Err(http_error_response(HttpError::new(
                 404,
                 format!("no such endpoint: {} {}", request.method, request.path),
-            )),
-            Routed::MethodNotAllowed => Err(HttpError::new(
+            ))),
+            Routed::MethodNotAllowed => Err(http_error_response(HttpError::new(
                 405,
                 format!("{} does not accept {}", request.path, request.method),
-            )),
+            ))),
             Routed::Found(Route::Consensus) => self.consensus(request, &ctx),
             Routed::Found(Route::Audit) => self.audit(request).map(Handled::Response),
-            Routed::Found(Route::Job(id)) => self.job(&id).map(Handled::Response),
-            Routed::Found(Route::JobTrace(id)) => self.job_trace(&id).map(Handled::Response),
+            Routed::Found(Route::Job(id)) => json_outcome(self.service.job(&id)),
+            Routed::Found(Route::JobTrace(id)) => json_outcome(self.service.job_trace(&id)),
             Routed::Found(Route::DatasetCreate) => {
                 self.dataset_create(request).map(Handled::Response)
             }
-            Routed::Found(Route::DatasetGet(id)) => self.dataset_get(&id).map(Handled::Response),
+            Routed::Found(Route::DatasetGet(id)) => json_outcome(self.service.dataset_get(&id)),
             Routed::Found(Route::DatasetDelete(id)) => {
-                self.dataset_delete(&id).map(Handled::Response)
+                json_outcome(self.service.dataset_delete(&id))
             }
-            Routed::Found(Route::Methods) => Ok(Handled::Response(methods_response())),
-            Routed::Found(Route::Stats) => Ok(Handled::Response(self.stats_response())),
-            Routed::Found(Route::Version) => Ok(Handled::Response(version_response())),
-            Routed::Found(Route::Metrics) => Ok(Handled::Response(self.metrics_response())),
+            Routed::Found(Route::Methods) => Ok(Handled::Response(HttpResponse::json(
+                200,
+                render(&methods_value()),
+            ))),
+            Routed::Found(Route::Stats) => Ok(Handled::Response(HttpResponse::json(
+                200,
+                render(&self.service.stats(&self.connections.snapshot().into())),
+            ))),
+            Routed::Found(Route::Version) => Ok(Handled::Response(HttpResponse::json(
+                200,
+                render(&version_value(&BUILD_INFO)),
+            ))),
+            Routed::Found(Route::Metrics) => Ok(Handled::Response(HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                extra_headers: Vec::new(),
+                body: self
+                    .service
+                    .metrics_exposition(&BUILD_INFO, &self.connections.snapshot().into()),
+            })),
         };
-        match outcome {
+        let response = match outcome {
             // The stream carries the context; its latency, access-log line,
             // and header stamp happen when the drain finishes.
-            Ok(Handled::Stream(stream)) => Handled::Stream(stream),
-            Ok(Handled::Response(response)) => {
-                Handled::Response(self.finish_request(request, label, &ctx, response))
-            }
-            Err(error) => {
-                let response = HttpResponse::json(
-                    if error.status == 0 { 400 } else { error.status },
-                    error_body(&error.message),
-                );
-                Handled::Response(self.finish_request(request, label, &ctx, response))
-            }
-        }
+            Ok(Handled::Stream(stream)) => return Handled::Stream(stream),
+            Ok(Handled::Response(response)) => response,
+            Err(response) => response,
+        };
+        Handled::Response(self.finish_request(request, label, &ctx, response))
     }
 
     /// Completes one buffered exchange: records its latency, emits the
@@ -355,50 +202,17 @@ impl AppState {
         ctx: &RequestContext,
         response: HttpResponse,
     ) -> HttpResponse {
-        let elapsed = ctx.trace.age();
-        self.metrics.record(label, elapsed);
-        self.observe(
+        let elapsed = ctx.trace().age();
+        self.service.metrics().record(label, elapsed);
+        self.service.observe(
             label,
             format!("{} {}", request.method, request.path),
-            ctx.id.clone(),
-            &ctx.trace,
+            ctx.id().to_string(),
+            ctx.trace(),
             response.status,
             elapsed,
         );
-        response.with_header("x-request-id", ctx.id.clone())
-    }
-
-    /// Access-log line plus slow-ring offer, shared by the buffered and
-    /// streamed completion paths.
-    fn observe(
-        &self,
-        label: &'static str,
-        target: String,
-        request_id: String,
-        trace: &TraceTimeline,
-        status: u16,
-        elapsed: Duration,
-    ) {
-        mani_obs::debug!(
-            "http",
-            "request",
-            req_id = request_id,
-            target = target,
-            status = status,
-            dur_ms = format!("{:.3}", elapsed.as_secs_f64() * 1e3),
-        );
-        self.slow.record(SlowEntry {
-            request_id,
-            endpoint: label,
-            target,
-            status,
-            duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-            phases: trace
-                .snapshot()
-                .into_iter()
-                .map(|phase| (phase.name, phase.duration_ns))
-                .collect(),
-        });
+        response.with_header("x-request-id", ctx.id().to_string())
     }
 
     /// Dispatches one request to a fully buffered [`HttpResponse`]: a
@@ -420,19 +234,19 @@ impl AppState {
         writer: &mut W,
         keep_alive: bool,
     ) -> std::io::Result<()> {
-        let started = stream.started;
-        let request_id = stream.request_id.clone();
-        let trace = Arc::clone(&stream.trace);
+        let started = stream.started();
+        let request_id = stream.request_id().to_string();
+        let trace = Arc::clone(stream.trace());
         let result = (|| {
             let mut body = ChunkedResponse::ndjson(200)
                 .with_header("x-request-id", request_id.clone())
                 .begin(writer, keep_alive)?;
-            stream.emit_lines(self, &mut |line: &str| body.write_chunk(line.as_bytes()))?;
+            self.service.stream_consensus(stream, &mut body)?;
             body.finish()
         })();
         let elapsed = started.elapsed();
-        self.metrics.record("consensus_stream", elapsed);
-        self.observe(
+        self.service.metrics().record("consensus_stream", elapsed);
+        self.service.observe(
             "consensus_stream",
             "POST /v1/consensus".to_string(),
             request_id,
@@ -445,20 +259,17 @@ impl AppState {
 
     /// Drains a [`ConsensusStream`] into one buffered NDJSON response.
     fn collect_stream(&self, stream: ConsensusStream) -> HttpResponse {
-        let started = stream.started;
-        let request_id = stream.request_id.clone();
-        let trace = Arc::clone(&stream.trace);
+        let started = stream.started();
+        let request_id = stream.request_id().to_string();
+        let trace = Arc::clone(stream.trace());
         let mut body = String::new();
-        match stream.emit_lines::<std::convert::Infallible>(self, &mut |line| {
-            body.push_str(line);
-            Ok(())
-        }) {
+        match self.service.stream_consensus(stream, &mut body) {
             Ok(()) => {}
             Err(never) => match never {},
         }
         let elapsed = started.elapsed();
-        self.metrics.record("consensus_stream", elapsed);
-        self.observe(
+        self.service.metrics().record("consensus_stream", elapsed);
+        self.service.observe(
             "consensus_stream",
             "POST /v1/consensus".to_string(),
             request_id.clone(),
@@ -468,957 +279,115 @@ impl AppState {
         );
         HttpResponse {
             status: 200,
-            content_type: "application/x-ndjson",
+            content_type: NDJSON_CONTENT_TYPE,
             extra_headers: vec![("x-request-id", request_id)],
             body,
         }
     }
 
-    /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch,
-    /// buffered by default, streamed NDJSON with `"stream": true`. Serve-side
-    /// phases (`parse`, `cache_probe`, `submit`, `wait`, `render`) are
-    /// recorded into the request context's timeline.
-    fn consensus(&self, request: &HttpRequest, ctx: &RequestContext) -> Result<Handled, HttpError> {
-        let parse_span = Span::enter(&ctx.trace, "parse");
-        let body = parse_body(request.body_utf8()?)?;
-        let (specs, single) = match body.get("requests") {
-            Some(raw) => {
-                let array = raw
-                    .as_array()
-                    .ok_or_else(|| HttpError::bad("`requests` must be an array"))?;
-                if array.is_empty() {
-                    return Err(HttpError::bad("`requests` must not be empty"));
-                }
-                (
-                    array
-                        .iter()
-                        .map(|raw| parse_consensus_spec(raw, Some(&self.datasets)))
-                        .collect::<Result<Vec<_>, _>>()?,
-                    false,
-                )
+    /// `POST /v1/consensus` — single spec or `{"requests": [...]}` batch in
+    /// JSON, or one columnar dataset body with solve parameters on the query
+    /// string. Buffered by default, `202` for async submissions, streamed
+    /// NDJSON when streaming is requested.
+    fn consensus(
+        &self,
+        request: &HttpRequest,
+        ctx: &RequestContext,
+    ) -> Result<Handled, HttpResponse> {
+        check_accept(request)?;
+        let reply = match negotiate_body(request)? {
+            BodyCodec::Json => {
+                let text = request.body_utf8().map_err(http_error_response)?;
+                let body = parse_body(text).map_err(|e| api_error_response(&e))?;
+                self.service
+                    .consensus(&body, ctx)
+                    .map_err(|e| api_error_response(&e))?
             }
-            None => (
-                vec![parse_consensus_spec(&body, Some(&self.datasets))?],
-                true,
-            ),
-        };
-        let wait = match body.get("wait") {
-            None | Some(Value::Null) => false,
-            Some(Value::Bool(flag)) => *flag,
-            Some(_) => return Err(HttpError::bad("`wait` must be a boolean")),
-        };
-        let stream_mode = match body.get("stream") {
-            None | Some(Value::Null) => false,
-            Some(Value::Bool(flag)) => *flag,
-            Some(_) => return Err(HttpError::bad("`stream` must be a boolean")),
-        };
-        if stream_mode && wait {
-            return Err(HttpError::bad(
-                "`stream` and `wait` are mutually exclusive: a streamed batch \
-                 delivers each result as it completes",
-            ));
-        }
-        drop(parse_span);
-
-        // Probe the response cache per spec: a spec whose every method outcome
-        // is cached never reaches the engine.
-        let probe_span = Span::enter(&ctx.trace, "cache_probe");
-        let mut to_submit: Vec<ConsensusRequest> = Vec::new();
-        let mut dispositions = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            let mut hits = Vec::with_capacity(spec.methods.len());
-            let all_cached = !spec.methods.is_empty()
-                && spec.methods.iter().all(|method| {
-                    match self.cache.get(&spec.cache_key(*method)) {
-                        Some(value) => {
-                            hits.push(value);
-                            true
-                        }
-                        None => false,
-                    }
-                });
-            if all_cached {
-                dispositions.push(Disposition::Cached(hits));
-            } else {
-                dispositions.push(Disposition::Submitted(to_submit.len()));
-                to_submit.push(spec.request());
+            BodyCodec::Columnar => {
+                let params = {
+                    let _parse = Span::enter(ctx.trace(), "parse");
+                    let dataset =
+                        decode_dataset(&request.body).map_err(|e| api_error_response(&e))?;
+                    columnar_solve_params(dataset, request.query.as_deref())
+                        .map_err(|e| api_error_response(&e))?
+                };
+                self.service
+                    .consensus_specs(vec![params.spec], true, params.wait, params.stream, ctx)
+                    .map_err(|e| api_error_response(&e))?
             }
-        }
-        drop(probe_span);
-
-        let overload_error = |error: EngineError| {
-            let status = match error {
-                EngineError::Overloaded { .. } => 429,
-                _ => 500,
-            };
-            HttpError::new(status, error.to_string())
         };
-
-        if stream_mode {
-            // Admission happens before the response head is written: an
-            // overloaded engine still answers a clean 429, never a truncated
-            // stream.
-            let batch = if to_submit.is_empty() {
-                BatchHandle::new(Vec::new())
-            } else {
-                let _submit = Span::enter(&ctx.trace, "submit");
-                self.engine
-                    .submit_batch_streaming(to_submit)
-                    .map_err(overload_error)?
-            };
-            let mut batch_to_spec = Vec::with_capacity(batch.len());
-            for (spec_index, disposition) in dispositions.iter().enumerate() {
-                if let Disposition::Submitted(_) = disposition {
-                    batch_to_spec.push(spec_index);
-                }
+        Ok(match reply {
+            ConsensusReply::Complete(body) => {
+                Handled::Response(HttpResponse::json(200, render(&body)))
             }
-            // Every streamed job is also registered: a client that loses the
-            // connection mid-stream can recover any line it missed from
-            // `GET /v1/jobs/{id}` using the `job_id` values it already saw
-            // (or re-send the batch, which replays from the response cache).
-            for (batch_index, handle) in batch.handles().iter().enumerate() {
-                self.register_job(&specs[batch_to_spec[batch_index]], handle.clone(), &ctx.id);
+            ConsensusReply::Accepted(body) => {
+                Handled::Response(HttpResponse::json(202, render(&body)))
             }
-            return Ok(Handled::Stream(ConsensusStream {
-                specs,
-                dispositions,
-                batch,
-                batch_to_spec,
-                started: Instant::now(),
-                request_id: ctx.id.clone(),
-                trace: Arc::clone(&ctx.trace),
-            }));
-        }
-
-        let handles = if to_submit.is_empty() {
-            Vec::new()
-        } else {
-            let _submit = Span::enter(&ctx.trace, "submit");
-            self.engine
-                .submit_batch_async(to_submit)
-                .map_err(overload_error)?
-        };
-
-        let mut any_pending = false;
-        let mut rendered = Vec::with_capacity(specs.len());
-        for (spec, disposition) in specs.iter().zip(dispositions) {
-            rendered.push(match disposition {
-                Disposition::Cached(values) => cached_response_json(spec.dataset.name(), &values),
-                Disposition::Submitted(index) => {
-                    let handle = &handles[index];
-                    if wait {
-                        let response = {
-                            let _wait = Span::enter(&ctx.trace, "wait");
-                            handle.wait()
-                        };
-                        // Rendering counts against both the request timeline
-                        // and the job's own trace (it is the job's last
-                        // phase before the bytes leave).
-                        let job_trace = handle.trace();
-                        let _render_request = Span::enter(&ctx.trace, "render");
-                        let _render_job = Span::enter(&job_trace, "render");
-                        self.rendered_response(spec, &response)
-                    } else {
-                        any_pending = true;
-                        self.register_job(spec, handle.clone(), &ctx.id);
-                        obj(vec![
-                            ("id", s(handle.id().to_string())),
-                            ("status", s(handle.status().label())),
-                            ("dataset", s(spec.dataset.name())),
-                            ("poll", s(format!("/v1/jobs/{}", handle.id()))),
-                        ])
-                    }
-                }
-            });
-        }
-
-        let status = if any_pending { 202 } else { 200 };
-        let body = if single {
-            rendered
-                .into_iter()
-                .next()
-                .expect("one spec, one rendering")
-        } else {
-            obj(vec![("responses", Value::Array(rendered))])
-        };
-        Ok(Handled::Response(HttpResponse::json(status, render(&body))))
+            ConsensusReply::Stream(stream) => Handled::Stream(stream),
+        })
     }
 
-    /// Renders a completed response for `spec`, inserting every successful
-    /// method outcome into the response cache.
-    fn rendered_response(&self, spec: &ConsensusSpec, response: &ConsensusResponse) -> Value {
-        let mut results = Vec::with_capacity(response.results.len());
-        for (index, result) in response.results.iter().enumerate() {
-            results.push(match result {
-                Ok(result) => {
-                    let value = method_result_json(result, spec.dataset.db());
-                    if let Some(method) = spec.methods.get(index) {
-                        self.cache
-                            .insert(spec.cache_key(*method), Arc::new(value.clone()));
-                    }
-                    with_entry(value, "cached", Value::Bool(false))
-                }
-                Err(error) => obj(vec![("error", s(error.to_string()))]),
-            });
+    /// `POST /v1/audit` — JSON only (an audit references a dataset by value
+    /// or id; there is no columnar audit document).
+    fn audit(&self, request: &HttpRequest) -> Result<HttpResponse, HttpResponse> {
+        check_accept(request)?;
+        if negotiate_body(request)? == BodyCodec::Columnar {
+            return Err(api_error_response(&ApiError::new(
+                ApiErrorKind::UnsupportedMedia,
+                format!("audit accepts `{JSON_CONTENT_TYPE}` bodies only"),
+            )));
         }
-        obj(vec![
-            ("dataset", s(&response.dataset)),
-            ("status", s(JobStatus::Done.label())),
-            ("cached", Value::Bool(false)),
-            ("results", Value::Array(results)),
-            (
-                "total_solve_time_ms",
-                Value::Float(response.total_solve_time.as_secs_f64() * 1e3),
-            ),
-        ])
+        let text = request.body_utf8().map_err(http_error_response)?;
+        let body = parse_body(text).map_err(|e| api_error_response(&e))?;
+        self.service
+            .audit(&body)
+            .map(|value| HttpResponse::json(200, render(&value)))
+            .map_err(|e| api_error_response(&e))
     }
 
-    /// Tracks an async job for `GET /v1/jobs/{id}`, pruning completed entries
-    /// once the registry outgrows [`MAX_TRACKED_JOBS`].
-    fn register_job(&self, spec: &ConsensusSpec, handle: JobHandle, request_id: &str) {
-        let entry = JobEntry {
-            dataset: Arc::clone(&spec.dataset),
-            cache_keys: spec
-                .methods
-                .iter()
-                .map(|method| spec.cache_key(*method))
-                .collect(),
-            cached: AtomicBool::new(false),
-            request_id: request_id.to_string(),
-            handle,
-        };
-        let mut jobs = self.jobs.lock().expect("job registry lock poisoned");
-        jobs.insert(entry.handle.id().as_u64(), entry);
-        // Only completed jobs are evictable: a queued/running job's poll URL
-        // was just handed to a client and must keep resolving. When every
-        // tracked job is still live the registry temporarily exceeds the
-        // bound (its size is then already bounded by the engine queue depth).
-        while jobs.len() > MAX_TRACKED_JOBS {
-            let oldest_done = jobs
-                .iter()
-                .filter(|(_, e)| e.handle.status() == JobStatus::Done)
-                .map(|(id, _)| *id)
-                .min();
-            match oldest_done {
-                Some(id) => jobs.remove(&id),
-                None => break,
-            };
-        }
-    }
-
-    /// `GET /v1/jobs/{id}`.
-    fn job(&self, raw_id: &str) -> Result<HttpResponse, HttpError> {
-        let id: u64 = raw_id
-            .strip_prefix("job-")
-            .unwrap_or(raw_id)
-            .parse()
-            .map_err(|_| HttpError::bad(format!("malformed job id `{raw_id}`")))?;
-        let (handle, dataset, cache_keys, already_cached, request_id) = {
-            let jobs = self.jobs.lock().expect("job registry lock poisoned");
-            let entry = jobs
-                .get(&id)
-                .ok_or_else(|| HttpError::new(404, format!("no such job `job-{id}`")))?;
-            (
-                entry.handle.clone(),
-                Arc::clone(&entry.dataset),
-                entry.cache_keys.clone(),
-                entry.cached.swap(true, Ordering::AcqRel),
-                entry.request_id.clone(),
-            )
-        };
-        let Some(response) = handle.try_poll() else {
-            // Not done yet: release the would-be cache claim for a later poll.
-            let jobs = self.jobs.lock().expect("job registry lock poisoned");
-            if let Some(entry) = jobs.get(&id) {
-                entry.cached.store(false, Ordering::Release);
+    /// `POST /v1/datasets` — register a dataset from a JSON document or a
+    /// columnar body. Ids are content fingerprints, so the same rows register
+    /// idempotently in either representation.
+    fn dataset_create(&self, request: &HttpRequest) -> Result<HttpResponse, HttpResponse> {
+        check_accept(request)?;
+        let registered = match negotiate_body(request)? {
+            BodyCodec::Json => {
+                let text = request.body_utf8().map_err(http_error_response)?;
+                let body = parse_body(text).map_err(|e| api_error_response(&e))?;
+                self.service.dataset_create(&body)
             }
-            return Ok(HttpResponse::json(
-                200,
-                render(&obj(vec![
-                    ("id", s(format!("job-{id}"))),
-                    ("status", s(handle.status().label())),
-                    ("dataset", s(dataset.name())),
-                    ("request_id", s(&request_id)),
-                ])),
-            ));
+            BodyCodec::Columnar => decode_dataset(&request.body)
+                .and_then(|dataset| self.service.register_dataset(dataset)),
         };
-
-        let mut results = Vec::with_capacity(response.results.len());
-        for (index, result) in response.results.iter().enumerate() {
-            results.push(match result {
-                Ok(result) => {
-                    let value = method_result_json(result, dataset.db());
-                    if !already_cached {
-                        if let Some(key) = cache_keys.get(index) {
-                            self.cache.insert(key.clone(), Arc::new(value.clone()));
-                        }
-                    }
-                    with_entry(value, "cached", Value::Bool(false))
-                }
-                Err(error) => obj(vec![("error", s(error.to_string()))]),
-            });
-        }
-        Ok(HttpResponse::json(
-            200,
-            render(&obj(vec![
-                ("id", s(format!("job-{id}"))),
-                ("status", s(JobStatus::Done.label())),
-                ("dataset", s(&response.dataset)),
-                ("request_id", s(&request_id)),
-                ("results", Value::Array(results)),
-                (
-                    "total_solve_time_ms",
-                    Value::Float(response.total_solve_time.as_secs_f64() * 1e3),
-                ),
-            ])),
-        ))
-    }
-
-    /// `GET /v1/jobs/{id}/trace` — the job's phase timeline: queue wait,
-    /// cache lookup or matrix build, solve, and render, each phase exactly
-    /// once (merged by name), plus the submitting request's id for log
-    /// correlation.
-    fn job_trace(&self, raw_id: &str) -> Result<HttpResponse, HttpError> {
-        let id: u64 = raw_id
-            .strip_prefix("job-")
-            .unwrap_or(raw_id)
-            .parse()
-            .map_err(|_| HttpError::bad(format!("malformed job id `{raw_id}`")))?;
-        let (handle, dataset, request_id) = {
-            let jobs = self.jobs.lock().expect("job registry lock poisoned");
-            let entry = jobs
-                .get(&id)
-                .ok_or_else(|| HttpError::new(404, format!("no such job `job-{id}`")))?;
-            (
-                entry.handle.clone(),
-                Arc::clone(&entry.dataset),
-                entry.request_id.clone(),
-            )
-        };
-        let trace = handle.trace();
-        let phases = Value::Array(
-            trace
-                .snapshot()
-                .into_iter()
-                .map(|phase| {
-                    obj(vec![
-                        ("name", s(phase.name)),
-                        ("start_ms", Value::Float(phase.start_ns as f64 / 1e6)),
-                        ("duration_ms", Value::Float(phase.duration_ns as f64 / 1e6)),
-                        ("count", Value::UInt(phase.count)),
-                    ])
-                })
-                .collect(),
-        );
-        Ok(HttpResponse::json(
-            200,
-            render(&obj(vec![
-                ("id", s(format!("job-{id}"))),
-                ("request_id", s(&request_id)),
-                ("dataset", s(dataset.name())),
-                ("status", s(handle.status().label())),
-                ("span_ms", Value::Float(trace.span_ns() as f64 / 1e6)),
-                ("age_ms", Value::Float(trace.age().as_secs_f64() * 1e3)),
-                ("phases", phases),
-            ])),
-        ))
-    }
-
-    /// `POST /v1/audit` — per-group FPR audit of a dataset: the Fair-Copeland
-    /// consensus under `delta`, the unconstrained Copeland consensus, and
-    /// optionally every base ranking. Runs inline on the connection thread
-    /// (audits are `O(n²)`; they do not occupy the consensus queue).
-    fn audit(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
-        let body = parse_body(request.body_utf8()?)?;
-        let dataset = resolve_spec_dataset(&body, Some(&self.datasets))?;
-        let delta = match body.get("delta") {
-            None | Some(Value::Null) => 0.1,
-            Some(raw) => crate::json::as_f64(raw, "`delta`")?,
-        };
-        let per_ranking = matches!(body.get("per_ranking"), Some(Value::Bool(true)));
-
-        let groups = GroupIndex::new(dataset.db());
-        let ctx = MfcrContext::new(
-            dataset.db(),
-            &groups,
-            dataset.profile(),
-            FairnessThresholds::uniform(delta),
-        );
-        let outcome = MethodKind::FairCopeland
-            .instantiate()
-            .solve(&ctx)
-            .map_err(|e| HttpError::new(500, e.to_string()))?;
-        let fair = FairnessAudit::new("Fair-Copeland", &outcome.ranking, dataset.db(), &groups);
-        let unconstrained = CopelandAggregator::new().consensus(dataset.profile());
-        let unfair = FairnessAudit::new(
-            "Copeland (unconstrained)",
-            &unconstrained,
-            dataset.db(),
-            &groups,
-        );
-
-        let mut entries = vec![
-            ("dataset", s(dataset.name())),
-            ("delta", Value::Float(delta)),
-            ("consensus", fair.serialize_value()),
-            ("unconstrained", unfair.serialize_value()),
-        ];
-        let base_audits;
-        if per_ranking {
-            base_audits = Value::Array(
-                dataset
-                    .profile()
-                    .rankings()
-                    .iter()
-                    .enumerate()
-                    .map(|(index, ranking)| {
-                        FairnessAudit::new(
-                            format!("ranking-{index}"),
-                            ranking,
-                            dataset.db(),
-                            &groups,
-                        )
-                        .serialize_value()
-                    })
-                    .collect(),
-            );
-            entries.push(("rankings", base_audits));
-        }
-        Ok(HttpResponse::json(200, render(&obj(entries))))
-    }
-
-    /// `POST /v1/datasets` — register a dataset for later `dataset_id`
-    /// solves. The body is either a bare dataset object or `{"dataset":
-    /// {...}}`. Ids are content fingerprints (the precedence-cache key), so
-    /// registration is idempotent and registered datasets share the engine's
-    /// warm matrix with identical inline uploads.
-    fn dataset_create(&self, request: &HttpRequest) -> Result<HttpResponse, HttpError> {
-        let body = parse_body(request.body_utf8()?)?;
-        let dataset = match body.get("dataset") {
-            Some(wrapped) => parse_dataset(wrapped)?,
-            None => parse_dataset(&body)?,
-        };
-        let (id, created) = self.datasets.register(Arc::clone(&dataset))?;
-        Ok(HttpResponse::json(
-            200,
-            render(&obj(vec![
-                ("id", s(&id)),
-                ("name", s(dataset.name())),
-                ("candidates", Value::UInt(dataset.num_candidates() as u64)),
-                ("rankings", Value::UInt(dataset.num_rankings() as u64)),
-                ("created", Value::Bool(created)),
-            ])),
-        ))
-    }
-
-    /// `GET /v1/datasets/{id}` — metadata of a registered dataset.
-    fn dataset_get(&self, id: &str) -> Result<HttpResponse, HttpError> {
-        let dataset = self.datasets.resolve(id)?;
-        Ok(HttpResponse::json(
-            200,
-            render(&obj(vec![
-                ("id", s(dataset_id(&dataset))),
-                ("name", s(dataset.name())),
-                ("candidates", Value::UInt(dataset.num_candidates() as u64)),
-                ("rankings", Value::UInt(dataset.num_rankings() as u64)),
-                ("attributes", attribute_names_json(dataset.db())),
-            ])),
-        ))
-    }
-
-    /// `DELETE /v1/datasets/{id}`.
-    fn dataset_delete(&self, id: &str) -> Result<HttpResponse, HttpError> {
-        match self.datasets.remove(id) {
-            Some(_) => Ok(HttpResponse::json(
-                200,
-                render(&obj(vec![("id", s(id)), ("deleted", Value::Bool(true))])),
-            )),
-            None => Err(HttpError::new(404, format!("no such dataset `{id}`"))),
-        }
-    }
-
-    /// `GET /v1/stats`.
-    fn stats_response(&self) -> HttpResponse {
-        let engine = self.engine.stats();
-        let precedence = self.engine.cache().stats();
-        let responses = self.cache.stats();
-        let jobs_tracked = self.jobs.lock().expect("job registry lock poisoned").len();
-        let connections = self.connections.snapshot();
-        let latency = Value::Object(
-            self.metrics
-                .snapshots()
-                .into_iter()
-                .map(|(label, snap)| {
-                    (
-                        label.to_string(),
-                        obj(vec![
-                            ("count", Value::UInt(snap.count)),
-                            ("total_ms", Value::Float(snap.total_ns as f64 / 1e6)),
-                            (
-                                "le_us",
-                                Value::Array(
-                                    LATENCY_BUCKET_BOUNDS_US
-                                        .iter()
-                                        .map(|b| Value::UInt(*b))
-                                        .collect(),
-                                ),
-                            ),
-                            (
-                                "buckets",
-                                Value::Array(
-                                    snap.buckets.iter().map(|c| Value::UInt(*c)).collect(),
-                                ),
-                            ),
-                        ]),
-                    )
-                })
-                .collect(),
-        );
-        let body = obj(vec![
-            (
-                "engine",
-                obj(vec![
-                    ("threads", Value::UInt(self.engine.threads() as u64)),
-                    (
-                        "kernel_threads",
-                        Value::UInt(self.engine.kernel_parallelism().max_threads() as u64),
-                    ),
-                    (
-                        "kernel_tile_size",
-                        Value::UInt(self.engine.kernel_parallelism().tile_size() as u64),
-                    ),
-                    ("queue_depth", Value::UInt(engine.queue_depth as u64)),
-                    ("in_flight", Value::UInt(engine.in_flight as u64)),
-                    ("submitted", Value::UInt(engine.submitted)),
-                    ("completed", Value::UInt(engine.completed)),
-                    ("rejected", Value::UInt(engine.rejected)),
-                ]),
-            ),
-            (
-                "kernels",
-                obj(vec![
-                    ("matrix_build_ns", Value::UInt(engine.matrix_build_ns)),
-                    ("solve_ns", Value::UInt(engine.solve_ns)),
-                    ("nodes_expanded", Value::UInt(engine.nodes_expanded)),
-                    ("fw_blocked_solves", Value::UInt(engine.fw_blocked_solves)),
-                    ("fw_tiles_relaxed", Value::UInt(engine.fw_tiles_relaxed)),
-                    ("pair_shard_tasks", Value::UInt(engine.pair_shard_tasks)),
-                    (
-                        "ranking_shard_tasks",
-                        Value::UInt(engine.ranking_shard_tasks),
-                    ),
-                ]),
-            ),
-            (
-                "streaming",
-                obj(vec![
-                    ("batches_opened", Value::UInt(engine.batches_opened)),
-                    ("batches_drained", Value::UInt(engine.batches_drained)),
-                    ("results_yielded", Value::UInt(engine.batch_results_yielded)),
-                ]),
-            ),
-            (
-                "precedence_cache",
-                obj(vec![
-                    ("lookups", Value::UInt(precedence.lookups)),
-                    ("hits", Value::UInt(precedence.hits)),
-                    ("builds", Value::UInt(precedence.builds)),
-                    ("entries", Value::UInt(precedence.entries as u64)),
-                ]),
-            ),
-            (
-                "response_cache",
-                obj(vec![
-                    ("capacity", Value::UInt(responses.capacity as u64)),
-                    ("entries", Value::UInt(responses.entries as u64)),
-                    ("hits", Value::UInt(responses.hits)),
-                    ("misses", Value::UInt(responses.misses)),
-                    ("insertions", Value::UInt(responses.insertions)),
-                    ("evictions", Value::UInt(responses.evictions)),
-                ]),
-            ),
-            (
-                "server",
-                obj(vec![
-                    ("max_connections", Value::UInt(connections.max_connections)),
-                    ("conn_threads", Value::UInt(connections.conn_threads)),
-                    ("connections_accepted", Value::UInt(connections.accepted)),
-                    (
-                        "connections_rejected",
-                        Value::UInt(connections.rejected_busy),
-                    ),
-                    ("requests_served", Value::UInt(connections.requests)),
-                    (
-                        "keepalive_reuses",
-                        Value::UInt(connections.keepalive_reuses),
-                    ),
-                ]),
-            ),
-            ("latency", latency),
-            (
-                "datasets_registered",
-                Value::UInt(self.datasets.len() as u64),
-            ),
-            ("jobs_tracked", Value::UInt(jobs_tracked as u64)),
-            (
-                "slow_requests",
-                Value::Array(
-                    self.slow
-                        .snapshot()
-                        .into_iter()
-                        .map(|entry| {
-                            obj(vec![
-                                ("request_id", s(&entry.request_id)),
-                                ("endpoint", s(entry.endpoint)),
-                                ("target", s(&entry.target)),
-                                ("status", Value::UInt(u64::from(entry.status))),
-                                ("duration_ms", Value::Float(entry.duration_ns as f64 / 1e6)),
-                                (
-                                    "phases",
-                                    Value::Object(
-                                        entry
-                                            .phases
-                                            .iter()
-                                            .map(|(name, ns)| {
-                                                (name.to_string(), Value::Float(*ns as f64 / 1e6))
-                                            })
-                                            .collect(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "uptime_seconds",
-                Value::Float(self.started.elapsed().as_secs_f64()),
-            ),
-        ]);
-        HttpResponse::json(200, render(&body))
-    }
-
-    /// `GET /metrics` — the whole counter surface in Prometheus text
-    /// exposition 0.0.4: per-endpoint request counts and latency histograms,
-    /// engine queue/job/kernel counters, worker-pool saturation, both cache
-    /// layers, and the connection pool.
-    fn metrics_response(&self) -> HttpResponse {
-        let engine = self.engine.stats();
-        let precedence = self.engine.cache().stats();
-        let responses = self.cache.stats();
-        let connections = self.connections.snapshot();
-        let jobs_tracked = self.jobs.lock().expect("job registry lock poisoned").len();
-        let snapshots = self.metrics.snapshots();
-
-        let mut w = PromWriter::new();
-        w.family("mani_build_info", "gauge", "Build identity (constant 1).");
-        w.sample(
-            "mani_build_info",
-            &[("version", env!("CARGO_PKG_VERSION"))],
-            1.0,
-        );
-        w.gauge(
-            "mani_uptime_seconds",
-            "Seconds since this server state was created.",
-            self.started.elapsed().as_secs_f64(),
-        );
-
-        w.family(
-            "mani_http_requests_total",
-            "counter",
-            "HTTP requests dispatched, by endpoint label.",
-        );
-        for (label, snap) in &snapshots {
-            w.sample(
-                "mani_http_requests_total",
-                &[("endpoint", *label)],
-                snap.count as f64,
-            );
-        }
-        w.family(
-            "mani_http_request_duration_seconds",
-            "histogram",
-            "HTTP request latency, by endpoint label.",
-        );
-        let bounds: Vec<f64> = LATENCY_BUCKET_BOUNDS_US
-            .iter()
-            .map(|us| *us as f64 / 1e6)
-            .collect();
-        for (label, snap) in &snapshots {
-            w.histogram(
-                "mani_http_request_duration_seconds",
-                &[("endpoint", *label)],
-                &bounds,
-                &snap.buckets,
-                snap.total_ns as f64 / 1e9,
-            );
-        }
-
-        w.counter(
-            "mani_connections_accepted_total",
-            "Connections handed to the worker pool.",
-            connections.accepted,
-        );
-        w.counter(
-            "mani_connections_rejected_total",
-            "Connections answered 503 at the accept path.",
-            connections.rejected_busy,
-        );
-        w.counter(
-            "mani_requests_served_total",
-            "HTTP exchanges served across all connections.",
-            connections.requests,
-        );
-        w.counter(
-            "mani_keepalive_reuses_total",
-            "Exchanges served on an already-used keep-alive connection.",
-            connections.keepalive_reuses,
-        );
-        w.gauge(
-            "mani_connections_max",
-            "Configured concurrent-connection bound.",
-            connections.max_connections as f64,
-        );
-        w.gauge(
-            "mani_connection_threads",
-            "Configured connection worker threads.",
-            connections.conn_threads as f64,
-        );
-
-        w.gauge(
-            "mani_engine_queue_depth",
-            "Configured engine job-queue bound.",
-            engine.queue_depth as f64,
-        );
-        w.gauge(
-            "mani_engine_jobs_in_flight",
-            "Jobs admitted and not yet completed.",
-            engine.in_flight as f64,
-        );
-        w.counter(
-            "mani_engine_jobs_submitted_total",
-            "Jobs admitted to the engine queue.",
-            engine.submitted,
-        );
-        w.counter(
-            "mani_engine_jobs_completed_total",
-            "Jobs that finished solving.",
-            engine.completed,
-        );
-        w.counter(
-            "mani_engine_jobs_rejected_total",
-            "Jobs refused because the queue was full.",
-            engine.rejected,
-        );
-        w.family(
-            "mani_engine_matrix_build_seconds_total",
-            "counter",
-            "Cumulative time spent building precedence matrices.",
-        );
-        w.sample(
-            "mani_engine_matrix_build_seconds_total",
-            &[],
-            engine.matrix_build_ns as f64 / 1e9,
-        );
-        w.family(
-            "mani_engine_solve_seconds_total",
-            "counter",
-            "Cumulative time spent inside method solvers.",
-        );
-        w.sample(
-            "mani_engine_solve_seconds_total",
-            &[],
-            engine.solve_ns as f64 / 1e9,
-        );
-        w.counter(
-            "mani_engine_nodes_expanded_total",
-            "Exact-solver search nodes expanded.",
-            engine.nodes_expanded,
-        );
-        w.counter(
-            "mani_kernel_fw_blocked_solves_total",
-            "Blocked (tiled) Floyd-Warshall solves, process-wide.",
-            engine.fw_blocked_solves,
-        );
-        w.counter(
-            "mani_kernel_fw_tiles_relaxed_total",
-            "Tiles relaxed by blocked Floyd-Warshall solves, process-wide.",
-            engine.fw_tiles_relaxed,
-        );
-        w.counter(
-            "mani_kernel_pair_shard_tasks_total",
-            "Candidate-pair shard tasks spawned by matrix/scoring kernels, process-wide.",
-            engine.pair_shard_tasks,
-        );
-        w.counter(
-            "mani_kernel_ranking_shard_tasks_total",
-            "Ranking shard tasks spawned by matrix build kernels, process-wide.",
-            engine.ranking_shard_tasks,
-        );
-        w.counter(
-            "mani_engine_batches_opened_total",
-            "Streaming batches opened.",
-            engine.batches_opened,
-        );
-        w.counter(
-            "mani_engine_batches_drained_total",
-            "Streaming batches fully drained.",
-            engine.batches_drained,
-        );
-        w.counter(
-            "mani_engine_batch_results_yielded_total",
-            "Streaming results yielded in as-completed order.",
-            engine.batch_results_yielded,
-        );
-        w.gauge(
-            "mani_pool_queued",
-            "Engine worker-pool jobs waiting for a thread.",
-            engine.pool_queued as f64,
-        );
-        w.gauge(
-            "mani_pool_busy",
-            "Engine worker-pool threads currently running a job.",
-            engine.pool_busy as f64,
-        );
-        w.counter(
-            "mani_pool_tasks_executed_total",
-            "Engine worker-pool jobs executed to completion.",
-            engine.pool_tasks_executed,
-        );
-
-        w.counter(
-            "mani_precedence_cache_lookups_total",
-            "Precedence-cache lookups.",
-            precedence.lookups,
-        );
-        w.counter(
-            "mani_precedence_cache_hits_total",
-            "Precedence-cache hits (matrix reused).",
-            precedence.hits,
-        );
-        w.counter(
-            "mani_precedence_cache_builds_total",
-            "Precedence matrices built.",
-            precedence.builds,
-        );
-        w.gauge(
-            "mani_precedence_cache_entries",
-            "Precedence-cache resident entries.",
-            precedence.entries as f64,
-        );
-
-        w.gauge(
-            "mani_response_cache_capacity",
-            "Response-cache entry bound.",
-            responses.capacity as f64,
-        );
-        w.gauge(
-            "mani_response_cache_entries",
-            "Response-cache resident entries.",
-            responses.entries as f64,
-        );
-        w.counter(
-            "mani_response_cache_hits_total",
-            "Response-cache hits.",
-            responses.hits,
-        );
-        w.counter(
-            "mani_response_cache_misses_total",
-            "Response-cache misses.",
-            responses.misses,
-        );
-        w.counter(
-            "mani_response_cache_insertions_total",
-            "Response-cache insertions.",
-            responses.insertions,
-        );
-        w.counter(
-            "mani_response_cache_evictions_total",
-            "Response-cache LRU evictions.",
-            responses.evictions,
-        );
-
-        w.gauge(
-            "mani_datasets_registered",
-            "Datasets resident in the registry.",
-            self.datasets.len() as f64,
-        );
-        w.gauge(
-            "mani_jobs_tracked",
-            "Async jobs tracked for polling.",
-            jobs_tracked as f64,
-        );
-
-        HttpResponse {
-            status: 200,
-            content_type: "text/plain; version=0.0.4; charset=utf-8",
-            extra_headers: Vec::new(),
-            body: w.finish(),
-        }
+        registered
+            .map(|value| HttpResponse::json(200, render(&value)))
+            .map_err(|e| api_error_response(&e))
     }
 }
 
-/// `GET /v1/version` — build identity: crate version, git description when
-/// baked in at build time (`MANI_GIT_DESCRIBE`), compile profile, and the
-/// feature surface.
-fn version_response() -> HttpResponse {
-    let git = match option_env!("MANI_GIT_DESCRIBE") {
-        Some(describe) => s(describe),
-        None => Value::Null,
-    };
+/// Renders a transport-level [`HttpError`] as the JSON error envelope
+/// (status `0` marks a closed connection and degrades to `400` here).
+fn http_error_response(error: HttpError) -> HttpResponse {
     HttpResponse::json(
-        200,
-        render(&obj(vec![
-            ("name", s("mani-serve")),
-            ("version", s(env!("CARGO_PKG_VERSION"))),
-            ("git", git),
-            (
-                "profile",
-                s(if cfg!(debug_assertions) {
-                    "debug"
-                } else {
-                    "release"
-                }),
-            ),
-            (
-                "features",
-                Value::Array(
-                    [
-                        "std-only",
-                        "streaming-ndjson",
-                        "prometheus-metrics",
-                        "request-tracing",
-                    ]
-                    .into_iter()
-                    .map(s)
-                    .collect(),
-                ),
-            ),
-        ])),
+        if error.status == 0 { 400 } else { error.status },
+        error_body(&error.message),
     )
 }
 
-/// `GET /v1/methods`.
-fn methods_response() -> HttpResponse {
-    let methods = Value::Array(
-        MethodKind::all()
-            .iter()
-            .map(|kind| {
-                obj(vec![
-                    ("name", s(kind.name())),
-                    ("paper_label", s(kind.paper_label())),
-                    ("proposed", Value::Bool(kind.is_proposed())),
-                ])
-            })
-            .collect(),
-    );
-    HttpResponse::json(200, render(&obj(vec![("methods", methods)])))
+/// Maps a service operation's result onto a buffered 200-or-error outcome.
+fn json_outcome(result: Result<serde::Value, ApiError>) -> Result<Handled, HttpResponse> {
+    result
+        .map(|value| Handled::Response(HttpResponse::json(200, render(&value))))
+        .map_err(|e| api_error_response(&e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_support::{delete, demo_consensus_body, demo_dataset_json, get, post};
+    use mani_service::{dataset_to_value, encode_dataset, parse_dataset, COLUMNAR_CONTENT_TYPE};
+    use serde::Value;
+    use std::time::Instant;
 
     fn state() -> AppState {
         AppState::new(
@@ -1428,6 +397,19 @@ mod tests {
             },
             16,
         )
+    }
+
+    /// A columnar-encoded POST carrying the demo dataset named `name`.
+    fn columnar_post(path: &str, query: Option<&str>, name: &str) -> HttpRequest {
+        let dataset = parse_dataset(&parse_body(&demo_dataset_json(name)).unwrap()).unwrap();
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.map(str::to_string),
+            headers: vec![("content-type".into(), COLUMNAR_CONTENT_TYPE.into())],
+            body: encode_dataset(&dataset),
+            minor_version: 1,
+        }
     }
 
     #[test]
@@ -1868,5 +850,147 @@ mod tests {
         assert!(response.body.contains("\"consensus\""));
         assert!(response.body.contains("\"unconstrained\""));
         assert!(response.body.contains("ranking-1"));
+    }
+
+    #[test]
+    fn unsupported_content_types_get_415_envelopes() {
+        let state = state();
+        for path in ["/v1/consensus", "/v1/datasets", "/v1/audit"] {
+            let mut request = post(path, "<xml/>");
+            request.headers.clear();
+            request
+                .headers
+                .push(("content-type".to_string(), "text/xml".to_string()));
+            let response = state.handle(&request);
+            assert_eq!(response.status, 415, "{path}: {}", response.body);
+            assert!(response.body.contains("\"error\""), "{}", response.body);
+            assert!(
+                response.body.contains("\"supported\""),
+                "{path}: {}",
+                response.body
+            );
+            assert!(
+                header_of(&response, "x-request-id").is_some(),
+                "415s still carry request ids"
+            );
+        }
+        // Audit refuses columnar specifically (no columnar audit document).
+        let columnar_audit = columnar_post("/v1/audit", None, "aud");
+        let refused = state.handle(&columnar_audit);
+        assert_eq!(refused.status, 415, "{}", refused.body);
+        assert!(refused.body.contains("audit accepts"), "{}", refused.body);
+    }
+
+    #[test]
+    fn unacceptable_accept_headers_get_406() {
+        let state = state();
+        let mut request = post("/v1/consensus", &demo_consensus_body(0.2, true));
+        request
+            .headers
+            .push(("accept".to_string(), "text/html".to_string()));
+        let response = state.handle(&request);
+        assert_eq!(response.status, 406, "{}", response.body);
+        assert!(response.body.contains("\"produces\""), "{}", response.body);
+    }
+
+    #[test]
+    fn columnar_consensus_matches_json_bit_for_bit() {
+        let state = state();
+        // Solve the JSON twin first: its results land in the response cache
+        // keyed by the dataset fingerprint.
+        let json_solved = state.handle(&post(
+            "/v1/consensus",
+            &format!(
+                r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#,
+                demo_dataset_json("demo")
+            ),
+        ));
+        assert_eq!(json_solved.status, 200, "{}", json_solved.body);
+
+        // The columnar upload of the same rows shares the fingerprint, so it
+        // replays from the cache without touching the engine.
+        let request = columnar_post(
+            "/v1/consensus",
+            Some("methods=Fair-Borda&delta=0.2&wait=true"),
+            "demo",
+        );
+        let columnar_solved = state.handle(&request);
+        assert_eq!(columnar_solved.status, 200, "{}", columnar_solved.body);
+        assert!(
+            columnar_solved.body.contains("\"cached\":true"),
+            "columnar twin must replay the JSON-warmed cache: {}",
+            columnar_solved.body
+        );
+        assert_eq!(
+            state.engine().stats().submitted,
+            1,
+            "the columnar replay must not resubmit"
+        );
+        // And the method payloads are bit-identical modulo the cache flag.
+        let strip = |body: &str| {
+            body.replace("\"cached\":true", "")
+                .replace("\"cached\":false", "")
+        };
+        let json_results = parse_body(&json_solved.body).unwrap();
+        let columnar_results = parse_body(&columnar_solved.body).unwrap();
+        let ranking_of = |v: &Value| {
+            render(
+                v.get("results")
+                    .and_then(Value::as_array)
+                    .and_then(|a| a.first())
+                    .and_then(|r| r.get("ranking"))
+                    .expect("ranking"),
+            )
+        };
+        assert_eq!(ranking_of(&json_results), ranking_of(&columnar_results));
+        let _ = strip;
+    }
+
+    #[test]
+    fn columnar_dataset_upload_is_idempotent_with_json() {
+        let state = state();
+        let json_up = state.handle(&post("/v1/datasets", &demo_dataset_json("reg")));
+        assert_eq!(json_up.status, 200, "{}", json_up.body);
+        let id = parse_body(&json_up.body)
+            .unwrap()
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+
+        let columnar_up = state.handle(&columnar_post("/v1/datasets", None, "reg"));
+        assert_eq!(columnar_up.status, 200, "{}", columnar_up.body);
+        assert!(
+            columnar_up.body.contains(&id),
+            "columnar twin registers under the same content id: {}",
+            columnar_up.body
+        );
+        assert!(columnar_up.body.contains("\"created\":false"));
+    }
+
+    #[test]
+    fn columnar_bodies_reject_hostile_and_unknown_params() {
+        let state = state();
+        // Truncated document.
+        let mut request = columnar_post("/v1/consensus", Some("wait=true"), "demo");
+        request.body.truncate(10);
+        let response = state.handle(&request);
+        assert_eq!(response.status, 400, "{}", response.body);
+
+        // Unknown query parameter fails loudly.
+        let response = state.handle(&columnar_post("/v1/consensus", Some("detla=0.2"), "demo"));
+        assert_eq!(response.status, 400, "{}", response.body);
+        assert!(
+            response.body.contains("unknown query parameter"),
+            "{}",
+            response.body
+        );
+    }
+
+    #[test]
+    fn columnar_round_trips_through_dataset_to_value() {
+        let dataset = parse_dataset(&parse_body(&demo_dataset_json("rt")).unwrap()).unwrap();
+        let twin = parse_dataset(&dataset_to_value(&dataset)).unwrap();
+        assert_eq!(dataset.fingerprint(), twin.fingerprint());
     }
 }

@@ -6,19 +6,24 @@
 //! decision-makers issuing many small consensus and audit requests against the
 //! same candidate pools.
 //!
+//! This crate is purely **transport**: all behavior — the response cache, the
+//! dataset registry, job tracking, stats and Prometheus rendering — lives in
+//! the transport-agnostic [`mani_service`] crate, and this one adapts it to
+//! HTTP/1.1.
+//!
 //! * [`http`] — request parsing / response rendering over `TcpStream`,
-//!   including HTTP/1.1 keep-alive negotiation.
+//!   including HTTP/1.1 keep-alive negotiation and chunked NDJSON framing.
 //! * [`router`] — `(method, path)` → typed [`router::Route`].
-//! * [`json`] — body codec between API JSON and engine types, over the
-//!   workspace serde shims.
-//! * [`datasets`] — the persisted dataset registry behind `/v1/datasets`
-//!   (upload once, solve many times via `"dataset_id"`).
-//! * [`response_cache`] — O(1) LRU memoization of whole method outcomes keyed
-//!   by `(dataset fingerprint, thresholds, method, budget)`, layered *above*
-//!   the engine's precedence cache so replayed requests are `O(1)`.
-//! * [`metrics`] — per-endpoint request latency histograms and
-//!   connection-pool counters, rendered by `GET /v1/stats`.
-//! * [`handlers`] — the `v1` endpoints over one [`handlers::AppState`].
+//! * [`codec`] — wire-codec negotiation: resolves `Content-Type` into a body
+//!   representation (JSON or the binary columnar dataset encoding,
+//!   `application/vnd.mani.columnar`) and checks `Accept` against the JSON /
+//!   NDJSON responses this API produces.
+//! * [`metrics`] — connection-pool counters (the one telemetry surface only
+//!   this transport can observe; request latency histograms live in
+//!   `mani-service`).
+//! * [`handlers`] — the thin `v1` adapter: one [`handlers::AppState`] routing
+//!   requests into [`mani_service::Service`] calls and mapping
+//!   [`mani_service::ApiError`] kinds onto HTTP status codes.
 //! * [`server`] — the accept loop, the bounded connection worker pool, and a
 //!   stoppable background-server handle.
 //!
@@ -27,10 +32,11 @@
 //! | Endpoint | Purpose |
 //! |---|---|
 //! | `POST /v1/consensus` | Submit one request or a batch; `"wait": true` blocks for results, `"stream": true` streams one NDJSON line per request in completion order, otherwise a job id is returned |
+//! | `POST /v1/consensus` (columnar) | Same operation with a binary columnar dataset body; solve parameters ride the query string (`?methods=...&delta=...&wait=true`) |
 //! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
 //! | `GET /v1/jobs/{id}/trace` | Per-phase timing timeline of a job (queue wait, cache lookup, matrix build, solve, render) |
 //! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
-//! | `POST /v1/datasets` | Register a dataset; returns its content id for `dataset_id` solves |
+//! | `POST /v1/datasets` | Register a dataset (JSON or columnar body); returns its content id for `dataset_id` solves |
 //! | `GET /v1/datasets/{id}` | Metadata of a registered dataset |
 //! | `DELETE /v1/datasets/{id}` | Unregister a dataset |
 //! | `GET /v1/methods` | The eight available consensus methods |
@@ -47,6 +53,15 @@
 //! logs go to stderr, filtered by the `MANI_LOG` env var or `--log-level`
 //! (access lines at `debug`). See `docs/OBSERVABILITY.md` for the log
 //! schema, trace phase names, and the full metric inventory.
+//!
+//! ## Content negotiation
+//!
+//! POST bodies default to `application/json`; `POST /v1/consensus` and
+//! `POST /v1/datasets` additionally decode `application/vnd.mani.columnar`
+//! (see `docs/API.md` for the byte layout). Any other `Content-Type` is
+//! refused with `415 Unsupported Media Type` and a structured JSON envelope
+//! listing the supported representations; an `Accept` header that excludes
+//! both JSON and NDJSON is refused with `406 Not Acceptable`.
 //!
 //! ## Connection model
 //!
@@ -67,25 +82,27 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-pub mod datasets;
+pub mod codec;
 pub mod handlers;
 pub mod http;
-pub mod json;
 pub mod metrics;
-pub mod response_cache;
 pub mod router;
 pub mod server;
 
-pub use datasets::{DatasetRegistry, MAX_REGISTERED_DATASETS};
-pub use handlers::{AppState, ConsensusStream, Handled};
+pub use codec::{BodyCodec, JSON_CONTENT_TYPE, NDJSON_CONTENT_TYPE};
+pub use handlers::{api_error_status, AppState, ConsensusStream, Handled};
 pub use http::{ChunkedBody, ChunkedResponse, HttpError, HttpRequest, HttpResponse};
-pub use metrics::{
-    EndpointMetrics, HistogramSnapshot, LatencyHistogram, ServeCounters, ServeCountersSnapshot,
-    LATENCY_BUCKET_BOUNDS_US,
-};
-pub use response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_CAPACITY};
+pub use metrics::{ServeCounters, ServeCountersSnapshot};
 pub use router::{route, Route, Routed};
 pub use server::{Server, ServerConfig, ServerHandle};
+
+// Re-exported service-core types, kept at their pre-refactor paths so
+// existing integration tests and downstream users keep compiling.
+pub use mani_service::{
+    ApiError, ApiErrorKind, DatasetRegistry, EndpointMetrics, HistogramSnapshot, LatencyHistogram,
+    ResponseCache, ResponseCacheStats, COLUMNAR_CONTENT_TYPE, DEFAULT_RESPONSE_CACHE_CAPACITY,
+    LATENCY_BUCKET_BOUNDS_US, MAX_REGISTERED_DATASETS,
+};
 
 /// Shared helpers for this crate's unit tests.
 #[cfg(test)]

@@ -1,147 +1,16 @@
-//! Request latency histograms and connection counters for `GET /v1/stats`.
+//! Connection-pool counters for the HTTP transport.
 //!
-//! Each endpoint gets one [`LatencyHistogram`]: fixed log-spaced buckets (so
-//! recording is a single atomic increment on the hot path — no allocation, no
-//! lock) plus a sample count and a total, enough to read rate, mean, and tail
-//! shape off `/v1/stats` under load. [`ServeCounters`] tracks the connection
-//! pool: accepted connections, `503`-rejected ones, requests served, and
-//! keep-alive reuses.
+//! Request latency histograms moved into `mani-service` (they are an
+//! operation-level concern every transport shares); what remains here is the
+//! one piece of telemetry only this HTTP server can observe: the connection
+//! pool. [`ServeCounters`] tracks accepted connections, `503`-rejected ones,
+//! requests served, and keep-alive reuses, and bridges into the service
+//! core's transport-neutral [`TransportStats`] for `/v1/stats` and
+//! `/metrics` rendering.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Histogram bucket upper bounds, in microseconds (log-spaced). A final
-/// implicit overflow bucket catches everything slower than the last bound.
-pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
-    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
-];
-
-/// Number of buckets including the overflow bucket.
-pub const LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
-
-/// One fixed-bucket latency histogram. Thread-safe; recording is lock-free.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    /// Per-bucket sample counts. `buckets[i]` counts samples with latency
-    /// `≤ LATENCY_BUCKET_BOUNDS_US[i]` (and above the previous bound); the
-    /// last slot counts samples slower than every bound.
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    total_ns: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let slot = LATENCY_BUCKET_BOUNDS_US
-            .iter()
-            .position(|bound| us <= *bound)
-            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
-        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(
-            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
-    }
-
-    /// A consistent-enough snapshot of the counters (individual loads are
-    /// relaxed; totals may trail counts by in-flight samples).
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            total_ns: self.total_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Point-in-time copy of a [`LatencyHistogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Per-bucket counts; index `i` pairs with `LATENCY_BUCKET_BOUNDS_US[i]`,
-    /// the final slot is the overflow bucket.
-    pub buckets: [u64; LATENCY_BUCKETS],
-    /// Total samples recorded.
-    pub count: u64,
-    /// Sum of all recorded latencies, in nanoseconds.
-    pub total_ns: u64,
-}
-
-/// Endpoint labels tracked by [`EndpointMetrics`], in render order.
-/// `consensus_stream` separates streamed (`"stream": true`, NDJSON) consensus
-/// requests from buffered ones: a streamed request's latency spans the whole
-/// batch drain, so mixing the two in one histogram would make the buffered
-/// tail unreadable.
-pub const ENDPOINT_LABELS: [&str; 10] = [
-    "consensus",
-    "consensus_stream",
-    "audit",
-    "jobs",
-    "datasets",
-    "methods",
-    "stats",
-    "version",
-    "metrics",
-    "other",
-];
-
-/// One latency histogram per endpoint (plus `other` for 404/405 traffic).
-#[derive(Debug, Default)]
-pub struct EndpointMetrics {
-    histograms: [LatencyHistogram; ENDPOINT_LABELS.len()],
-}
-
-impl EndpointMetrics {
-    /// Fresh, all-zero metrics.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Histogram slot for a label; unknown labels map to `other`.
-    fn slot(label: &str) -> usize {
-        ENDPOINT_LABELS
-            .iter()
-            .position(|known| *known == label)
-            .unwrap_or(ENDPOINT_LABELS.len() - 1)
-    }
-
-    /// Records one request against the labeled endpoint; unknown labels fall
-    /// into `other`.
-    pub fn record(&self, label: &str, elapsed: Duration) {
-        self.histograms[Self::slot(label)].record(elapsed);
-    }
-
-    /// The histogram behind one label (unknown labels read `other`).
-    pub fn histogram(&self, label: &str) -> &LatencyHistogram {
-        &self.histograms[Self::slot(label)]
-    }
-
-    /// `(label, snapshot)` pairs in render order.
-    pub fn snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
-        ENDPOINT_LABELS
-            .iter()
-            .zip(&self.histograms)
-            .map(|(label, histogram)| (*label, histogram.snapshot()))
-            .collect()
-    }
-}
+use mani_service::TransportStats;
 
 /// Connection-pool counters, updated by the accept loop and the workers.
 #[derive(Debug, Default)]
@@ -170,6 +39,19 @@ pub struct ServeCountersSnapshot {
     pub max_connections: u64,
     /// Configured worker count (0 until a server configures it).
     pub conn_threads: u64,
+}
+
+impl From<ServeCountersSnapshot> for TransportStats {
+    fn from(snapshot: ServeCountersSnapshot) -> Self {
+        TransportStats {
+            max_connections: snapshot.max_connections,
+            conn_threads: snapshot.conn_threads,
+            accepted: snapshot.accepted,
+            rejected_busy: snapshot.rejected_busy,
+            requests: snapshot.requests,
+            keepalive_reuses: snapshot.keepalive_reuses,
+        }
+    }
 }
 
 impl ServeCounters {
@@ -222,45 +104,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn samples_land_in_log_spaced_buckets() {
-        let histogram = LatencyHistogram::new();
-        histogram.record(Duration::from_micros(50)); // ≤ 100 µs → bucket 0
-        histogram.record(Duration::from_micros(100)); // boundary inclusive → bucket 0
-        histogram.record(Duration::from_micros(101)); // → bucket 1 (≤ 250 µs)
-        histogram.record(Duration::from_millis(3)); // → ≤ 5 ms bucket
-        histogram.record(Duration::from_secs(10)); // beyond 1 s → overflow
-        let snap = histogram.snapshot();
-        assert_eq!(snap.count, 5);
-        assert_eq!(snap.buckets[0], 2);
-        assert_eq!(snap.buckets[1], 1);
-        let five_ms = LATENCY_BUCKET_BOUNDS_US
-            .iter()
-            .position(|b| *b == 5_000)
-            .unwrap();
-        assert_eq!(snap.buckets[five_ms], 1);
-        assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1, "overflow bucket");
-        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
-        assert!(snap.total_ns >= 10_000_000_000);
-    }
-
-    #[test]
-    fn endpoint_metrics_route_labels_and_unknowns() {
-        let metrics = EndpointMetrics::new();
-        metrics.record("consensus", Duration::from_micros(10));
-        metrics.record("consensus", Duration::from_micros(20));
-        metrics.record("stats", Duration::from_micros(10));
-        metrics.record("banana", Duration::from_micros(10));
-        assert_eq!(metrics.histogram("consensus").snapshot().count, 2);
-        assert_eq!(metrics.histogram("stats").snapshot().count, 1);
-        assert_eq!(metrics.histogram("other").snapshot().count, 1);
-        let snapshots = metrics.snapshots();
-        assert_eq!(snapshots.len(), ENDPOINT_LABELS.len());
-        assert_eq!(snapshots[0].0, "consensus");
-        let total: u64 = snapshots.iter().map(|(_, s)| s.count).sum();
-        assert_eq!(total, 4);
-    }
-
-    #[test]
     fn serve_counters_accumulate() {
         let counters = ServeCounters::new();
         counters.configure(256, 8);
@@ -275,5 +118,20 @@ mod tests {
         assert_eq!(snap.rejected_busy, 1);
         assert_eq!(snap.max_connections, 256);
         assert_eq!(snap.conn_threads, 8);
+    }
+
+    #[test]
+    fn snapshots_bridge_into_transport_stats() {
+        let counters = ServeCounters::new();
+        counters.configure(64, 4);
+        counters.record_accepted();
+        counters.record_request(false);
+        let stats: TransportStats = counters.snapshot().into();
+        assert_eq!(stats.max_connections, 64);
+        assert_eq!(stats.conn_threads, 4);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.rejected_busy, 0);
+        assert_eq!(stats.keepalive_reuses, 0);
     }
 }

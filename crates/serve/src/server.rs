@@ -28,7 +28,7 @@ use mani_engine::EngineConfig;
 
 use crate::handlers::{AppState, Handled};
 use crate::http::{HttpRequest, HttpResponse};
-use crate::json::error_body;
+use mani_service::error_body;
 
 /// Default bound on connections in flight (queued + being served).
 pub const DEFAULT_MAX_CONNECTIONS: usize = 256;

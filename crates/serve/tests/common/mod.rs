@@ -39,6 +39,45 @@ pub fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str
     .expect("send request");
 }
 
+/// Writes one request with an arbitrary (possibly binary) body and an
+/// explicit `Content-Type` — the columnar upload path. `close` adds
+/// `Connection: close`; otherwise HTTP/1.1 keep-alive applies.
+pub fn send_binary_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{connection}Content-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("send request head");
+    stream.write_all(body).expect("send request body");
+}
+
+/// One one-shot exchange with a binary body returning `(status, JSON)`.
+pub fn exchange_binary(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_binary_request(&mut stream, method, path, content_type, body, true);
+    let (status, _, body) = read_response(&mut stream);
+    let value = serde_json::from_str(&body).unwrap_or(Value::Null);
+    (status, value)
+}
+
 /// Reads exactly one HTTP response off the stream (headers, then the body's
 /// `Content-Length` bytes — works on keep-alive connections where EOF never
 /// comes). Returns `(status, headers, body)`; header names are lower-cased.

@@ -10,10 +10,13 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use common::{
-    connection_header, consensus_body, exchange, fetch_text, get_u64, read_response, send_request,
-    small_engine, spawn_server,
+    connection_header, consensus_body, demo_dataset, exchange, exchange_binary, fetch_text,
+    get_u64, read_response, send_binary_request, send_request, small_engine, spawn_server,
+    strip_volatile,
 };
-use mani_serve::ServerConfig;
+use mani_serve::{ServerConfig, COLUMNAR_CONTENT_TYPE};
+use mani_service::{encode_dataset, parse_body, parse_dataset};
+use serde::Value;
 
 /// Sum of every `mani_http_requests_total{endpoint=...}` sample in a
 /// Prometheus exposition body.
@@ -192,5 +195,122 @@ fn pooled_keep_alive_survives_concurrent_and_pipelined_load() {
         after.contains("mani_engine_jobs_submitted_total"),
         "engine counters missing from the exposition"
     );
+    handle.stop();
+}
+
+/// Mixed-codec load: concurrent clients alternating JSON and binary columnar
+/// uploads and solves of the *same* dataset. Every response must be a 200,
+/// the two representations must register under one content id and solve to
+/// bit-identical results (modulo wall-clock noise and cache markers), and
+/// the pool must serve the whole workload without a single reject.
+#[test]
+fn mixed_codec_workload_is_bit_identical_with_zero_rejects() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        cache_capacity: 32,
+        conn_threads: 4,
+        max_connections: 64,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // The columnar twin of the JSON demo dataset, encoded client-side.
+    let doc = demo_dataset("mixed");
+    let dataset = parse_dataset(&parse_body(&doc).expect("demo JSON")).expect("demo dataset");
+    let columnar = encode_dataset(&dataset);
+
+    // Both representations register under the same content id.
+    let (json_up_status, json_up) = exchange(addr, "POST", "/v1/datasets", &doc);
+    assert_eq!(json_up_status, 200, "{json_up:?}");
+    let (col_up_status, col_up) = exchange_binary(
+        addr,
+        "POST",
+        "/v1/datasets",
+        COLUMNAR_CONTENT_TYPE,
+        &columnar,
+    );
+    assert_eq!(col_up_status, 200, "{col_up:?}");
+    assert_eq!(
+        json_up.get("id").and_then(Value::as_str),
+        col_up.get("id").and_then(Value::as_str),
+        "codec twins must share the dataset content id"
+    );
+    assert_eq!(col_up.get("created"), Some(&Value::Bool(false)));
+
+    // Warm the shared response cache with a single JSON solve so the
+    // concurrent phase below deterministically replays one engine job
+    // (cold concurrent misses would each submit their own).
+    let json_solve = consensus_body("mixed", r#""Fair-Borda", "Fair-Copeland""#, 0.2, true);
+    let columnar_path = "/v1/consensus?methods=Fair-Borda,Fair-Copeland&delta=0.2&wait=true";
+    let (warm_status, _) = exchange(addr, "POST", "/v1/consensus", &json_solve);
+    assert_eq!(warm_status, 200);
+
+    // Concurrent mixed solves: even clients speak JSON, odd clients columnar,
+    // every exchange on a keep-alive connection. Each client returns its
+    // first solve payload for the cross-codec comparison.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let json_solve = json_solve.clone();
+            let columnar = columnar.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                let mut first: Option<Value> = None;
+                for round in 0..EXCHANGES_PER_CLIENT {
+                    if client % 2 == 0 {
+                        send_request(&mut stream, "POST", "/v1/consensus", &json_solve, false);
+                    } else {
+                        send_binary_request(
+                            &mut stream,
+                            "POST",
+                            columnar_path,
+                            COLUMNAR_CONTENT_TYPE,
+                            &columnar,
+                            false,
+                        );
+                    }
+                    let (status, _, body) = read_response(&mut stream);
+                    assert_eq!(status, 200, "client {client} round {round}: {body}");
+                    if first.is_none() {
+                        first = Some(serde_json::from_str(&body).expect("solve JSON"));
+                    }
+                }
+                first.expect("at least one exchange")
+            })
+        })
+        .collect();
+    let payloads: Vec<Value> = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("client thread"))
+        .collect();
+
+    // Bit-identical across codecs: strip wall-clock fields and the cache
+    // markers (whichever client solved first warmed the cache for the rest),
+    // then every payload — JSON-driven or columnar-driven — must be equal.
+    let reference = strip_volatile(&payloads[0], true);
+    for (client, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            strip_volatile(payload, true),
+            reference,
+            "client {client} diverged across codecs"
+        );
+    }
+
+    // The engine solved the dataset once; every other request replayed the
+    // shared response cache keyed by the common fingerprint. Nothing was
+    // rejected at the accept path or the media-type gate.
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    assert_eq!(
+        get_u64(&stats, &["server", "connections_rejected"]),
+        0,
+        "{stats:?}"
+    );
+    assert!(
+        get_u64(&stats, &["server", "requests_served"]) >= (CLIENTS * EXCHANGES_PER_CLIENT) as u64,
+        "{stats:?}"
+    );
+    assert_eq!(get_u64(&stats, &["engine", "submitted"]), 1, "{stats:?}");
     handle.stop();
 }

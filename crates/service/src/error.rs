@@ -1,0 +1,106 @@
+//! Transport-agnostic API errors.
+//!
+//! The service layer never speaks HTTP: failures carry an [`ApiErrorKind`]
+//! and a human-readable message, and each transport maps kinds onto its own
+//! wire vocabulary (an HTTP front-end maps them to 4xx/5xx statuses, a future
+//! RPC transport to its own error frames, the CLI to exit codes). Keeping
+//! numeric wire statuses out of this crate is CI-enforced by the layering
+//! guard in the lint job.
+
+use std::fmt;
+
+/// The class of an API failure, independent of any transport's encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiErrorKind {
+    /// The request was malformed or semantically invalid (bad field, unknown
+    /// method name, inconsistent dataset, undecodable body).
+    InvalidArgument,
+    /// The referenced entity (dataset id, job id, endpoint) does not exist.
+    NotFound,
+    /// A bounded resource is full (engine queue, dataset registry); the
+    /// request may succeed later.
+    Overloaded,
+    /// The request body's representation is not one the codec layer supports.
+    UnsupportedMedia,
+    /// The client asked for a response representation the service cannot
+    /// produce.
+    NotAcceptable,
+    /// An internal invariant failed while handling an otherwise valid
+    /// request.
+    Internal,
+}
+
+impl ApiErrorKind {
+    /// Stable lower-snake label for logs and structured error envelopes.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApiErrorKind::InvalidArgument => "invalid_argument",
+            ApiErrorKind::NotFound => "not_found",
+            ApiErrorKind::Overloaded => "overloaded",
+            ApiErrorKind::UnsupportedMedia => "unsupported_media",
+            ApiErrorKind::NotAcceptable => "not_acceptable",
+            ApiErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured service-layer failure: a [kind](ApiErrorKind) plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// What class of failure this is (drives the transport's status mapping).
+    pub kind: ApiErrorKind,
+    /// Human-readable description, safe to return to the client.
+    pub message: String,
+}
+
+impl ApiError {
+    /// An error of `kind` with `message`.
+    pub fn new(kind: ApiErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// An [`ApiErrorKind::InvalidArgument`] error.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Self::new(ApiErrorKind::InvalidArgument, message)
+    }
+
+    /// An [`ApiErrorKind::NotFound`] error.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(ApiErrorKind::NotFound, message)
+    }
+
+    /// An [`ApiErrorKind::Overloaded`] error.
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(ApiErrorKind::Overloaded, message)
+    }
+
+    /// An [`ApiErrorKind::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ApiErrorKind::Internal, message)
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_stable_labels_and_display() {
+        let err = ApiError::not_found("no such dataset `ds-1`");
+        assert_eq!(err.kind, ApiErrorKind::NotFound);
+        assert_eq!(err.to_string(), "not_found: no such dataset `ds-1`");
+        assert_eq!(ApiErrorKind::UnsupportedMedia.label(), "unsupported_media");
+        assert_eq!(ApiErrorKind::Overloaded.label(), "overloaded");
+    }
+}

@@ -1,7 +1,7 @@
-//! The persisted dataset registry behind `POST/GET/DELETE /v1/datasets`.
+//! The persisted dataset registry behind the datasets CRUD operations.
 //!
 //! Interactive clients (FairFuse-style threshold exploration) re-query the
-//! same candidate pool with varied deltas and methods. Re-POSTing a
+//! same candidate pool with varied deltas and methods. Re-uploading a
 //! multi-megabyte dataset per request wastes client bandwidth and server parse
 //! time, so the registry lets a client upload once and reference the dataset
 //! by id (`"dataset_id"` in consensus/audit bodies) for every later solve.
@@ -16,11 +16,12 @@ use std::sync::{Arc, Mutex};
 
 use mani_engine::EngineDataset;
 
-use crate::http::HttpError;
+use crate::error::ApiError;
 
-/// Most datasets held at once; uploads beyond this answer `429` until
-/// something is `DELETE`d. Bounds worst-case registry memory the same way the
-/// response cache bounds outcome memory.
+/// Most datasets held at once; uploads beyond this answer
+/// [`crate::ApiErrorKind::Overloaded`] until something is deleted. Bounds
+/// worst-case registry memory the same way the response cache bounds outcome
+/// memory.
 pub const MAX_REGISTERED_DATASETS: usize = 1024;
 
 /// Canonical registry id for a dataset: its content fingerprint, hex-encoded.
@@ -57,21 +58,18 @@ impl DatasetRegistry {
 
     /// Registers a dataset, returning `(id, created)`. Re-registering
     /// identical content is idempotent (`created == false`, same id); a full
-    /// registry rejects *new* content with `429`.
-    pub fn register(&self, dataset: Arc<EngineDataset>) -> Result<(String, bool), HttpError> {
+    /// registry rejects *new* content as overloaded.
+    pub fn register(&self, dataset: Arc<EngineDataset>) -> Result<(String, bool), ApiError> {
         let id = dataset_id(&dataset);
         let mut inner = self.inner.lock().expect("dataset registry lock poisoned");
         if inner.contains_key(&id) {
             return Ok((id, false));
         }
         if inner.len() >= self.capacity {
-            return Err(HttpError::new(
-                429,
-                format!(
-                    "dataset registry is full ({} entries); DELETE unused datasets first",
-                    self.capacity
-                ),
-            ));
+            return Err(ApiError::overloaded(format!(
+                "dataset registry is full ({} entries); DELETE unused datasets first",
+                self.capacity
+            )));
         }
         inner.insert(id.clone(), dataset);
         Ok((id, true))
@@ -86,13 +84,12 @@ impl DatasetRegistry {
             .cloned()
     }
 
-    /// Resolves an id or reports a `404` naming it.
-    pub fn resolve(&self, id: &str) -> Result<Arc<EngineDataset>, HttpError> {
+    /// Resolves an id or reports a not-found error naming it.
+    pub fn resolve(&self, id: &str) -> Result<Arc<EngineDataset>, ApiError> {
         self.get(id).ok_or_else(|| {
-            HttpError::new(
-                404,
-                format!("no such dataset `{id}` (upload via POST /v1/datasets)"),
-            )
+            ApiError::not_found(format!(
+                "no such dataset `{id}` (upload via POST /v1/datasets)"
+            ))
         })
     }
 
@@ -121,6 +118,7 @@ impl DatasetRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ApiErrorKind;
     use mani_ranking::{CandidateDbBuilder, Ranking, RankingProfile};
 
     fn dataset(name: &str, n: usize) -> Arc<EngineDataset> {
@@ -156,18 +154,18 @@ mod tests {
         assert!(registry.remove(&id).is_some());
         assert!(registry.remove(&id).is_none());
         let err = registry.resolve(&id).unwrap_err();
-        assert_eq!(err.status, 404);
+        assert_eq!(err.kind, ApiErrorKind::NotFound);
         assert!(err.message.contains(&id));
         assert!(registry.is_empty());
     }
 
     #[test]
-    fn full_registry_rejects_new_content_with_429() {
+    fn full_registry_rejects_new_content_as_overloaded() {
         let registry = DatasetRegistry::new(2);
         registry.register(dataset("a", 4)).unwrap();
         registry.register(dataset("b", 6)).unwrap();
         let err = registry.register(dataset("c", 8)).unwrap_err();
-        assert_eq!(err.status, 429);
+        assert_eq!(err.kind, ApiErrorKind::Overloaded);
         // Existing content still registers idempotently at capacity.
         let (_, created) = registry.register(dataset("a2", 4)).unwrap();
         assert!(!created);

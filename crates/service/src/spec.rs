@@ -1,5 +1,6 @@
-//! JSON body codec: parses API payloads into engine types and renders engine
-//! results back out, all over the workspace's serde shim [`Value`] data model.
+//! Consensus request specs: parsing API payloads into engine types and
+//! rendering engine results back out, all over the workspace's serde shim
+//! [`Value`] data model.
 //!
 //! A consensus payload looks like:
 //!
@@ -25,6 +26,10 @@
 //! Attribute value domains are inferred in first-appearance order across the
 //! candidate list (like the CSV front-end); the optional `domains` object pins
 //! an explicit order so group ids stay stable across clients.
+//!
+//! [`dataset_to_value`] is the inverse of [`parse_dataset`]: it renders a
+//! dataset back into this JSON shape (used by the wire-codec bench and the
+//! differential columnar-vs-JSON tests).
 
 use std::sync::Arc;
 
@@ -34,8 +39,9 @@ use mani_fairness::FairnessThresholds;
 use mani_ranking::{CandidateDb, CandidateDbBuilder, Ranking, RankingProfile};
 use serde::{Serialize, Value};
 
-use crate::datasets::DatasetRegistry;
-use crate::http::HttpError;
+use crate::error::ApiError;
+use crate::registry::DatasetRegistry;
+use crate::value::{as_f64, obj, s};
 
 /// One fully parsed consensus request spec, ready to submit or cache-key.
 #[derive(Debug, Clone)]
@@ -81,67 +87,27 @@ impl ConsensusSpec {
     }
 }
 
-/// Parses a request body into a JSON [`Value`].
-pub fn parse_body(text: &str) -> Result<Value, HttpError> {
-    serde_json::from_str(text).map_err(|e| HttpError::bad(format!("invalid JSON body: {e}")))
-}
-
-/// Renders a JSON [`Value`] to compact text.
-pub fn render(value: &Value) -> String {
-    serde_json::to_string(value).expect("shim serialization of a Value cannot fail")
-}
-
-/// Builds a JSON object from `(key, value)` pairs.
-pub fn obj(entries: Vec<(&str, Value)>) -> Value {
-    Value::Object(
-        entries
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-/// A JSON string value.
-pub fn s(text: impl Into<String>) -> Value {
-    Value::String(text.into())
-}
-
-/// The standard error body `{"error": ...}`.
-pub fn error_body(message: &str) -> String {
-    render(&obj(vec![("error", s(message))]))
-}
-
-/// Appends one `(key, value)` entry to a JSON object value.
-pub fn with_entry(value: Value, key: &str, entry: Value) -> Value {
-    match value {
-        Value::Object(mut entries) => {
-            entries.push((key.to_string(), entry));
-            Value::Object(entries)
-        }
-        other => obj(vec![("value", other), (key, entry)]),
-    }
-}
-
 /// Resolves the dataset of a request body: inline under `dataset`, or by
-/// registry id under `dataset_id` (uploaded via `POST /v1/datasets`).
+/// registry id under `dataset_id` (uploaded through the datasets operation).
 pub fn resolve_spec_dataset(
     value: &Value,
     registry: Option<&DatasetRegistry>,
-) -> Result<Arc<EngineDataset>, HttpError> {
+) -> Result<Arc<EngineDataset>, ApiError> {
     match (value.get("dataset"), value.get("dataset_id")) {
-        (Some(_), Some(_)) => Err(HttpError::bad(
+        (Some(_), Some(_)) => Err(ApiError::invalid(
             "pass either `dataset` or `dataset_id`, not both",
         )),
         (Some(inline), None) => parse_dataset(inline),
         (None, Some(raw)) => {
             let id = raw
                 .as_str()
-                .ok_or_else(|| HttpError::bad("`dataset_id` must be a string"))?;
-            let registry = registry
-                .ok_or_else(|| HttpError::bad("`dataset_id` is not supported in this context"))?;
+                .ok_or_else(|| ApiError::invalid("`dataset_id` must be a string"))?;
+            let registry = registry.ok_or_else(|| {
+                ApiError::invalid("`dataset_id` is not supported in this context")
+            })?;
             registry.resolve(id)
         }
-        (None, None) => Err(HttpError::bad("missing `dataset` (or `dataset_id`)")),
+        (None, None) => Err(ApiError::invalid("missing `dataset` (or `dataset_id`)")),
     }
 }
 
@@ -150,17 +116,11 @@ pub fn resolve_spec_dataset(
 pub fn parse_consensus_spec(
     value: &Value,
     registry: Option<&DatasetRegistry>,
-) -> Result<ConsensusSpec, HttpError> {
+) -> Result<ConsensusSpec, ApiError> {
     let dataset = resolve_spec_dataset(value, registry)?;
     let methods = parse_methods(value.get("methods"))?;
     let thresholds = parse_thresholds(value, dataset.db())?;
-    let budget = match value.get("budget") {
-        None | Some(Value::Null) => None,
-        Some(raw) => Some(
-            u64::deserialize_shim(raw)
-                .map_err(|_| HttpError::bad("`budget` must be an integer"))?,
-        ),
-    };
+    let budget = parse_budget(value.get("budget"))?;
     Ok(ConsensusSpec {
         dataset,
         methods,
@@ -169,59 +129,45 @@ pub fn parse_consensus_spec(
     })
 }
 
-/// Small extension so integers parse uniformly off the shim data model.
-trait DeserializeShim: Sized {
-    fn deserialize_shim(value: &Value) -> Result<Self, ()>;
-}
-
-impl DeserializeShim for u64 {
-    fn deserialize_shim(value: &Value) -> Result<Self, ()> {
-        match value {
-            Value::UInt(u) => Ok(*u),
-            Value::Int(i) if *i >= 0 => Ok(*i as u64),
-            _ => Err(()),
-        }
-    }
-}
-
-/// Reads an `f64` field off a JSON value.
-pub(crate) fn as_f64(value: &Value, what: &str) -> Result<f64, HttpError> {
+/// Parses the optional exact-solver node budget.
+pub fn parse_budget(value: Option<&Value>) -> Result<Option<u64>, ApiError> {
     match value {
-        Value::Float(f) => Ok(*f),
-        Value::UInt(u) => Ok(*u as f64),
-        Value::Int(i) => Ok(*i as f64),
-        _ => Err(HttpError::bad(format!("{what} must be a number"))),
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(u)) => Ok(Some(*u)),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(_) => Err(ApiError::invalid("`budget` must be an integer")),
     }
 }
 
 /// Parses the `methods` list (default: the paper's four proposed methods).
-pub fn parse_methods(value: Option<&Value>) -> Result<Vec<MethodKind>, HttpError> {
+pub fn parse_methods(value: Option<&Value>) -> Result<Vec<MethodKind>, ApiError> {
     let Some(value) = value else {
         return Ok(MethodKind::proposed().to_vec());
     };
     let names = value
         .as_array()
-        .ok_or_else(|| HttpError::bad("`methods` must be an array of method names"))?;
+        .ok_or_else(|| ApiError::invalid("`methods` must be an array of method names"))?;
     if names.is_empty() {
-        return Err(HttpError::bad("`methods` must not be empty"));
+        return Err(ApiError::invalid("`methods` must not be empty"));
     }
     let methods: Vec<MethodKind> = names
         .iter()
         .map(|name| {
             let name = name
                 .as_str()
-                .ok_or_else(|| HttpError::bad("`methods` entries must be strings"))?;
+                .ok_or_else(|| ApiError::invalid("`methods` entries must be strings"))?;
             MethodKind::parse(name).ok_or_else(|| {
-                HttpError::bad(format!("unknown method `{name}` (see GET /v1/methods)"))
+                ApiError::invalid(format!("unknown method `{name}` (see GET /v1/methods)"))
             })
         })
         .collect::<Result<_, _>>()?;
-    // Reject duplicates here so the client gets a deterministic 400 (the
-    // engine would reject them too, but only inside an otherwise-200 response,
-    // and a response-cache hit would mask the problem entirely).
+    // Reject duplicates here so the client gets a deterministic invalid-
+    // argument error (the engine would reject them too, but only inside an
+    // otherwise-successful response, and a response-cache hit would mask the
+    // problem entirely).
     for (i, kind) in methods.iter().enumerate() {
         if methods[..i].contains(kind) {
-            return Err(HttpError::bad(format!(
+            return Err(ApiError::invalid(format!(
                 "method `{}` listed twice in `methods`",
                 kind.name()
             )));
@@ -230,8 +176,20 @@ pub fn parse_methods(value: Option<&Value>) -> Result<Vec<MethodKind>, HttpError
     Ok(methods)
 }
 
+/// Parses a comma-separated method list (the query-string form used by
+/// columnar uploads, where the body is the dataset itself).
+pub fn parse_methods_csv(raw: &str) -> Result<Vec<MethodKind>, ApiError> {
+    let names: Vec<Value> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(s)
+        .collect();
+    parse_methods(Some(&Value::Array(names)))
+}
+
 /// Parses the threshold fields (`delta`, `attribute_deltas`, `intersection_delta`).
-fn parse_thresholds(value: &Value, db: &CandidateDb) -> Result<FairnessThresholds, HttpError> {
+fn parse_thresholds(value: &Value, db: &CandidateDb) -> Result<FairnessThresholds, ApiError> {
     let delta = match value.get("delta") {
         None | Some(Value::Null) => 0.1,
         Some(raw) => as_f64(raw, "`delta`")?,
@@ -240,10 +198,10 @@ fn parse_thresholds(value: &Value, db: &CandidateDb) -> Result<FairnessThreshold
     if let Some(overrides) = value.get("attribute_deltas") {
         let entries = overrides
             .as_object()
-            .ok_or_else(|| HttpError::bad("`attribute_deltas` must be an object"))?;
+            .ok_or_else(|| ApiError::invalid("`attribute_deltas` must be an object"))?;
         for (attribute, raw) in entries {
             let id = db.schema().attribute_id(attribute).ok_or_else(|| {
-                HttpError::bad(format!(
+                ApiError::invalid(format!(
                     "unknown attribute `{attribute}` in `attribute_deltas`"
                 ))
             })?;
@@ -261,20 +219,20 @@ fn parse_thresholds(value: &Value, db: &CandidateDb) -> Result<FairnessThreshold
 
 /// Parses an inline dataset: candidates with attribute assignments plus a
 /// profile of rankings over them.
-pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
+pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, ApiError> {
     let name = match value.get("name") {
         Some(raw) => raw
             .as_str()
-            .ok_or_else(|| HttpError::bad("dataset `name` must be a string"))?
+            .ok_or_else(|| ApiError::invalid("dataset `name` must be a string"))?
             .to_string(),
         None => "dataset".to_string(),
     };
     let candidates = value
         .get("candidates")
         .and_then(Value::as_array)
-        .ok_or_else(|| HttpError::bad("dataset needs a `candidates` array"))?;
+        .ok_or_else(|| ApiError::invalid("dataset needs a `candidates` array"))?;
     if candidates.is_empty() {
-        return Err(HttpError::bad("`candidates` must not be empty"));
+        return Err(ApiError::invalid("`candidates` must not be empty"));
     }
 
     // Pass 1: attribute order from the first candidate, then value domains in
@@ -282,10 +240,10 @@ pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
     let first = candidates[0]
         .get("attributes")
         .and_then(Value::as_object)
-        .ok_or_else(|| HttpError::bad("every candidate needs an `attributes` object"))?;
+        .ok_or_else(|| ApiError::invalid("every candidate needs an `attributes` object"))?;
     let attribute_names: Vec<String> = first.iter().map(|(k, _)| k.clone()).collect();
     if attribute_names.is_empty() {
-        return Err(HttpError::bad(
+        return Err(ApiError::invalid(
             "candidates need at least one protected attribute",
         ));
     }
@@ -298,11 +256,11 @@ pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
         let name = candidate
             .get("name")
             .and_then(Value::as_str)
-            .ok_or_else(|| HttpError::bad("every candidate needs a string `name`"))?;
+            .ok_or_else(|| ApiError::invalid("every candidate needs a string `name`"))?;
         let attributes = candidate
             .get("attributes")
             .and_then(Value::as_object)
-            .ok_or_else(|| HttpError::bad("every candidate needs an `attributes` object"))?;
+            .ok_or_else(|| ApiError::invalid("every candidate needs an `attributes` object"))?;
         let mut assignment = Vec::with_capacity(attribute_names.len());
         for (index, attribute) in attribute_names.iter().enumerate() {
             let raw = attributes
@@ -310,12 +268,12 @@ pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
                 .find(|(k, _)| k == attribute)
                 .map(|(_, v)| v)
                 .ok_or_else(|| {
-                    HttpError::bad(format!(
+                    ApiError::invalid(format!(
                         "candidate `{name}` is missing attribute `{attribute}`"
                     ))
                 })?;
             let label = raw.as_str().ok_or_else(|| {
-                HttpError::bad(format!(
+                ApiError::invalid(format!(
                     "attribute `{attribute}` of `{name}` must be a string"
                 ))
             })?;
@@ -332,43 +290,45 @@ pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
     let mut attribute_ids = Vec::with_capacity(attribute_names.len());
     for (attribute, domain) in attribute_names.iter().zip(&domains) {
         if domain.len() < 2 {
-            return Err(HttpError::bad(format!(
+            return Err(ApiError::invalid(format!(
                 "attribute `{attribute}` has {} distinct value(s); protected attributes need at least 2",
                 domain.len()
             )));
         }
         let id = builder
             .add_attribute(attribute.clone(), domain.iter().map(String::as_str))
-            .map_err(|e| HttpError::bad(e.to_string()))?;
+            .map_err(|e| ApiError::invalid(e.to_string()))?;
         attribute_ids.push(id);
     }
     for (name, assignment) in rows {
         builder
             .add_candidate_named(name, attribute_ids.iter().copied().zip(assignment))
-            .map_err(|e| HttpError::bad(e.to_string()))?;
+            .map_err(|e| ApiError::invalid(e.to_string()))?;
     }
-    let db = builder.build().map_err(|e| HttpError::bad(e.to_string()))?;
+    let db = builder
+        .build()
+        .map_err(|e| ApiError::invalid(e.to_string()))?;
 
     // Pass 3: the ranking profile over the built database.
     let rankings = value
         .get("rankings")
         .and_then(Value::as_array)
-        .ok_or_else(|| HttpError::bad("dataset needs a `rankings` array"))?;
+        .ok_or_else(|| ApiError::invalid("dataset needs a `rankings` array"))?;
     if rankings.is_empty() {
-        return Err(HttpError::bad("`rankings` must not be empty"));
+        return Err(ApiError::invalid("`rankings` must not be empty"));
     }
     let mut parsed = Vec::with_capacity(rankings.len());
     for (index, ranking) in rankings.iter().enumerate() {
-        let names = ranking
-            .as_array()
-            .ok_or_else(|| HttpError::bad(format!("ranking {index} must be an array of names")))?;
+        let names = ranking.as_array().ok_or_else(|| {
+            ApiError::invalid(format!("ranking {index} must be an array of names"))
+        })?;
         let mut order = Vec::with_capacity(names.len());
         for raw in names {
             let candidate = raw.as_str().ok_or_else(|| {
-                HttpError::bad(format!("ranking {index} entries must be strings"))
+                ApiError::invalid(format!("ranking {index} entries must be strings"))
             })?;
             let id = db.candidate_by_name(candidate).ok_or_else(|| {
-                HttpError::bad(format!(
+                ApiError::invalid(format!(
                     "ranking {index} names unknown candidate `{candidate}`"
                 ))
             })?;
@@ -376,38 +336,101 @@ pub fn parse_dataset(value: &Value) -> Result<Arc<EngineDataset>, HttpError> {
         }
         parsed.push(
             Ranking::from_order(order)
-                .map_err(|e| HttpError::bad(format!("ranking {index}: {e}")))?,
+                .map_err(|e| ApiError::invalid(format!("ranking {index}: {e}")))?,
         );
     }
     let profile =
-        RankingProfile::for_database(&db, parsed).map_err(|e| HttpError::bad(e.to_string()))?;
+        RankingProfile::for_database(&db, parsed).map_err(|e| ApiError::invalid(e.to_string()))?;
     EngineDataset::new(name, db, profile)
         .map(Arc::new)
-        .map_err(|e| HttpError::bad(e.to_string()))
+        .map_err(|e| ApiError::invalid(e.to_string()))
 }
 
 /// Values pinned for `attribute` by the optional `domains` object.
-fn declared_domain(dataset: &Value, attribute: &str) -> Result<Vec<String>, HttpError> {
+fn declared_domain(dataset: &Value, attribute: &str) -> Result<Vec<String>, ApiError> {
     let Some(domains) = dataset.get("domains") else {
         return Ok(Vec::new());
     };
     let entries = domains
         .as_object()
-        .ok_or_else(|| HttpError::bad("`domains` must be an object"))?;
+        .ok_or_else(|| ApiError::invalid("`domains` must be an object"))?;
     let Some(raw) = entries.iter().find(|(k, _)| k == attribute).map(|(_, v)| v) else {
         return Ok(Vec::new());
     };
     let values = raw
         .as_array()
-        .ok_or_else(|| HttpError::bad(format!("`domains.{attribute}` must be an array")))?;
+        .ok_or_else(|| ApiError::invalid(format!("`domains.{attribute}` must be an array")))?;
     values
         .iter()
         .map(|v| {
             v.as_str().map(str::to_string).ok_or_else(|| {
-                HttpError::bad(format!("`domains.{attribute}` entries must be strings"))
+                ApiError::invalid(format!("`domains.{attribute}` entries must be strings"))
             })
         })
         .collect()
+}
+
+/// Renders a dataset back into the JSON upload shape [`parse_dataset`]
+/// accepts: `name`, `candidates` (with `attributes` objects), `rankings`
+/// (name lists), and a `domains` object pinning every attribute's declared
+/// value order so a round-trip rebuilds identical value ids (and therefore an
+/// identical content fingerprint).
+pub fn dataset_to_value(dataset: &EngineDataset) -> Value {
+    let db = dataset.db();
+    let schema = db.schema();
+    let attributes: Vec<(String, Vec<String>)> = schema
+        .attributes()
+        .map(|(_, attribute)| {
+            (
+                attribute.name().to_string(),
+                attribute.values().map(str::to_string).collect(),
+            )
+        })
+        .collect();
+    let candidates = Value::Array(
+        db.candidates()
+            .map(|(_, candidate)| {
+                let assigned = Value::Object(
+                    attributes
+                        .iter()
+                        .zip(candidate.values())
+                        .map(|((name, domain), value)| {
+                            (name.clone(), s(domain[value.index()].clone()))
+                        })
+                        .collect(),
+                );
+                obj(vec![
+                    ("name", s(candidate.name())),
+                    ("attributes", assigned),
+                ])
+            })
+            .collect(),
+    );
+    let rankings = Value::Array(
+        dataset
+            .profile()
+            .rankings()
+            .iter()
+            .map(|ranking| ranking_names(ranking, db))
+            .collect(),
+    );
+    let domains = Value::Object(
+        attributes
+            .iter()
+            .map(|(name, domain)| {
+                (
+                    name.clone(),
+                    Value::Array(domain.iter().map(|v| s(v.clone())).collect()),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("name", s(dataset.name())),
+        ("candidates", candidates),
+        ("rankings", rankings),
+        ("domains", domains),
+    ])
 }
 
 /// Candidate names of a ranking, best first.
@@ -456,6 +479,8 @@ pub fn method_result_json(result: &MethodResult, db: &CandidateDb) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ApiErrorKind;
+    use crate::value::parse_body;
 
     pub(crate) fn demo_spec_value(delta: f64) -> Value {
         parse_body(&format!(
@@ -498,8 +523,19 @@ mod tests {
         assert!(parse_methods(Some(&Value::Array(vec![s("Fair-Nope")]))).is_err());
         let duplicated = Value::Array(vec![s("Fair-Borda"), s("Fair-Borda")]);
         let err = parse_methods(Some(&duplicated)).unwrap_err();
-        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, ApiErrorKind::InvalidArgument);
         assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn methods_parse_from_csv_form() {
+        let methods = parse_methods_csv("Fair-Borda, Fair-Copeland").unwrap();
+        assert_eq!(
+            methods,
+            vec![MethodKind::FairBorda, MethodKind::FairCopeland]
+        );
+        assert!(parse_methods_csv("Fair-Borda,Fair-Borda").is_err());
+        assert!(parse_methods_csv("").is_err(), "empty list is invalid");
     }
 
     #[test]
@@ -640,8 +676,8 @@ mod tests {
             "dataset_id and inline specs must share the response cache"
         );
 
-        // Unknown ids are 404; missing registry support is 400; both-at-once
-        // is 400.
+        // Unknown ids are not-found; missing registry support and
+        // both-at-once are invalid arguments.
         let mut unknown = by_id.clone();
         if let Value::Object(ref mut entries) = unknown {
             entries.retain(|(k, _)| k != "dataset_id");
@@ -650,10 +686,13 @@ mod tests {
         assert_eq!(
             parse_consensus_spec(&unknown, Some(&registry))
                 .unwrap_err()
-                .status,
-            404
+                .kind,
+            ApiErrorKind::NotFound
         );
-        assert_eq!(parse_consensus_spec(&by_id, None).unwrap_err().status, 400);
+        assert_eq!(
+            parse_consensus_spec(&by_id, None).unwrap_err().kind,
+            ApiErrorKind::InvalidArgument
+        );
         let mut both = demo_spec_value(0.2);
         if let Value::Object(ref mut entries) = both {
             entries.push(("dataset_id".to_string(), s(id)));
@@ -663,14 +702,18 @@ mod tests {
     }
 
     #[test]
-    fn json_helpers_build_objects() {
-        let value = with_entry(
-            obj(vec![("a", Value::UInt(1))]),
-            "cached",
-            Value::Bool(true),
+    fn dataset_to_value_round_trips_bit_identically() {
+        let spec = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
+        let encoded = dataset_to_value(&spec.dataset);
+        let reparsed = parse_dataset(&encoded).unwrap();
+        assert_eq!(
+            reparsed.fingerprint(),
+            spec.dataset.fingerprint(),
+            "JSON round-trip must preserve the content fingerprint"
         );
-        let text = render(&value);
-        assert_eq!(text, r#"{"a":1,"cached":true}"#);
-        assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
+        assert_eq!(reparsed.name(), "demo");
+        // Round-tripping the rendered form again is a fixed point.
+        let again = dataset_to_value(&reparsed);
+        assert_eq!(crate::value::render(&encoded), crate::value::render(&again));
     }
 }

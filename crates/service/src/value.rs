@@ -1,0 +1,89 @@
+//! Small helpers over the serde shim [`Value`] data model: building objects,
+//! rendering compact JSON text, and parsing request documents.
+
+use serde::Value;
+
+use crate::error::ApiError;
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse_body(text: &str) -> Result<Value, ApiError> {
+    serde_json::from_str(text).map_err(|e| ApiError::invalid(format!("invalid JSON body: {e}")))
+}
+
+/// Renders a JSON [`Value`] to compact text.
+pub fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("shim serialization of a Value cannot fail")
+}
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A JSON string value.
+pub fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// The standard error body `{"error": ...}`.
+pub fn error_body(message: &str) -> String {
+    render(&obj(vec![("error", s(message))]))
+}
+
+/// Appends one `(key, value)` entry to a JSON object value.
+pub fn with_entry(value: Value, key: &str, entry: Value) -> Value {
+    match value {
+        Value::Object(mut entries) => {
+            entries.push((key.to_string(), entry));
+            Value::Object(entries)
+        }
+        other => obj(vec![("value", other), (key, entry)]),
+    }
+}
+
+/// Reads an `f64` field off a JSON value.
+pub fn as_f64(value: &Value, what: &str) -> Result<f64, ApiError> {
+    match value {
+        Value::Float(f) => Ok(*f),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Int(i) => Ok(*i as f64),
+        _ => Err(ApiError::invalid(format!("{what} must be a number"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers_build_objects() {
+        let value = with_entry(
+            obj(vec![("a", Value::UInt(1))]),
+            "cached",
+            Value::Bool(true),
+        );
+        let text = render(&value);
+        assert_eq!(text, r#"{"a":1,"cached":true}"#);
+        assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        let err = parse_body("{not json").unwrap_err();
+        assert_eq!(err.kind, crate::error::ApiErrorKind::InvalidArgument);
+        assert!(err.message.contains("invalid JSON body"));
+    }
+
+    #[test]
+    fn as_f64_accepts_every_numeric_shape() {
+        assert_eq!(as_f64(&Value::Float(0.5), "x").unwrap(), 0.5);
+        assert_eq!(as_f64(&Value::UInt(2), "x").unwrap(), 2.0);
+        assert_eq!(as_f64(&Value::Int(-3), "x").unwrap(), -3.0);
+        assert!(as_f64(&Value::String("nope".into()), "x").is_err());
+    }
+}

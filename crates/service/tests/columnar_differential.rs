@@ -1,0 +1,197 @@
+//! Differential tests for the binary columnar dataset codec: a columnar
+//! encode → decode round trip must reproduce exactly the dataset the JSON
+//! parser builds from the same rows — same fingerprint, same structure — and
+//! consensus over the columnar twin must be bit-identical to the JSON twin.
+
+use std::sync::Arc;
+
+use mani_core::MethodKind;
+use mani_engine::{EngineConfig, EngineDataset};
+use mani_fairness::FairnessThresholds;
+use mani_service::{
+    dataset_to_value, decode_dataset, encode_dataset, method_result_json, parse_body,
+    parse_dataset, render, ColumnarDataset, ConsensusSpec, Service,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random JSON dataset document: `n` candidates over one group attribute,
+/// `m` random-permutation rankings.
+fn random_dataset_json(n: usize, m: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<String> = (0..n)
+        .map(|i| {
+            // Alternate groups so the protected attribute always has two
+            // distinct values (the parsers reject degenerate domains).
+            let group = if i % 2 == 0 { "x" } else { "y" };
+            let _ = &mut rng;
+            format!(r#"{{"name": "cand-{i:03}", "attributes": {{"G": "{group}"}}}}"#)
+        })
+        .collect();
+    let rankings: Vec<String> = (0..m)
+        .map(|_| {
+            let mut ids: Vec<usize> = (0..n).collect();
+            // Fisher-Yates over candidate indexes.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..i + 1);
+                ids.swap(i, j);
+            }
+            let names: Vec<String> = ids.iter().map(|i| format!(r#""cand-{i:03}""#)).collect();
+            format!("[{}]", names.join(","))
+        })
+        .collect();
+    format!(
+        r#"{{"name": "prop", "candidates": [{}], "rankings": [{}]}}"#,
+        candidates.join(","),
+        rankings.join(",")
+    )
+}
+
+fn json_parsed(doc: &str) -> Arc<EngineDataset> {
+    parse_dataset(&parse_body(doc).expect("valid JSON")).expect("valid dataset")
+}
+
+/// Structural equality via the canonical JSON rendering (name, attribute
+/// schema, candidate rows, and every ranking in order).
+fn canonical(dataset: &EngineDataset) -> String {
+    render(&dataset_to_value(dataset))
+}
+
+proptest! {
+    #[test]
+    fn prop_columnar_round_trip_matches_json_parse(
+        n in 2usize..24,
+        m in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let doc = random_dataset_json(n, m, seed);
+        let from_json = json_parsed(&doc);
+        let decoded = decode_dataset(&encode_dataset(&from_json)).expect("round trip");
+        prop_assert_eq!(from_json.fingerprint(), decoded.fingerprint());
+        prop_assert_eq!(canonical(&from_json), canonical(&decoded));
+    }
+
+    #[test]
+    fn prop_weighted_columnar_expands_like_repeated_json_rankings(
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<u32> = (0..3).map(|_| rng.gen_range(1..4) as u32).collect();
+        let doc = random_dataset_json(n, weights.len(), seed);
+        let base = json_parsed(&doc);
+
+        // Weighted columnar document: each ranking carries a multiplicity.
+        let mut columns = ColumnarDataset::from_dataset(&base);
+        columns.weights = Some(weights.clone());
+        let decoded = decode_dataset(&columns.encode().expect("encode")).expect("decode");
+
+        // JSON twin: the same rankings repeated weight-many times.
+        let parsed = parse_body(&doc).unwrap();
+        let rankings = parsed.get("rankings").and_then(|v| v.as_array()).unwrap();
+        let repeated: Vec<String> = rankings
+            .iter()
+            .zip(&weights)
+            .flat_map(|(ranking, w)| std::iter::repeat_n(render(ranking), *w as usize))
+            .collect();
+        let twin_doc = format!(
+            r#"{{"name": "prop", "candidates": {}, "rankings": [{}]}}"#,
+            render(parsed.get("candidates").unwrap()),
+            repeated.join(",")
+        );
+        let twin = json_parsed(&twin_doc);
+        prop_assert_eq!(twin.fingerprint(), decoded.fingerprint());
+        prop_assert_eq!(canonical(&twin), canonical(&decoded));
+    }
+
+    #[test]
+    fn prop_consensus_is_bit_identical_across_codecs(seed in any::<u64>()) {
+        let doc = random_dataset_json(6, 4, seed);
+        let from_json = json_parsed(&doc);
+        let from_columnar = decode_dataset(&encode_dataset(&from_json)).expect("round trip");
+
+        let service = Service::new(
+            EngineConfig { threads: 2, ..EngineConfig::default() },
+            16,
+        );
+        let spec = |dataset: Arc<EngineDataset>| ConsensusSpec {
+            dataset,
+            methods: vec![MethodKind::FairBorda, MethodKind::FairCopeland],
+            thresholds: FairnessThresholds::uniform(0.2),
+            budget: None,
+        };
+        let handles = service
+            .submit(&[spec(Arc::clone(&from_json)), spec(from_columnar)])
+            .expect("submit");
+        // Strip the volatile timing/cache fields; everything else — rankings,
+        // losses, ARPs, satisfaction — must match byte for byte.
+        let stable = |value: serde::Value| match value {
+            serde::Value::Object(entries) => serde::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(k, _)| k != "duration_ms" && k != "precedence_cache_hit")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let rendered: Vec<Vec<String>> = handles
+            .iter()
+            .map(|handle| {
+                let response = handle.wait();
+                response
+                    .results
+                    .iter()
+                    .map(|result| match result {
+                        Ok(ok) => render(&stable(method_result_json(ok, from_json.db()))),
+                        Err(e) => format!("error: {e}"),
+                    })
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(&rendered[0], &rendered[1], "codec twins must solve identically");
+    }
+}
+
+#[test]
+fn single_candidate_dataset_is_rejected_by_both_codecs() {
+    // One candidate cannot produce the two distinct protected-attribute
+    // values the parsers require; the codecs must agree on the refusal.
+    let doc = r#"{"name": "solo", "candidates": [{"name": "only", "attributes": {"G": "x"}}], "rankings": [["only"]]}"#;
+    let json_err = parse_dataset(&parse_body(doc).unwrap()).expect_err("JSON refuses");
+    let columns = ColumnarDataset {
+        name: "solo".to_string(),
+        attributes: vec![("G".to_string(), vec!["x".to_string()])],
+        candidates: vec![("only".to_string(), vec![0])],
+        rankings: vec![vec![0]],
+        weights: None,
+    };
+    let columnar_err = columns.encode().expect_err("columnar refuses");
+    assert!(
+        json_err.message.contains("at least 2"),
+        "{}",
+        json_err.message
+    );
+    assert!(
+        columnar_err.message.contains("at least 2"),
+        "{}",
+        columnar_err.message
+    );
+}
+
+#[test]
+fn max_u32_ranking_ids_are_rejected_not_wrapped() {
+    let doc = random_dataset_json(4, 2, 7);
+    let from_json = json_parsed(&doc);
+    let mut encoded = encode_dataset(&from_json);
+    // Unweighted layout puts the ranking items last: 4 candidates × 2
+    // rankings of u32 ids. Splice u32::MAX over the first item.
+    let first_item = encoded.len() - 4 * 4 * 2;
+    encoded[first_item..first_item + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let error = decode_dataset(&encoded).expect_err("out-of-range id must not decode");
+    assert!(
+        error.message.contains("4294967295"),
+        "error names the bad id: {}",
+        error.message
+    );
+}
