@@ -18,7 +18,8 @@
 //! precedence-matrix construction, Schulze strongest paths, and the
 //! Fair-Kemeny branch and bound — at a grid of `(n, |R|)` points, serial
 //! versus parallel, and (for Schulze) against the legacy nested-`Vec` kernel
-//! kept as the in-tree baseline. Results are written as JSON so successive
+//! kept as the in-tree baseline; plus the wire codecs and the `delta_update`
+//! row comparing an append-1 precedence delta against a full rebuild. Results are written as JSON so successive
 //! PRs have a trajectory to compare against; CI smoke-runs the tiny grid
 //! (`--smoke`) to keep this harness compiling and running.
 //!
@@ -32,7 +33,7 @@ use mani_aggregation::SchulzeAggregator;
 use mani_bench::BenchFixture;
 use mani_core::{FairKemeny, MfcrMethod};
 use mani_engine::EngineDataset;
-use mani_ranking::{available_threads, Parallelism};
+use mani_ranking::{available_threads, Parallelism, PrecedenceMatrix, Ranking};
 use mani_service::{
     dataset_to_value, decode_dataset, encode_dataset, parse_body, parse_dataset, render,
 };
@@ -131,12 +132,13 @@ fn main() {
     // regime, and the full grid extends to the CSRankings-scale points
     // n ∈ {1000, 2000, 5000}. The wire-codec grid sweeps ranking count (the
     // axis the two encodings diverge on) at a fixed candidate pool.
-    let (matrix_grid, schulze_grid, kemeny_grid, codec_grid, mut iters) = if smoke {
+    let (matrix_grid, schulze_grid, kemeny_grid, codec_grid, delta_grid, mut iters) = if smoke {
         (
             vec![(48, 64)],
             vec![(48, 24), (1000, 16)],
             vec![(10, 8)],
             vec![(32, 200)],
+            vec![(48, 64)],
             3usize,
         )
     } else {
@@ -152,6 +154,7 @@ fn main() {
             ],
             vec![(20, 12), (26, 12)],
             vec![(50, 1000), (50, 10000)],
+            vec![(160, 1000), (160, 10000)],
             3usize,
         )
     };
@@ -174,6 +177,10 @@ fn main() {
     for &(n, r) in &codec_grid {
         eprintln!("wire-codec n={n} |R|={r} ...");
         entries.push(bench_wire_codec(n, r, iters));
+    }
+    for &(n, r) in &delta_grid {
+        eprintln!("delta-update n={n} |R|={r} ...");
+        entries.push(bench_delta_update(n, r, iters));
     }
 
     let body = render_json(threads, iters, smoke, timestamp.as_deref(), &entries);
@@ -582,6 +589,43 @@ fn bench_wire_codec(n: usize, r: usize, iters: usize) -> Entry {
             (
                 "col_decode_mb_s".into(),
                 mb_s(col_bytes.len(), col_decode_ns),
+            ),
+        ],
+    }
+}
+
+/// Incremental-update kernel: one appended ranking applied as an O(n²) delta
+/// (`PrecedenceMatrix::apply_append` on a clone of the warm parent — the same
+/// clone-then-apply shape the engine's versioned cache uses) against a full
+/// `from_rankings` rebuild over the edited profile. Rankings are the axis a
+/// delta wins on (the rebuild is O(|R|·n²), the delta O(n²)), so the grid
+/// sweeps `|R|` at a fixed pool. Not a `--compare`-gated metric: the delta
+/// row records the speedup trajectory the incremental API rests on.
+fn bench_delta_update(n: usize, r: usize, iters: usize) -> Entry {
+    let fixture = BenchFixture::low_fair(n, r, 0.6, 0xDE17A);
+    let edit = fixture.profile.rankings()[0].clone();
+    let mut edited: Vec<Ranking> = fixture.profile.rankings().to_vec();
+    edited.push(edit.clone());
+    let (rebuild_ns, rebuilt) = time_best(iters, || {
+        PrecedenceMatrix::from_rankings(&edited).expect("bench rebuild")
+    });
+    let base = fixture.profile.precedence_matrix();
+    let (delta_ns, derived) = time_best(iters, || {
+        let mut matrix = base.clone();
+        matrix.apply_append(&edit, 1).expect("bench append delta");
+        matrix
+    });
+    assert_eq!(derived, rebuilt, "append delta must be bit-identical");
+    Entry {
+        kernel: "delta_update",
+        n,
+        rankings: r,
+        fields: vec![
+            ("delta_append_ns".into(), delta_ns.to_string()),
+            ("rebuild_ns".into(), rebuild_ns.to_string()),
+            (
+                "speedup_delta_vs_rebuild".into(),
+                format!("{:.3}", ratio(rebuild_ns, delta_ns)),
             ),
         ],
     }

@@ -15,9 +15,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use mani_ranking::{GroupIndex, Parallelism, PrecedenceMatrix};
+use mani_ranking::{GroupIndex, Parallelism, PrecedenceMatrix, Ranking};
 
 use crate::dataset::EngineDataset;
+
+/// One incremental edit to a dataset's ranking profile, used by
+/// [`PrecedenceCache::derive_with`] to fold the edit into a warm precedence
+/// matrix in `O(n²)` instead of rebuilding from scratch in `O(n² · |R|)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankingDelta {
+    /// Add one ranking with the given weight (weight `w` is equivalent to
+    /// appending `w` identical copies).
+    Append {
+        /// The ranking being added.
+        ranking: Ranking,
+        /// How many copies it counts for.
+        weight: u32,
+    },
+    /// Remove one ranking with the given weight; fails (falling back to a
+    /// full rebuild) if the matrix does not contain it with that weight.
+    Retract {
+        /// The ranking being removed.
+        ranking: Ranking,
+        /// How many copies to remove.
+        weight: u32,
+    },
+}
 
 /// The per-dataset artifacts every method shares.
 #[derive(Debug, Clone)]
@@ -41,6 +64,15 @@ pub struct CacheStats {
     /// Total wall-clock nanoseconds spent building artifacts (matrix +
     /// group-index construction), summed over all builds.
     pub build_ns: u64,
+    /// Rankings folded *into* warm matrices by delta derivation instead of a
+    /// full rebuild.
+    pub delta_appends: u64,
+    /// Rankings folded *out of* warm matrices by delta derivation.
+    pub delta_retracts: u64,
+    /// Delta derivations that could not reuse a warm parent matrix (parent
+    /// evicted, fingerprint mismatch, or an inapplicable retract) and fell
+    /// back to a full rebuild.
+    pub delta_rebuild_fallbacks: u64,
     /// Number of cached datasets.
     pub entries: usize,
 }
@@ -72,6 +104,9 @@ pub struct PrecedenceCache {
     hits: AtomicU64,
     builds: AtomicU64,
     build_ns: AtomicU64,
+    delta_appends: AtomicU64,
+    delta_retracts: AtomicU64,
+    delta_rebuild_fallbacks: AtomicU64,
 }
 
 impl PrecedenceCache {
@@ -120,6 +155,85 @@ impl PrecedenceCache {
         (entry.artifacts.clone(), hit)
     }
 
+    /// Derives and caches `child`'s artifacts from `parent`'s warm entry by
+    /// folding `deltas` into a copy-on-write clone of the parent's precedence
+    /// matrix — `O(n²)` per delta instead of the `O(n² · |R|)` full rebuild.
+    ///
+    /// `child` must be the dataset that results from applying `deltas` to
+    /// `parent` (the caller edits the profile; this method maintains the
+    /// matrix). When the parent has no warm entry, its fingerprint collides
+    /// with foreign content, or a delta is inapplicable (e.g. retracting an
+    /// absent ranking), the derivation falls back to a full
+    /// [`PrecedenceCache::get_or_build_with`] build and charges
+    /// [`CacheStats::delta_rebuild_fallbacks`]. The boolean is `true` when
+    /// the artifacts were produced without a full matrix build.
+    pub fn derive_with(
+        &self,
+        parent: &EngineDataset,
+        child: &EngineDataset,
+        deltas: &[RankingDelta],
+        parallelism: &Parallelism,
+    ) -> (SharedArtifacts, bool) {
+        let parent_cell = {
+            let entries = self.entries.lock().expect("cache lock poisoned");
+            entries.get(&parent.fingerprint()).cloned()
+        };
+        let derived = parent_cell
+            .as_ref()
+            .and_then(|cell| cell.get())
+            .filter(|entry| entry.matches(parent))
+            .and_then(|entry| {
+                let mut matrix = (*entry.artifacts.precedence).clone();
+                let mut appends = 0u64;
+                let mut retracts = 0u64;
+                for delta in deltas {
+                    match delta {
+                        RankingDelta::Append { ranking, weight } => {
+                            matrix.apply_append(ranking, *weight).ok()?;
+                            appends += 1;
+                        }
+                        RankingDelta::Retract { ranking, weight } => {
+                            matrix.apply_retract(ranking, *weight).ok()?;
+                            retracts += 1;
+                        }
+                    }
+                }
+                // Ranking edits leave the candidate database untouched, so
+                // the group index is shared with the parent, not rebuilt.
+                let groups = if Arc::ptr_eq(parent.db(), child.db()) {
+                    Arc::clone(&entry.artifacts.groups)
+                } else {
+                    Arc::new(GroupIndex::new(child.db()))
+                };
+                self.delta_appends.fetch_add(appends, Ordering::Relaxed);
+                self.delta_retracts.fetch_add(retracts, Ordering::Relaxed);
+                Some(SharedArtifacts {
+                    groups,
+                    precedence: Arc::new(matrix),
+                })
+            });
+        let Some(artifacts) = derived else {
+            self.delta_rebuild_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return (self.get_or_build_with(child, parallelism).0, false);
+        };
+        // Install the derived entry under the child's fingerprint so
+        // subsequent solves of the edited dataset hit a warm matrix.
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache lock poisoned");
+            entries.entry(child.fingerprint()).or_default().clone()
+        };
+        let entry = cell.get_or_init(|| CacheEntry {
+            db: Arc::clone(child.db()),
+            profile: Arc::clone(child.profile()),
+            artifacts: artifacts.clone(),
+        });
+        if entry.matches(child) {
+            (entry.artifacts.clone(), true)
+        } else {
+            (artifacts, true)
+        }
+    }
+
     /// Builds artifacts for a dataset, charging the build counters.
     fn build_artifacts(
         &self,
@@ -144,6 +258,9 @@ impl PrecedenceCache {
             hits: self.hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
             build_ns: self.build_ns.load(Ordering::Relaxed),
+            delta_appends: self.delta_appends.load(Ordering::Relaxed),
+            delta_retracts: self.delta_retracts.load(Ordering::Relaxed),
+            delta_rebuild_fallbacks: self.delta_rebuild_fallbacks.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("cache lock poisoned").len(),
         }
     }
@@ -200,6 +317,133 @@ mod tests {
         assert_eq!(stats.entries, 2);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    /// The dataset that results from appending `extra` to `parent`'s profile
+    /// (sharing the candidate database Arc, as the service PATCH path does).
+    fn appended(parent: &EngineDataset, extra: Ranking, name: &str) -> EngineDataset {
+        let mut rankings = parent.profile().rankings().to_vec();
+        rankings.push(extra);
+        EngineDataset::from_arcs(
+            name,
+            Arc::clone(parent.db()),
+            Arc::new(RankingProfile::new(rankings).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derive_folds_appends_without_a_full_build() {
+        let cache = PrecedenceCache::new();
+        let parent = dataset(6, 3, "p");
+        cache.get_or_build(&parent);
+        let extra = Ranking::identity(6).reversed();
+        let child = appended(&parent, extra.clone(), "p+1");
+        let deltas = [RankingDelta::Append {
+            ranking: extra,
+            weight: 1,
+        }];
+        let (derived, warm) = cache.derive_with(&parent, &child, &deltas, &Parallelism::serial());
+        assert!(warm, "derivation must not rebuild");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1, "no full rebuild for the child");
+        assert_eq!(stats.delta_appends, 1);
+        assert_eq!(stats.delta_rebuild_fallbacks, 0);
+        assert_eq!(stats.entries, 2);
+        // Bit-identical to building the child's matrix from scratch, and the
+        // group index is shared with the parent (same database).
+        assert_eq!(
+            *derived.precedence,
+            child
+                .profile()
+                .precedence_matrix_with(&Parallelism::serial())
+        );
+        let (parent_artifacts, _) = cache.get_or_build(&parent);
+        assert!(Arc::ptr_eq(&derived.groups, &parent_artifacts.groups));
+        // The child entry is warm: the next lookup is a hit on the same Arcs.
+        let (hit, was_hit) = cache.get_or_build(&child);
+        assert!(was_hit);
+        assert!(Arc::ptr_eq(&hit.precedence, &derived.precedence));
+    }
+
+    #[test]
+    fn derive_retract_round_trips_to_the_parent_matrix() {
+        let cache = PrecedenceCache::new();
+        let parent = dataset(6, 3, "p");
+        let extra = Ranking::identity(6).reversed();
+        let child = appended(&parent, extra.clone(), "p+1");
+        let (child_artifacts, _) = cache.get_or_build(&child);
+        let deltas = [RankingDelta::Retract {
+            ranking: extra,
+            weight: 1,
+        }];
+        let (derived, warm) = cache.derive_with(&child, &parent, &deltas, &Parallelism::serial());
+        assert!(warm);
+        assert_eq!(cache.stats().delta_retracts, 1);
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(
+            *derived.precedence,
+            parent
+                .profile()
+                .precedence_matrix_with(&Parallelism::serial())
+        );
+        assert!(Arc::ptr_eq(&derived.groups, &child_artifacts.groups));
+    }
+
+    #[test]
+    fn derive_without_a_warm_parent_falls_back_to_a_rebuild() {
+        let cache = PrecedenceCache::new();
+        let parent = dataset(6, 3, "cold");
+        let extra = Ranking::identity(6).reversed();
+        let child = appended(&parent, extra.clone(), "cold+1");
+        let deltas = [RankingDelta::Append {
+            ranking: extra,
+            weight: 1,
+        }];
+        let (derived, warm) = cache.derive_with(&parent, &child, &deltas, &Parallelism::serial());
+        assert!(!warm, "cold parent must fall back");
+        let stats = cache.stats();
+        assert_eq!(stats.delta_rebuild_fallbacks, 1);
+        assert_eq!(stats.delta_appends, 0);
+        assert_eq!(stats.builds, 1, "the fallback is a full build");
+        assert_eq!(
+            *derived.precedence,
+            child
+                .profile()
+                .precedence_matrix_with(&Parallelism::serial())
+        );
+    }
+
+    #[test]
+    fn derive_with_an_inapplicable_retract_falls_back() {
+        let cache = PrecedenceCache::new();
+        let parent = dataset(6, 3, "p");
+        cache.get_or_build(&parent);
+        // Retracting a ranking the (unanimous identity) profile cannot cover
+        // underflows the matrix, so the derivation must rebuild instead.
+        let absent = Ranking::identity(6).reversed();
+        let mut survivors = parent.profile().rankings().to_vec();
+        survivors.pop();
+        let child = EngineDataset::from_arcs(
+            "p-1",
+            Arc::clone(parent.db()),
+            Arc::new(RankingProfile::new(survivors).unwrap()),
+        )
+        .unwrap();
+        let deltas = [RankingDelta::Retract {
+            ranking: absent,
+            weight: 1,
+        }];
+        let (derived, warm) = cache.derive_with(&parent, &child, &deltas, &Parallelism::serial());
+        assert!(!warm);
+        assert_eq!(cache.stats().delta_rebuild_fallbacks, 1);
+        assert_eq!(cache.stats().builds, 2);
+        assert_eq!(
+            *derived.precedence,
+            child
+                .profile()
+                .precedence_matrix_with(&Parallelism::serial())
+        );
     }
 
     #[test]

@@ -121,6 +121,13 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds spent building precedence matrices and group
     /// indexes (cache misses only — replays cost nothing here).
     pub matrix_build_ns: u64,
+    /// Rankings folded into warm precedence matrices by delta derivation
+    /// (dataset edits that skipped the full rebuild).
+    pub delta_appends: u64,
+    /// Rankings folded out of warm precedence matrices by delta derivation.
+    pub delta_retracts: u64,
+    /// Dataset-edit derivations that fell back to a full matrix rebuild.
+    pub delta_rebuild_fallbacks: u64,
     /// Wall-clock nanoseconds spent inside method solves, summed across all
     /// workers (CPU-side view of where engine time goes).
     pub solve_ns: u64,
@@ -260,13 +267,17 @@ impl ConsensusEngine {
     pub fn stats(&self) -> EngineStats {
         let pool = self.pool.stats();
         let kernels = mani_ranking::kernel_counter_snapshot();
+        let cache = self.cache.stats();
         EngineStats {
             queue_depth: self.queue_depth,
             in_flight: self.counters.in_flight.load(Ordering::Acquire),
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
-            matrix_build_ns: self.cache.stats().build_ns,
+            matrix_build_ns: cache.build_ns,
+            delta_appends: cache.delta_appends,
+            delta_retracts: cache.delta_retracts,
+            delta_rebuild_fallbacks: cache.delta_rebuild_fallbacks,
             solve_ns: self.kernel_counters.solve_ns.load(Ordering::Relaxed),
             nodes_expanded: self.kernel_counters.nodes_expanded.load(Ordering::Relaxed),
             batches_opened: self.batch_counters.opened.load(Ordering::Relaxed),

@@ -72,7 +72,7 @@ pub mod report;
 pub mod request;
 
 pub use batch::{BatchHandle, BatchItem, BatchProgress};
-pub use cache::{CacheStats, PrecedenceCache, SharedArtifacts};
+pub use cache::{CacheStats, PrecedenceCache, RankingDelta, SharedArtifacts};
 pub use dataset::EngineDataset;
 pub use engine::{ConsensusEngine, EngineConfig, EngineStats, DEFAULT_QUEUE_DEPTH};
 pub use error::EngineError;

@@ -68,6 +68,13 @@ pub enum RankingError {
         /// unweighted profiles) that exceeded the cell capacity.
         total_weight: u64,
     },
+    /// A ranking was retracted from a precedence matrix that does not contain
+    /// it with at least the requested weight (a support cell or the total
+    /// ranking count would underflow).
+    RetractUnderflow {
+        /// Weight that was being retracted.
+        weight: u32,
+    },
 }
 
 impl fmt::Display for RankingError {
@@ -124,6 +131,11 @@ impl fmt::Display for RankingError {
                 "total ranking weight {total_weight} exceeds the u32 support-cell capacity \
                  ({}) of the precedence matrix",
                 u32::MAX
+            ),
+            RankingError::RetractUnderflow { weight } => write!(
+                f,
+                "cannot retract a ranking with weight {weight}: the precedence matrix does \
+                 not contain it with that weight"
             ),
         }
     }

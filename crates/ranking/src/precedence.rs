@@ -250,6 +250,68 @@ impl PrecedenceMatrix {
         })
     }
 
+    /// Folds one weighted ranking into the matrix in `O(n²)` — the
+    /// incremental twin of rebuilding with the ranking appended.
+    ///
+    /// Precedence counts are order-insensitive integer sums, so appending is
+    /// bit-identical to a full [`PrecedenceMatrix::from_weighted_rankings`]
+    /// rebuild over the extended profile. The total-weight capacity check is
+    /// re-applied before any cell is touched, so a failed append leaves the
+    /// matrix unchanged.
+    pub fn apply_append(&mut self, ranking: &Ranking, weight: u32) -> Result<()> {
+        if ranking.len() != self.n {
+            return Err(RankingError::LengthMismatch {
+                left: self.n,
+                right: ranking.len(),
+            });
+        }
+        check_support_capacity(self.num_rankings as u64 + weight as u64)?;
+        accumulate_ranking(&mut self.counts, self.n, ranking, weight);
+        self.num_rankings += weight as usize;
+        Ok(())
+    }
+
+    /// Removes one weighted ranking from the matrix in `O(n²)` — the inverse
+    /// of [`PrecedenceMatrix::apply_append`].
+    ///
+    /// Every pairwise support cell the ranking touches is verified to hold at
+    /// least `weight` *before* any subtraction, so retracting a ranking the
+    /// matrix does not contain fails with
+    /// [`RankingError::RetractUnderflow`] and leaves the matrix unchanged.
+    /// Retracting the last ranking is allowed and yields the empty (all-zero)
+    /// matrix.
+    pub fn apply_retract(&mut self, ranking: &Ranking, weight: u32) -> Result<()> {
+        if ranking.len() != self.n {
+            return Err(RankingError::LengthMismatch {
+                left: self.n,
+                right: ranking.len(),
+            });
+        }
+        if (self.num_rankings as u64) < weight as u64 {
+            return Err(RankingError::RetractUnderflow { weight });
+        }
+        // Check pass: each (above, below) pair occurs exactly once per
+        // ranking, so cell-wise `>= weight` here guarantees the subtraction
+        // pass below cannot underflow.
+        let order = ranking.as_slice();
+        for (j, below) in order.iter().enumerate().skip(1) {
+            let row = &self.counts[below.index() * self.n..][..self.n];
+            for above in &order[..j] {
+                if row[above.index()] < weight {
+                    return Err(RankingError::RetractUnderflow { weight });
+                }
+            }
+        }
+        for (j, below) in order.iter().enumerate().skip(1) {
+            let row = &mut self.counts[below.index() * self.n..][..self.n];
+            for above in &order[..j] {
+                row[above.index()] -= weight;
+            }
+        }
+        self.num_rankings -= weight as usize;
+        Ok(())
+    }
+
     /// Number of candidates.
     pub fn num_candidates(&self) -> usize {
         self.n
@@ -658,7 +720,150 @@ mod tests {
         );
     }
 
+    #[test]
+    fn append_matches_full_rebuild() {
+        let mut rankings = sample_rankings();
+        let mut w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        let extra = Ranking::from_ids([2, 3, 0, 1]).unwrap();
+        w.apply_append(&extra, 1).unwrap();
+        rankings.push(extra);
+        assert_eq!(w, PrecedenceMatrix::from_rankings(&rankings).unwrap());
+    }
+
+    #[test]
+    fn retract_matches_rebuild_without_the_ranking() {
+        let rankings = sample_rankings();
+        let mut w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        w.apply_retract(&rankings[1], 1).unwrap();
+        let remaining = [rankings[0].clone(), rankings[2].clone()];
+        assert_eq!(w, PrecedenceMatrix::from_rankings(&remaining).unwrap());
+    }
+
+    #[test]
+    fn retract_to_empty_zeroes_the_matrix() {
+        let only = vec![Ranking::from_ids([1, 0, 2]).unwrap()];
+        let mut w = PrecedenceMatrix::from_rankings(&only).unwrap();
+        w.apply_retract(&only[0], 1).unwrap();
+        assert_eq!(w.num_rankings(), 0);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert_eq!(w.disagreements_if_above(CandidateId(a), CandidateId(b)), 0);
+            }
+        }
+        // An empty matrix accepts appends again, round-tripping to a rebuild.
+        let next = Ranking::from_ids([2, 1, 0]).unwrap();
+        w.apply_append(&next, 3).unwrap();
+        assert_eq!(
+            w,
+            PrecedenceMatrix::from_weighted_rankings(&[next], &[3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn retract_of_absent_ranking_fails_and_leaves_matrix_unchanged() {
+        // A unanimous profile has zero support for any reversed pair, so
+        // retracting the reverse ranking must underflow a cell.
+        let rankings = vec![Ranking::identity(4), Ranking::identity(4)];
+        let mut w = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+        let before = w.clone();
+        let absent = Ranking::from_ids([3, 2, 1, 0]).unwrap();
+        assert_eq!(
+            w.apply_retract(&absent, 1).unwrap_err(),
+            RankingError::RetractUnderflow { weight: 1 }
+        );
+        // Present, but not with weight 3 (total weight is only 2).
+        assert_eq!(
+            w.apply_retract(&rankings[0], 3).unwrap_err(),
+            RankingError::RetractUnderflow { weight: 3 }
+        );
+        assert_eq!(w, before, "failed retract must not touch the matrix");
+    }
+
+    #[test]
+    fn delta_edits_validate_length_and_capacity() {
+        let mut w = PrecedenceMatrix::from_rankings(&sample_rankings()).unwrap();
+        let before = w.clone();
+        assert!(matches!(
+            w.apply_append(&Ranking::identity(3), 1),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            w.apply_retract(&Ranking::identity(5), 1),
+            Err(RankingError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            w.apply_append(&Ranking::identity(4), u32::MAX).unwrap_err(),
+            RankingError::SupportOverflow {
+                total_weight: 3 + u32::MAX as u64
+            }
+        );
+        assert_eq!(w, before);
+    }
+
     proptest! {
+        #[test]
+        fn prop_append_and_retract_are_bit_identical_to_rebuild(
+            n in 2usize..10,
+            m in 1usize..8,
+            edits in 1usize..12,
+            seed in any::<u64>()
+        ) {
+            // A randomized edit script over a weighted profile: each step
+            // either appends a fresh random ranking or retracts a surviving
+            // one, and after every step the incrementally maintained matrix
+            // must equal a from-scratch weighted rebuild of the survivors.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut live: Vec<(Ranking, u32)> = (0..m)
+                .map(|i| (Ranking::random(n, &mut rng), (i as u32 % 4) + 1))
+                .collect();
+            let rankings: Vec<Ranking> = live.iter().map(|(r, _)| r.clone()).collect();
+            let weights: Vec<u32> = live.iter().map(|(_, w)| *w).collect();
+            let mut matrix =
+                PrecedenceMatrix::from_weighted_rankings(&rankings, &weights).unwrap();
+            for step in 0..edits {
+                if live.is_empty() || step % 3 != 2 {
+                    let ranking = Ranking::random(n, &mut rng);
+                    let weight = (step as u32 % 5) + 1;
+                    matrix.apply_append(&ranking, weight).unwrap();
+                    live.push((ranking, weight));
+                } else {
+                    let victim = live.remove(step % live.len());
+                    matrix.apply_retract(&victim.0, victim.1).unwrap();
+                }
+                if live.is_empty() {
+                    prop_assert_eq!(matrix.num_rankings(), 0);
+                    continue;
+                }
+                let rankings: Vec<Ranking> = live.iter().map(|(r, _)| r.clone()).collect();
+                let weights: Vec<u32> = live.iter().map(|(_, w)| *w).collect();
+                let rebuilt =
+                    PrecedenceMatrix::from_weighted_rankings(&rankings, &weights).unwrap();
+                prop_assert_eq!(&matrix, &rebuilt);
+            }
+        }
+
+        #[test]
+        fn prop_delta_matches_parallel_rebuild_across_thread_counts(
+            n in 2usize..10,
+            m in 1usize..8,
+            shards in 1usize..9,
+            seed in any::<u64>()
+        ) {
+            // Appending onto a serially built matrix must equal the *parallel*
+            // rebuild of the extended profile for every shard count (both are
+            // bit-identical to the serial rebuild, hence to each other).
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rankings: Vec<Ranking> =
+                (0..m).map(|_| Ranking::random(n, &mut rng)).collect();
+            let mut matrix = PrecedenceMatrix::from_rankings(&rankings).unwrap();
+            let extra = Ranking::random(n, &mut rng);
+            matrix.apply_append(&extra, 1).unwrap();
+            rankings.push(extra);
+            let par = Parallelism::new(shards).with_min_candidates(0);
+            let rebuilt = PrecedenceMatrix::from_rankings_parallel(&rankings, &par).unwrap();
+            prop_assert_eq!(&matrix, &rebuilt);
+        }
+
         #[test]
         fn prop_sharded_build_is_bit_identical(
             n in 2usize..12,

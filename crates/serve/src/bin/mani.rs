@@ -5,6 +5,10 @@
 //!                [--methods Fair-Borda,Fair-Copeland] [--delta 0.1] \
 //!                [--threads N] [--budget NODES] [--audit]
 //! mani audit     --candidates cands.csv --rankings ranks.csv [--per-ranking]
+//! mani session   --candidates cands.csv --rankings ranks.csv \
+//!                --append "a,b,c" [--retract "c,b,a"] ...
+//! mani dataset patch --candidates cands.csv --rankings ranks.csv \
+//!                --append "a,b,c@2" [--out-rankings edited.csv]
 //! mani serve     [--addr 127.0.0.1:8080] [--threads N] [--queue-depth N] \
 //!                [--cache-capacity N] [--budget NODES]
 //! mani sample    --dir DIR [--candidates N] [--rankings M] [--theta T] [--seed S]
@@ -23,7 +27,10 @@ use mani_engine::{
 use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_ranking::GroupIndex;
 use mani_serve::{Server, ServerConfig};
-use mani_service::{ConsensusSpec, Service};
+use mani_service::{
+    dataset_to_value, obj, render, s, ConsensusSpec, RequestContext, Service, StreamSink,
+};
+use serde::Value;
 
 const USAGE: &str = "\
 mani — MANI-Rank batch consensus engine
@@ -31,6 +38,11 @@ mani — MANI-Rank batch consensus engine
 USAGE:
     mani consensus --dataset NAME=CANDIDATES.csv:RANKINGS.csv ...  run a consensus batch
     mani audit     --candidates FILE --rankings FILE               audit base rankings
+    mani session   --candidates FILE --rankings FILE --append ...  what-if session: one
+                                                                   NDJSON consensus line
+                                                                   per edit, delta-derived
+    mani dataset patch --candidates FILE --rankings FILE ...       apply ranking edits and
+                                                                   print the new version
     mani serve     [--addr HOST:PORT]                              start the HTTP API server
     mani sample    --dir DIR                                       write a demo dataset
     mani methods                                                   list available methods
@@ -55,6 +67,19 @@ CONSENSUS OPTIONS:
 
 AUDIT OPTIONS:
     --per-ranking                audit every base ranking, not just the profile consensus
+
+SESSION / DATASET PATCH OPTIONS:
+    --candidates FILE            candidate CSV of the base dataset
+    --rankings FILE              ranking CSV of the base dataset
+    --append \"a,b,c[@W]\"         append a full ranking (comma-separated candidate
+                                 names, optional @W weight); repeatable — edits
+                                 apply in the order the flags appear
+    --retract \"a,b,c[@W]\"        retract W copies of a ranking the profile holds
+    --methods A,B,C              session only: methods to re-solve per edit
+                                 (default: the four proposed MFCR methods)
+    --delta D                    session only: uniform fairness threshold (default 0.1)
+    --budget NODES               session only: branch-and-bound node budget
+    --out-rankings FILE          dataset patch only: write the edited profile as CSV
 
 SERVE OPTIONS (see docs/API.md for the JSON wire format):
     --addr HOST:PORT             listen address (default 127.0.0.1:8080; port 0 picks a free port)
@@ -102,6 +127,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "consensus" => cmd_consensus(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "session" => cmd_session(&args[1..]),
+        "dataset" => cmd_dataset(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "sample" => cmd_sample(&args[1..]),
         "methods" => cmd_methods(),
@@ -381,6 +408,207 @@ fn cmd_audit(args: &[String]) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Sink that prints each NDJSON line to stdout the moment it is emitted.
+struct StdoutSink;
+
+impl StreamSink for StdoutSink {
+    type Error = std::convert::Infallible;
+
+    fn emit_line(&mut self, line: &str) -> Result<(), Self::Error> {
+        emit(line.trim_end_matches('\n'));
+        Ok(())
+    }
+}
+
+/// Loads the `--candidates`/`--rankings` pair as one engine dataset.
+fn load_pair(flags: &Flags) -> Result<EngineDataset, EngineError> {
+    let cands = flags
+        .get("candidates")
+        .ok_or_else(|| EngineError::invalid("--candidates is required"))?;
+    let ranks = flags
+        .get("rankings")
+        .ok_or_else(|| EngineError::invalid("--rankings is required"))?;
+    let db = csvio::load_candidates(Path::new(cands))?;
+    let profile = csvio::load_rankings(Path::new(ranks), &db)?;
+    let name = Path::new(cands)
+        .file_stem()
+        .map(|stem| stem.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".into());
+    EngineDataset::new(name, db, profile)
+}
+
+/// Collects `--append`/`--retract` flags, in the order they appeared, as
+/// edit-op objects: `NAMES[@WEIGHT]` where `NAMES` is the full candidate
+/// list, comma-separated.
+fn parse_edit_flags(flags: &Flags) -> Result<Vec<Value>, EngineError> {
+    let mut ops = Vec::new();
+    for (name, raw) in &flags.values {
+        if name != "append" && name != "retract" {
+            continue;
+        }
+        let (list, weight) = match raw.split_once('@') {
+            Some((list, w)) => {
+                let weight: u64 = w.parse().map_err(|_| {
+                    EngineError::invalid(format!("cannot parse weight in --{name} `{raw}`"))
+                })?;
+                (list, weight)
+            }
+            None => (raw.as_str(), 1),
+        };
+        let ranking: Vec<Value> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(s)
+            .collect();
+        if ranking.is_empty() {
+            return Err(EngineError::invalid(format!(
+                "--{name} needs a comma-separated candidate list, got `{raw}`"
+            )));
+        }
+        ops.push(obj(vec![
+            ("op", s(name.as_str())),
+            ("ranking", Value::Array(ranking)),
+            ("weight", Value::UInt(weight)),
+        ]));
+    }
+    if ops.is_empty() {
+        return Err(EngineError::invalid(
+            "no edits: pass --append and/or --retract flags",
+        ));
+    }
+    Ok(ops)
+}
+
+fn cmd_session(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "candidates",
+            "rankings",
+            "append",
+            "retract",
+            "methods",
+            "delta",
+            "threads",
+            "kernel-threads",
+            "budget",
+        ],
+        &[],
+    )?;
+    let dataset = load_pair(&flags)?;
+    let ops = parse_edit_flags(&flags)?;
+    let methods = parse_methods(flags.get("methods"))?;
+    let delta: f64 = flags.get_parsed("delta", 0.1)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let kernel_threads: usize = flags.get_parsed("kernel-threads", 1)?;
+    let budget: Option<u64> =
+        match flags.get("budget") {
+            Some(raw) => Some(raw.parse().map_err(|_| {
+                EngineError::invalid(format!("cannot parse --budget value `{raw}`"))
+            })?),
+            None => None,
+        };
+
+    let service = Service::new(
+        EngineConfig {
+            threads,
+            default_budget: budget,
+            kernel_threads,
+            ..EngineConfig::default()
+        },
+        0,
+    );
+    // One edit per flag: the session streams one consensus line per op.
+    let mut body = obj(vec![
+        ("dataset", dataset_to_value(&dataset)),
+        (
+            "methods",
+            Value::Array(methods.iter().map(|m| s(m.name())).collect()),
+        ),
+        ("delta", Value::Float(delta)),
+        ("edits", Value::Array(ops)),
+    ]);
+    if let Some(nodes) = budget {
+        if let Value::Object(entries) = &mut body {
+            entries.push(("budget".to_string(), Value::UInt(nodes)));
+        }
+    }
+    let ctx = RequestContext::new(None);
+    let session = service
+        .session(&body, &ctx)
+        .map_err(|e| EngineError::invalid(e.message))?;
+    match service.stream_session(session, &mut StdoutSink) {
+        Ok(()) => Ok(()),
+        Err(never) => match never {},
+    }
+}
+
+fn cmd_dataset(args: &[String]) -> Result<(), EngineError> {
+    match args.first().map(String::as_str) {
+        Some("patch") => cmd_dataset_patch(&args[1..]),
+        Some(other) => Err(EngineError::invalid(format!(
+            "unknown dataset subcommand `{other}` (try `mani dataset patch`)"
+        ))),
+        None => Err(EngineError::invalid(
+            "dataset needs a subcommand (try `mani dataset patch`)",
+        )),
+    }
+}
+
+fn cmd_dataset_patch(args: &[String]) -> Result<(), EngineError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "candidates",
+            "rankings",
+            "append",
+            "retract",
+            "out-rankings",
+        ],
+        &[],
+    )?;
+    let dataset = load_pair(&flags)?;
+    let ops = parse_edit_flags(&flags)?;
+
+    let service = Service::new(
+        EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        },
+        0,
+    );
+    let registered = service
+        .register_dataset(Arc::new(dataset))
+        .map_err(|e| EngineError::invalid(e.message))?;
+    let id = registered
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| EngineError::invalid("registration returned no id"))?
+        .to_string();
+    let body = obj(vec![("ops", Value::Array(ops))]);
+    let patched = service
+        .dataset_patch(&id, &body)
+        .map_err(|e| EngineError::invalid(e.message))?;
+    emit(render(&patched));
+    if let Some(out) = flags.get("out-rankings") {
+        let current = service
+            .datasets()
+            .resolve_current(&id)
+            .map_err(|e| EngineError::invalid(e.message))?;
+        csvio::save_rankings(
+            current.dataset.profile(),
+            current.dataset.db(),
+            Path::new(out),
+        )?;
+        emit(format!(
+            "wrote {} rankings to {out}",
+            current.dataset.num_rankings()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
     let flags = Flags::parse(
         args,
@@ -455,7 +683,7 @@ fn cmd_serve(args: &[String]) -> Result<(), EngineError> {
         server.conn_threads(),
         server.max_connections(),
     ));
-    emit("endpoints: POST /v1/consensus  POST /v1/audit  POST /v1/datasets  GET /v1/datasets/{id}  GET /v1/jobs/{id}  GET /v1/jobs/{id}/trace  GET /v1/methods  GET /v1/stats  GET /v1/version  GET /metrics");
+    emit("endpoints: POST /v1/consensus  POST /v1/audit  POST /v1/sessions  POST /v1/datasets  GET|PATCH|DELETE /v1/datasets/{id}  GET /v1/jobs/{id}  GET /v1/jobs/{id}/trace  GET /v1/methods  GET /v1/stats  GET /v1/version  GET /metrics");
     server.run().map_err(EngineError::from)
 }
 

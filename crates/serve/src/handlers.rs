@@ -16,7 +16,7 @@ pub use mani_service::ConsensusStream;
 use mani_service::{
     decode_dataset, error_body, methods_value, parse_body, render, version_value, ApiError,
     ApiErrorKind, BuildInfo, ConsensusReply, EndpointMetrics, RequestContext, ResponseCache,
-    Service,
+    Service, WhatIfSession,
 };
 
 use crate::codec::{
@@ -51,6 +51,7 @@ pub fn api_error_status(error: &ApiError) -> u16 {
     match error.kind {
         ApiErrorKind::InvalidArgument => 400,
         ApiErrorKind::NotFound => 404,
+        ApiErrorKind::Conflict => 409,
         ApiErrorKind::UnsupportedMedia => 415,
         ApiErrorKind::NotAcceptable => 406,
         ApiErrorKind::Overloaded => 429,
@@ -68,6 +69,10 @@ pub enum Handled {
     /// A `"stream": true` consensus batch: one NDJSON line per request, in
     /// completion order, plus a terminal summary line.
     Stream(ConsensusStream),
+    /// A `POST /v1/sessions` what-if session: one NDJSON line per edit step
+    /// (in order, each delta-derived from its predecessor), plus a terminal
+    /// summary line.
+    Session(WhatIfSession),
 }
 
 /// The HTTP front-end's per-server state: the shared [`Service`] core plus
@@ -158,9 +163,11 @@ impl AppState {
                 self.dataset_create(request).map(Handled::Response)
             }
             Routed::Found(Route::DatasetGet(id)) => json_outcome(self.service.dataset_get(&id)),
+            Routed::Found(Route::DatasetPatch(id)) => self.dataset_patch(request, &id),
             Routed::Found(Route::DatasetDelete(id)) => {
                 json_outcome(self.service.dataset_delete(&id))
             }
+            Routed::Found(Route::SessionCreate) => self.session_create(request, &ctx),
             Routed::Found(Route::Methods) => Ok(Handled::Response(HttpResponse::json(
                 200,
                 render(&methods_value()),
@@ -183,9 +190,10 @@ impl AppState {
             })),
         };
         let response = match outcome {
-            // The stream carries the context; its latency, access-log line,
+            // Streams carry their context; their latency, access-log line,
             // and header stamp happen when the drain finishes.
             Ok(Handled::Stream(stream)) => return Handled::Stream(stream),
+            Ok(Handled::Session(session)) => return Handled::Session(session),
             Ok(Handled::Response(response)) => response,
             Err(response) => response,
         };
@@ -223,6 +231,7 @@ impl AppState {
         match self.dispatch(request) {
             Handled::Response(response) => response,
             Handled::Stream(stream) => self.collect_stream(stream),
+            Handled::Session(session) => self.collect_session(session),
         }
     }
 
@@ -255,6 +264,66 @@ impl AppState {
             elapsed,
         );
         result
+    }
+
+    /// Writes a [`WhatIfSession`] as a chunked NDJSON response, one chunk per
+    /// edit step as its consensus lands, recording the session's total
+    /// latency under the `session` label.
+    pub fn stream_session_ndjson<W: Write>(
+        &self,
+        session: WhatIfSession,
+        writer: &mut W,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        let started = session.started();
+        let request_id = session.request_id().to_string();
+        let trace = Arc::clone(session.trace());
+        let result = (|| {
+            let mut body = ChunkedResponse::ndjson(200)
+                .with_header("x-request-id", request_id.clone())
+                .begin(writer, keep_alive)?;
+            self.service.stream_session(session, &mut body)?;
+            body.finish()
+        })();
+        let elapsed = started.elapsed();
+        self.service.metrics().record("session", elapsed);
+        self.service.observe(
+            "session",
+            "POST /v1/sessions".to_string(),
+            request_id,
+            &trace,
+            200,
+            elapsed,
+        );
+        result
+    }
+
+    /// Drains a [`WhatIfSession`] into one buffered NDJSON response.
+    fn collect_session(&self, session: WhatIfSession) -> HttpResponse {
+        let started = session.started();
+        let request_id = session.request_id().to_string();
+        let trace = Arc::clone(session.trace());
+        let mut body = String::new();
+        match self.service.stream_session(session, &mut body) {
+            Ok(()) => {}
+            Err(never) => match never {},
+        }
+        let elapsed = started.elapsed();
+        self.service.metrics().record("session", elapsed);
+        self.service.observe(
+            "session",
+            "POST /v1/sessions".to_string(),
+            request_id.clone(),
+            &trace,
+            200,
+            elapsed,
+        );
+        HttpResponse {
+            status: 200,
+            content_type: NDJSON_CONTENT_TYPE,
+            extra_headers: vec![("x-request-id", request_id)],
+            body,
+        }
     }
 
     /// Drains a [`ConsensusStream`] into one buffered NDJSON response.
@@ -342,6 +411,45 @@ impl AppState {
         self.service
             .audit(&body)
             .map(|value| HttpResponse::json(200, render(&value)))
+            .map_err(|e| api_error_response(&e))
+    }
+
+    /// `PATCH /v1/datasets/{id}` — apply ranking edits (appends/retracts) to
+    /// the current version, delta-deriving the next version's precedence
+    /// matrix. JSON only: an edit document is a list of ops, not a dataset.
+    fn dataset_patch(&self, request: &HttpRequest, id: &str) -> Result<Handled, HttpResponse> {
+        check_accept(request)?;
+        if negotiate_body(request)? == BodyCodec::Columnar {
+            return Err(api_error_response(&ApiError::new(
+                ApiErrorKind::UnsupportedMedia,
+                format!("dataset edits accept `{JSON_CONTENT_TYPE}` bodies only"),
+            )));
+        }
+        let text = request.body_utf8().map_err(http_error_response)?;
+        let body = parse_body(text).map_err(|e| api_error_response(&e))?;
+        json_outcome(self.service.dataset_patch(id, &body))
+    }
+
+    /// `POST /v1/sessions` — a live what-if session: validates the base spec
+    /// and every edit up front, then streams one consensus line per edit as
+    /// chunked NDJSON. JSON only.
+    fn session_create(
+        &self,
+        request: &HttpRequest,
+        ctx: &RequestContext,
+    ) -> Result<Handled, HttpResponse> {
+        check_accept(request)?;
+        if negotiate_body(request)? == BodyCodec::Columnar {
+            return Err(api_error_response(&ApiError::new(
+                ApiErrorKind::UnsupportedMedia,
+                format!("sessions accept `{JSON_CONTENT_TYPE}` bodies only"),
+            )));
+        }
+        let text = request.body_utf8().map_err(http_error_response)?;
+        let body = parse_body(text).map_err(|e| api_error_response(&e))?;
+        self.service
+            .session(&body, ctx)
+            .map(Handled::Session)
             .map_err(|e| api_error_response(&e))
     }
 
@@ -992,5 +1100,152 @@ mod tests {
         let dataset = parse_dataset(&parse_body(&demo_dataset_json("rt")).unwrap()).unwrap();
         let twin = parse_dataset(&dataset_to_value(&dataset)).unwrap();
         assert_eq!(dataset.fingerprint(), twin.fingerprint());
+    }
+
+    /// Uploads the demo dataset and returns its registered id.
+    fn upload_demo(state: &AppState) -> String {
+        let up = state.handle(&post("/v1/datasets", &demo_dataset_json("demo")));
+        assert_eq!(up.status, 200, "{}", up.body);
+        parse_body(&up.body)
+            .unwrap()
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("dataset id")
+            .to_string()
+    }
+
+    #[test]
+    fn dataset_patch_bumps_versions_and_maps_conflicts_to_409() {
+        let state = state();
+        let id = upload_demo(&state);
+        // Warm the precedence matrix so the patch delta-derives.
+        let warm = state.handle(&post(
+            "/v1/consensus",
+            &format!(
+                r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+            ),
+        ));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+
+        let edit = r#"{"ops": [{"op": "append", "ranking": ["d","a","b","c"], "weight": 2}]}"#;
+        let patched = state.handle(&crate::test_support::patch(
+            &format!("/v1/datasets/{id}"),
+            edit,
+        ));
+        assert_eq!(patched.status, 200, "{}", patched.body);
+        assert!(patched.body.contains("\"version\":2"), "{}", patched.body);
+        assert!(
+            patched.body.contains("\"derived\":true"),
+            "{}",
+            patched.body
+        );
+        assert!(patched.body.contains("\"appends\":2"), "{}", patched.body);
+
+        // An over-weighted retract is a 400 and leaves the version alone.
+        let bad = state.handle(&crate::test_support::patch(
+            &format!("/v1/datasets/{id}"),
+            r#"{"ops": [{"op": "retract", "ranking": ["a","b","c","d"], "weight": 99}]}"#,
+        ));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        let meta = state.handle(&get(&format!("/v1/datasets/{id}")));
+        assert!(meta.body.contains("\"version\":2"), "{}", meta.body);
+
+        // Unknown ids and columnar bodies are refused.
+        assert_eq!(
+            state
+                .handle(&crate::test_support::patch("/v1/datasets/ds-0000", edit))
+                .status,
+            404
+        );
+        let mut columnar = columnar_post(&format!("/v1/datasets/{id}"), None, "demo");
+        columnar.method = "PATCH".into();
+        assert_eq!(state.handle(&columnar).status, 415);
+
+        // Edit past the retention window: pinning the evicted version 1 is a
+        // 409 Conflict (it existed; its rankings are no longer addressable).
+        for round in 0..mani_service::MAX_RETAINED_VERSIONS {
+            let next = state.handle(&crate::test_support::patch(
+                &format!("/v1/datasets/{id}"),
+                r#"{"ops": [{"op": "append", "ranking": ["b","a","d","c"]}]}"#,
+            ));
+            assert_eq!(next.status, 200, "round {round}: {}", next.body);
+        }
+        let evicted = state.handle(&post(
+            "/v1/consensus",
+            &format!(
+                r#"{{"dataset": {{"id": "{id}", "version": 1}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+            ),
+        ));
+        assert_eq!(evicted.status, 409, "{}", evicted.body);
+        assert!(evicted.body.contains("evicted"), "{}", evicted.body);
+    }
+
+    #[test]
+    fn sessions_stream_ndjson_per_edit() {
+        let state = state();
+        // Warm the base fingerprint so every step delta-derives.
+        let warm = state.handle(&post(
+            "/v1/consensus",
+            &format!(
+                r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#,
+                demo_dataset_json("demo")
+            ),
+        ));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+
+        let body = format!(
+            r#"{{
+                "dataset": {},
+                "methods": ["Fair-Borda"],
+                "delta": 0.2,
+                "edits": [
+                    {{"op": "append", "ranking": ["d","a","b","c"]}},
+                    [{{"op": "retract", "ranking": ["d","a","b","c"]}},
+                     {{"op": "append", "ranking": ["b","a","c","d"], "weight": 2}}]
+                ]
+            }}"#,
+            demo_dataset_json("demo")
+        );
+        let response = state.handle(&post("/v1/sessions", &body));
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.content_type, "application/x-ndjson");
+        let lines: Vec<&str> = response.body.lines().collect();
+        assert_eq!(
+            lines.len(),
+            3,
+            "two edit lines + summary: {}",
+            response.body
+        );
+        for (index, line) in lines[..2].iter().enumerate() {
+            let parsed = parse_body(line).unwrap();
+            assert_eq!(parsed.get("edit"), Some(&Value::UInt(index as u64)));
+            assert_eq!(parsed.get("derived"), Some(&Value::Bool(true)), "{line}");
+            assert!(parsed.get("results").is_some(), "{line}");
+        }
+        let summary = parse_body(lines[2]).unwrap();
+        assert_eq!(summary.get("summary"), Some(&Value::Bool(true)));
+        assert_eq!(summary.get("edits"), Some(&Value::UInt(2)));
+        assert_eq!(summary.get("rebuilds"), Some(&Value::UInt(0)));
+
+        // The session never rebuilt a matrix and recorded under its label.
+        assert_eq!(state.engine().cache().stats().builds, 1);
+        let stats = state.handle(&get("/v1/stats"));
+        let parsed = parse_body(&stats.body).unwrap();
+        let session_count = parsed
+            .get("latency")
+            .and_then(|l| l.get("session"))
+            .and_then(|h| h.get("count"));
+        assert_eq!(session_count, Some(&Value::UInt(1)), "{}", stats.body);
+
+        // Invalid sessions fail before any stream head: plain JSON errors.
+        let no_edits = state.handle(&post(
+            "/v1/sessions",
+            &format!(
+                r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2, "edits": []}}"#,
+                demo_dataset_json("demo")
+            ),
+        ));
+        assert_eq!(no_edits.status, 400, "{}", no_edits.body);
+        assert_eq!(no_edits.content_type, JSON_CONTENT_TYPE);
     }
 }

@@ -501,6 +501,7 @@ pub fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         406 => "Not Acceptable",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         415 => "Unsupported Media Type",
         429 => "Too Many Requests",
@@ -742,7 +743,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_api_statuses() {
-        for status in [200, 202, 400, 404, 405, 408, 413, 429, 500, 503] {
+        for status in [200, 202, 400, 404, 405, 408, 409, 413, 429, 500, 503] {
             assert_ne!(status_reason(status), "Unknown");
         }
         assert_eq!(status_reason(999), "Unknown");

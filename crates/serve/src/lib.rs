@@ -36,9 +36,11 @@
 //! | `GET /v1/jobs/{id}` | Poll an async job (`queued` / `running` / `done`) |
 //! | `GET /v1/jobs/{id}/trace` | Per-phase timing timeline of a job (queue wait, cache lookup, matrix build, solve, render) |
 //! | `POST /v1/audit` | Per-group FPR / ARP / IRP audit of a dataset |
-//! | `POST /v1/datasets` | Register a dataset (JSON or columnar body); returns its content id for `dataset_id` solves |
-//! | `GET /v1/datasets/{id}` | Metadata of a registered dataset |
-//! | `DELETE /v1/datasets/{id}` | Unregister a dataset |
+//! | `POST /v1/datasets` | Register a dataset (JSON or columnar body); returns its content id for by-reference solves |
+//! | `GET /v1/datasets/{id}` | Metadata of the current version of a registered dataset |
+//! | `PATCH /v1/datasets/{id}` | Apply ranking edits (appends/retracts), creating the id's next version with a delta-derived precedence matrix |
+//! | `DELETE /v1/datasets/{id}` | Unregister a dataset (all versions) |
+//! | `POST /v1/sessions` | Live what-if session: one NDJSON consensus line per edit, each delta-derived from its predecessor |
 //! | `GET /v1/methods` | The eight available consensus methods |
 //! | `GET /v1/stats` | Queue, cache, connection-pool, and latency-histogram counters, plus the slowest recent requests |
 //! | `GET /v1/version` | Build identity: crate version, git describe, profile, feature summary |
@@ -100,8 +102,9 @@ pub use server::{Server, ServerConfig, ServerHandle};
 // existing integration tests and downstream users keep compiling.
 pub use mani_service::{
     ApiError, ApiErrorKind, DatasetRegistry, EndpointMetrics, HistogramSnapshot, LatencyHistogram,
-    ResponseCache, ResponseCacheStats, COLUMNAR_CONTENT_TYPE, DEFAULT_RESPONSE_CACHE_CAPACITY,
-    LATENCY_BUCKET_BOUNDS_US, MAX_REGISTERED_DATASETS,
+    ResponseCache, ResponseCacheStats, WhatIfSession, COLUMNAR_CONTENT_TYPE,
+    DEFAULT_RESPONSE_CACHE_CAPACITY, LATENCY_BUCKET_BOUNDS_US, MAX_REGISTERED_DATASETS,
+    MAX_RETAINED_VERSIONS,
 };
 
 /// Shared helpers for this crate's unit tests.
@@ -131,6 +134,18 @@ pub(crate) mod test_support {
             query: None,
             headers: Vec::new(),
             body: Vec::new(),
+            minor_version: 1,
+        }
+    }
+
+    /// A parsed `PATCH` request carrying `body`.
+    pub fn patch(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "PATCH".into(),
+            path: path.into(),
+            query: None,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.as_bytes().to_vec(),
             minor_version: 1,
         }
     }

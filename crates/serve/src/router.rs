@@ -15,8 +15,13 @@ pub enum Route {
     DatasetCreate,
     /// `GET /v1/datasets/{id}` — metadata of a registered dataset.
     DatasetGet(String),
+    /// `PATCH /v1/datasets/{id}` — apply ranking edits, creating the id's
+    /// next version.
+    DatasetPatch(String),
     /// `DELETE /v1/datasets/{id}` — unregister a dataset.
     DatasetDelete(String),
+    /// `POST /v1/sessions` — a live what-if session streamed as NDJSON.
+    SessionCreate,
     /// `GET /v1/methods` — list available consensus methods.
     Methods,
     /// `GET /v1/stats` — engine, cache, queue, and latency counters.
@@ -35,6 +40,8 @@ impl Route {
             Route::Audit => "audit",
             Route::Job(_) | Route::JobTrace(_) => "jobs",
             Route::DatasetCreate | Route::DatasetGet(_) | Route::DatasetDelete(_) => "datasets",
+            Route::DatasetPatch(_) => "dataset_patch",
+            Route::SessionCreate => "session",
             Route::Methods => "methods",
             Route::Stats => "stats",
             Route::Version => "version",
@@ -69,8 +76,10 @@ pub fn route(method: &str, path: &str) -> Routed {
         ["v1", "datasets"] => vec![("POST", Route::DatasetCreate)],
         ["v1", "datasets", id] if !id.is_empty() => vec![
             ("GET", Route::DatasetGet((*id).to_string())),
+            ("PATCH", Route::DatasetPatch((*id).to_string())),
             ("DELETE", Route::DatasetDelete((*id).to_string())),
         ],
+        ["v1", "sessions"] => vec![("POST", Route::SessionCreate)],
         ["v1", "methods"] => vec![("GET", Route::Methods)],
         ["v1", "stats"] => vec![("GET", Route::Stats)],
         ["v1", "version"] => vec![("GET", Route::Version)],
@@ -110,8 +119,16 @@ mod tests {
             Routed::Found(Route::DatasetGet("ds-12ab".into()))
         );
         assert_eq!(
+            route("PATCH", "/v1/datasets/ds-12ab"),
+            Routed::Found(Route::DatasetPatch("ds-12ab".into()))
+        );
+        assert_eq!(
             route("DELETE", "/v1/datasets/ds-12ab"),
             Routed::Found(Route::DatasetDelete("ds-12ab".into()))
+        );
+        assert_eq!(
+            route("POST", "/v1/sessions"),
+            Routed::Found(Route::SessionCreate)
         );
         assert_eq!(route("GET", "/v1/methods"), Routed::Found(Route::Methods));
         assert_eq!(route("GET", "/v1/stats"), Routed::Found(Route::Stats));
@@ -131,6 +148,7 @@ mod tests {
         assert_eq!(route("POST", "/v1/stats"), Routed::MethodNotAllowed);
         assert_eq!(route("GET", "/v1/datasets"), Routed::MethodNotAllowed);
         assert_eq!(route("POST", "/v1/datasets/ds-1"), Routed::MethodNotAllowed);
+        assert_eq!(route("GET", "/v1/sessions"), Routed::MethodNotAllowed);
         assert_eq!(route("POST", "/metrics"), Routed::MethodNotAllowed);
         assert_eq!(route("POST", "/v1/version"), Routed::MethodNotAllowed);
         assert_eq!(
@@ -150,6 +168,11 @@ mod tests {
         assert_eq!(Route::DatasetCreate.metrics_label(), "datasets");
         assert_eq!(Route::DatasetGet("d".into()).metrics_label(), "datasets");
         assert_eq!(Route::DatasetDelete("d".into()).metrics_label(), "datasets");
+        assert_eq!(
+            Route::DatasetPatch("d".into()).metrics_label(),
+            "dataset_patch"
+        );
+        assert_eq!(Route::SessionCreate.metrics_label(), "session");
         assert_eq!(Route::Stats.metrics_label(), "stats");
         assert_eq!(Route::JobTrace("j".into()).metrics_label(), "jobs");
         assert_eq!(Route::Version.metrics_label(), "version");

@@ -314,3 +314,143 @@ fn mixed_codec_workload_is_bit_identical_with_zero_rejects() {
     assert_eq!(get_u64(&stats, &["engine", "submitted"]), 1, "{stats:?}");
     handle.stop();
 }
+
+/// Sequential PATCH edits per editor round in the edit-session scenario.
+const EDITS: usize = 12;
+/// Solve exchanges per solver client in the edit-session scenario.
+const SOLVES_PER_CLIENT: usize = 15;
+
+/// Edit-session load: one editor thread PATCHing a registered dataset while
+/// solver clients hammer solve-by-id on keep-alive connections. Every
+/// response must be a 200, the delta counters must advance by exactly the
+/// edits applied, and a post-load edit must never replay a pre-edit cached
+/// payload (fingerprint-keyed caching makes stale replays structurally
+/// impossible; this pins that property under concurrency).
+#[test]
+fn edit_session_workload_advances_deltas_with_zero_stale_replays() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        cache_capacity: 64,
+        conn_threads: 4,
+        max_connections: 64,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (status, uploaded) = exchange(addr, "POST", "/v1/datasets", &demo_dataset("editable"));
+    assert_eq!(status, 200, "{uploaded:?}");
+    let id = uploaded
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("dataset id")
+        .to_string();
+    let solve = format!(
+        r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+    );
+    // Warm the version-1 matrix so the first edit delta-derives.
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200);
+
+    // One editor: EDITS sequential PATCHes, each appending a rotated ranking
+    // (every edit changes the content fingerprint). Single-writer, so the
+    // version chain and delta counters advance deterministically.
+    let editor = {
+        let id = id.clone();
+        std::thread::spawn(move || {
+            let names = ["a", "b", "c", "d", "e", "f"];
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            for round in 0..EDITS {
+                let rotated: Vec<String> = (0..names.len())
+                    .map(|i| format!("\"{}\"", names[(i + round) % names.len()]))
+                    .collect();
+                let body = format!(
+                    r#"{{"ops": [{{"op": "append", "ranking": [{}]}}]}}"#,
+                    rotated.join(",")
+                );
+                send_request(
+                    &mut stream,
+                    "PATCH",
+                    &format!("/v1/datasets/{id}"),
+                    &body,
+                    false,
+                );
+                let (status, _, response) = read_response(&mut stream);
+                assert_eq!(status, 200, "edit {round}: {response}");
+            }
+        })
+    };
+    // Solver clients race the editor on the same id; by-reference solves
+    // always resolve whatever version is current at admission time.
+    let solvers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let solve = solve.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                for round in 0..SOLVES_PER_CLIENT {
+                    send_request(&mut stream, "POST", "/v1/consensus", &solve, false);
+                    let (status, _, body) = read_response(&mut stream);
+                    assert_eq!(status, 200, "solver {client} round {round}: {body}");
+                }
+            })
+        })
+        .collect();
+    editor.join().expect("editor thread");
+    for solver in solvers {
+        solver.join().expect("solver thread");
+    }
+
+    // Counters advanced: every edit was either delta-derived (one append op
+    // each) or — if its parent matrix had been evicted meanwhile — counted
+    // as a rebuild fallback. Nothing was rejected.
+    let (_, stats) = exchange(addr, "GET", "/v1/stats", "");
+    let appends = get_u64(&stats, &["precedence_cache", "delta_appends"]);
+    let fallbacks = get_u64(&stats, &["precedence_cache", "delta_rebuild_fallbacks"]);
+    assert_eq!(
+        appends + fallbacks,
+        EDITS as u64,
+        "every PATCH accounted for: {stats:?}"
+    );
+    assert!(
+        appends >= 1,
+        "at least the warm first edit derives: {stats:?}"
+    );
+    assert_eq!(
+        get_u64(&stats, &["server", "connections_rejected"]),
+        0,
+        "{stats:?}"
+    );
+    assert!(get_u64(&stats, &["latency", "dataset_patch", "count"]) >= EDITS as u64);
+    let (_, meta) = exchange(addr, "GET", &format!("/v1/datasets/{id}"), "");
+    assert_eq!(get_u64(&meta, &["version"]), 1 + EDITS as u64);
+
+    // Zero stale replays: a fresh edit changes the fingerprint, so the next
+    // by-reference solve MUST miss the response cache; only the genuine
+    // same-content replay after it may hit.
+    let (status, _) = exchange(
+        addr,
+        "PATCH",
+        &format!("/v1/datasets/{id}"),
+        r#"{"ops": [{"op": "append", "ranking": ["f","d","b","e","c","a"]}]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, fresh) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200, "{fresh:?}");
+    assert_eq!(
+        fresh.get("cached"),
+        Some(&Value::Bool(false)),
+        "post-edit solve replayed a pre-edit payload: {fresh:?}"
+    );
+    let (_, replay) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(
+        replay.get("cached"),
+        Some(&Value::Bool(true)),
+        "same-content replay stays legitimate: {replay:?}"
+    );
+    handle.stop();
+}

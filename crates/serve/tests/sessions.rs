@@ -1,0 +1,292 @@
+//! Integration tests for dataset versioning over HTTP: `PATCH
+//! /v1/datasets/{id}` edits, version pinning and eviction conflicts, stale
+//! cached-payload protection, and `POST /v1/sessions` what-if streaming over
+//! one keep-alive connection.
+
+mod common;
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use common::*;
+use mani_serve::ServerConfig;
+use serde::Value;
+
+/// A PATCH body appending `ranking` (candidate names) `weight` times.
+fn append_body(ranking: &str, weight: u32) -> String {
+    format!(r#"{{"ops": [{{"op": "append", "ranking": [{ranking}], "weight": {weight}}}]}}"#)
+}
+
+#[test]
+fn patch_bumps_versions_and_evicted_pins_conflict() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (status, uploaded) = exchange(addr, "POST", "/v1/datasets", &demo_dataset("ver"));
+    assert_eq!(status, 200, "{uploaded:?}");
+    let id = uploaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(get_u64(&uploaded, &["version"]), 1);
+    assert!(
+        matches!(uploaded.get("fingerprint"), Some(Value::String(_))),
+        "{uploaded:?}"
+    );
+
+    // Warm the version-1 matrix so the patch can delta-derive.
+    let warm = format!(
+        r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+    );
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &warm);
+    assert_eq!(status, 200);
+
+    let (status, patched) = exchange(
+        addr,
+        "PATCH",
+        &format!("/v1/datasets/{id}"),
+        &append_body(r#""f","a","b","c","d","e""#, 2),
+    );
+    assert_eq!(status, 200, "{patched:?}");
+    assert_eq!(get_u64(&patched, &["version"]), 2);
+    assert_eq!(patched.get("derived"), Some(&Value::Bool(true)));
+    assert_eq!(get_u64(&patched, &["appends"]), 2);
+    assert_eq!(get_u64(&patched, &["rankings"]), 5);
+
+    // The current version resolves to the edited rankings; pinning version 1
+    // still reaches the original.
+    let (status, meta) = exchange(addr, "GET", &format!("/v1/datasets/{id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(get_u64(&meta, &["version"]), 2);
+    let pinned = format!(
+        r#"{{"dataset": {{"id": "{id}", "version": 1}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+    );
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &pinned);
+    assert_eq!(status, 200);
+
+    // Edit past the retention window: the version-1 pin becomes a 409
+    // Conflict (evicted), distinct from 404 (never existed).
+    for _ in 0..mani_serve::MAX_RETAINED_VERSIONS {
+        let (status, body) = exchange(
+            addr,
+            "PATCH",
+            &format!("/v1/datasets/{id}"),
+            &append_body(r#""b","c","a","f","e","d""#, 1),
+        );
+        assert_eq!(status, 200, "{body:?}");
+    }
+    let (status, conflict) = exchange(addr, "POST", "/v1/consensus", &pinned);
+    assert_eq!(status, 409, "{conflict:?}");
+    let message = conflict.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(message.contains("evicted"), "{conflict:?}");
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &warm);
+    assert_eq!(
+        status, 200,
+        "unpinned solves keep following the current version"
+    );
+
+    // An id that never existed stays 404.
+    let (status, _) = exchange(
+        addr,
+        "PATCH",
+        "/v1/datasets/ds-0000000000000000",
+        &append_body(r#""a","b","c","d","e","f""#, 1),
+    );
+    assert_eq!(status, 404);
+    handle.stop();
+}
+
+#[test]
+fn patch_never_replays_pre_edit_cached_payloads() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let (_, uploaded) = exchange(addr, "POST", "/v1/datasets", &demo_dataset("stale"));
+    let id = uploaded
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let solve = format!(
+        r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+    );
+
+    let (status, first) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    let (_, replay) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(replay.get("cached"), Some(&Value::Bool(true)));
+
+    // Editing the dataset changes its content fingerprint, so the same
+    // by-reference request can never replay the pre-edit payload.
+    let (status, _) = exchange(
+        addr,
+        "PATCH",
+        &format!("/v1/datasets/{id}"),
+        &append_body(r#""f","e","d","c","b","a""#, 5),
+    );
+    assert_eq!(status, 200);
+    let (status, after) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 200, "{after:?}");
+    assert_eq!(
+        after.get("cached"),
+        Some(&Value::Bool(false)),
+        "post-edit solve must not replay the pre-edit cache: {after:?}"
+    );
+
+    // DELETE leaves nothing addressable.
+    let (status, _) = exchange(addr, "DELETE", &format!("/v1/datasets/{id}"), "");
+    assert_eq!(status, 200);
+    let (status, _) = exchange(addr, "POST", "/v1/consensus", &solve);
+    assert_eq!(status, 404);
+    handle.stop();
+}
+
+#[test]
+fn sessions_stream_chunked_ndjson_on_a_keep_alive_connection() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(2),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Warm the base fingerprint so the first edit derives from a warm parent.
+    let (status, _) = exchange(
+        addr,
+        "POST",
+        "/v1/consensus",
+        &consensus_body("live", r#""Fair-Borda""#, 0.2, true),
+    );
+    assert_eq!(status, 200);
+
+    let session = format!(
+        r#"{{
+            "dataset": {},
+            "methods": ["Fair-Borda"],
+            "delta": 0.2,
+            "edits": [
+                {{"op": "append", "ranking": ["f","a","b","c","d","e"]}},
+                {{"op": "append", "ranking": ["a","f","b","c","e","d"], "weight": 2}},
+                [{{"op": "retract", "ranking": ["f","a","b","c","d","e"]}}]
+            ]
+        }}"#,
+        demo_dataset("live")
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_request(&mut stream, "POST", "/v1/sessions", &session, false);
+    let (status, headers) = read_head(&mut stream);
+    assert_eq!(status, 200);
+    let content_type = headers
+        .iter()
+        .find(|(n, _)| n == "content-type")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("");
+    assert!(
+        content_type.starts_with("application/x-ndjson"),
+        "{headers:?}"
+    );
+    assert!(
+        headers.iter().any(|(n, _)| n == "x-request-id"),
+        "{headers:?}"
+    );
+
+    let mut lines = Vec::new();
+    while let Some(chunk) = read_chunk(&mut stream) {
+        lines.push(chunk);
+    }
+    assert_eq!(lines.len(), 4, "three edit lines + summary: {lines:?}");
+    let mut fingerprints = Vec::new();
+    for (index, line) in lines[..3].iter().enumerate() {
+        let parsed: Value = serde_json::from_str(line).expect("JSON line");
+        assert_eq!(get_u64(&parsed, &["edit"]), index as u64, "{line}");
+        assert_eq!(
+            parsed.get("derived"),
+            Some(&Value::Bool(true)),
+            "every step delta-derives: {line}"
+        );
+        assert!(
+            parsed
+                .get("results")
+                .and_then(Value::as_array)
+                .and_then(|a| a.first())
+                .and_then(|r| r.get("arps"))
+                .is_some(),
+            "edit lines carry parity metrics: {line}"
+        );
+        fingerprints.push(
+            parsed
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .expect("fingerprint")
+                .to_string(),
+        );
+    }
+    assert_ne!(fingerprints[0], fingerprints[1], "edits change the content");
+    let summary: Value = serde_json::from_str(&lines[3]).expect("summary JSON");
+    assert_eq!(summary.get("summary"), Some(&Value::Bool(true)));
+    assert_eq!(get_u64(&summary, &["edits"]), 3);
+    assert_eq!(get_u64(&summary, &["derived"]), 3);
+    assert_eq!(get_u64(&summary, &["rebuilds"]), 0);
+    assert_eq!(get_u64(&summary, &["errors"]), 0);
+
+    // The chunked stream left the connection reusable: the same socket
+    // serves another exchange, and the session recorded under its label.
+    send_request(&mut stream, "GET", "/v1/stats", "", true);
+    let (status, _, stats) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    let parsed: Value = serde_json::from_str(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&parsed, &["latency", "session", "count"]), 1);
+    assert_eq!(
+        get_u64(&parsed, &["precedence_cache", "delta_appends"]),
+        2,
+        "one bump per append op: {stats}"
+    );
+    assert_eq!(get_u64(&parsed, &["precedence_cache", "delta_retracts"]), 1);
+    assert_eq!(
+        get_u64(&parsed, &["precedence_cache", "builds"]),
+        1,
+        "the whole session rode the warm base matrix: {stats}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn invalid_sessions_fail_before_the_stream_head() {
+    let handle = spawn_server(ServerConfig {
+        engine: small_engine(1),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // No edits: a plain buffered JSON 400, never a stream head.
+    let empty = format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2, "edits": []}}"#,
+        demo_dataset("bad")
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/sessions", &empty);
+    assert_eq!(status, 400, "{body:?}");
+    assert!(body.get("error").is_some(), "{body:?}");
+
+    // A retract of a ranking the profile never held fails at validation,
+    // identifying the offending edit.
+    let impossible = format!(
+        r#"{{"dataset": {}, "methods": ["Fair-Borda"], "delta": 0.2,
+            "edits": [{{"op": "retract", "ranking": ["f","e","d","c","a","b"], "weight": 9}}]}}"#,
+        demo_dataset("bad")
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/sessions", &impossible);
+    assert_eq!(status, 400, "{body:?}");
+    let message = body.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(message.contains("edit 0"), "{body:?}");
+    handle.stop();
+}

@@ -17,6 +17,9 @@ pub enum ApiErrorKind {
     InvalidArgument,
     /// The referenced entity (dataset id, job id, endpoint) does not exist.
     NotFound,
+    /// The request references state the server can no longer honor (e.g. a
+    /// pinned dataset version that has been evicted from the version chain).
+    Conflict,
     /// A bounded resource is full (engine queue, dataset registry); the
     /// request may succeed later.
     Overloaded,
@@ -36,6 +39,7 @@ impl ApiErrorKind {
         match self {
             ApiErrorKind::InvalidArgument => "invalid_argument",
             ApiErrorKind::NotFound => "not_found",
+            ApiErrorKind::Conflict => "conflict",
             ApiErrorKind::Overloaded => "overloaded",
             ApiErrorKind::UnsupportedMedia => "unsupported_media",
             ApiErrorKind::NotAcceptable => "not_acceptable",
@@ -70,6 +74,11 @@ impl ApiError {
     /// An [`ApiErrorKind::NotFound`] error.
     pub fn not_found(message: impl Into<String>) -> Self {
         Self::new(ApiErrorKind::NotFound, message)
+    }
+
+    /// An [`ApiErrorKind::Conflict`] error.
+    pub fn conflict(message: impl Into<String>) -> Self {
+        Self::new(ApiErrorKind::Conflict, message)
     }
 
     /// An [`ApiErrorKind::Overloaded`] error.

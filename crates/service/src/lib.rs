@@ -38,11 +38,13 @@ pub use metrics::{
     EndpointMetrics, HistogramSnapshot, LatencyHistogram, TransportStats, ENDPOINT_LABELS,
     LATENCY_BUCKETS, LATENCY_BUCKET_BOUNDS_US,
 };
-pub use registry::{dataset_id, DatasetRegistry, MAX_REGISTERED_DATASETS};
+pub use registry::{
+    dataset_id, DatasetRegistry, RegisteredDataset, MAX_REGISTERED_DATASETS, MAX_RETAINED_VERSIONS,
+};
 pub use response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_CAPACITY};
 pub use service::{
     methods_value, version_value, BuildInfo, ConsensusReply, ConsensusStream, RequestContext,
-    Service, StreamSink, MAX_TRACKED_JOBS, SLOW_RING_CAPACITY,
+    Service, StreamSink, WhatIfSession, MAX_TRACKED_JOBS, SLOW_RING_CAPACITY,
 };
 pub use spec::{
     attribute_names_json, dataset_to_value, method_result_json, parse_budget, parse_consensus_spec,

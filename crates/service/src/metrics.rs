@@ -89,12 +89,14 @@ pub struct HistogramSnapshot {
 /// buffered ones: a streamed request's latency spans the whole batch drain,
 /// so mixing the two in one histogram would make the buffered tail
 /// unreadable.
-pub const ENDPOINT_LABELS: [&str; 10] = [
+pub const ENDPOINT_LABELS: [&str; 12] = [
     "consensus",
     "consensus_stream",
+    "session",
     "audit",
     "jobs",
     "datasets",
+    "dataset_patch",
     "methods",
     "stats",
     "version",

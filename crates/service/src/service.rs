@@ -28,16 +28,16 @@ use mani_aggregation::CopelandAggregator;
 use mani_core::{MethodKind, MfcrContext};
 use mani_engine::{
     BatchHandle, ConsensusEngine, ConsensusRequest, ConsensusResponse, EngineConfig, EngineDataset,
-    EngineError, JobHandle, JobId, JobStatus,
+    EngineError, JobHandle, JobId, JobStatus, RankingDelta,
 };
 use mani_fairness::{FairnessAudit, FairnessThresholds};
 use mani_obs::{PromWriter, SlowEntry, SlowRing, Span, TraceTimeline};
-use mani_ranking::GroupIndex;
+use mani_ranking::{CandidateDb, GroupIndex, Ranking, RankingProfile};
 use serde::{Serialize, Value};
 
 use crate::error::{ApiError, ApiErrorKind};
 use crate::metrics::{EndpointMetrics, TransportStats, LATENCY_BUCKET_BOUNDS_US};
-use crate::registry::{dataset_id, DatasetRegistry};
+use crate::registry::{DatasetRegistry, RegisteredDataset};
 use crate::response_cache::ResponseCache;
 use crate::spec::{
     attribute_names_json, method_result_json, parse_consensus_spec, parse_dataset,
@@ -297,6 +297,165 @@ fn cached_response_json(dataset: &str, values: &[Arc<Value>]) -> Value {
             ),
         ),
     ])
+}
+
+/// One validated what-if edit: the dataset state after the edit and the
+/// ranking deltas that produced it from the previous state.
+#[derive(Debug)]
+struct SessionStep {
+    dataset: Arc<EngineDataset>,
+    deltas: Vec<RankingDelta>,
+}
+
+/// A live what-if session: a base dataset plus a validated edit script,
+/// solved edit-by-edit with delta-derived precedence matrices and streamed
+/// as one NDJSON line per edit (see [`Service::session`]).
+#[derive(Debug)]
+pub struct WhatIfSession {
+    base: Arc<EngineDataset>,
+    steps: Vec<SessionStep>,
+    methods: Vec<MethodKind>,
+    thresholds: FairnessThresholds,
+    budget: Option<u64>,
+    started: Instant,
+    request_id: String,
+    trace: Arc<TraceTimeline>,
+}
+
+impl WhatIfSession {
+    /// Number of edits in the session.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for an (impossible via the API) empty session.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// When the session was admitted (transports time the drain from here).
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Correlation id of the originating request.
+    pub fn request_id(&self) -> &str {
+        &self.request_id
+    }
+
+    /// The originating request's phase timeline.
+    pub fn trace(&self) -> &Arc<TraceTimeline> {
+        &self.trace
+    }
+
+    /// Drives the session to completion: per edit, derive the edited state's
+    /// precedence matrix from its parent's (delta fold; a cold parent costs
+    /// one full build, after which every subsequent edit derives), solve or
+    /// replay from the response cache, and emit one NDJSON line.
+    fn emit_lines<E>(
+        self,
+        service: &Service,
+        emit: &mut dyn FnMut(&str) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let total = self.steps.len();
+        let mut derived = 0usize;
+        let mut rebuilds = 0usize;
+        let mut cached = 0usize;
+        let mut errors = 0usize;
+        let mut total_solve_ms = 0f64;
+        let mut parent = Arc::clone(&self.base);
+        for (index, step) in self.steps.into_iter().enumerate() {
+            let (_, from_delta) = service.engine.cache().derive_with(
+                &parent,
+                &step.dataset,
+                &step.deltas,
+                &service.engine.kernel_parallelism(),
+            );
+            if from_delta {
+                derived += 1;
+            } else {
+                rebuilds += 1;
+            }
+            let spec = ConsensusSpec {
+                dataset: Arc::clone(&step.dataset),
+                methods: self.methods.clone(),
+                thresholds: self.thresholds.clone(),
+                budget: self.budget,
+            };
+            // An edit state already solved (here or by any other request with
+            // identical content) replays from the response cache.
+            let mut hits = Vec::with_capacity(spec.methods.len());
+            let all_cached = spec.methods.iter().all(|method| {
+                match service.cache.get(&spec.cache_key(*method)) {
+                    Some(value) => {
+                        hits.push(value);
+                        true
+                    }
+                    None => false,
+                }
+            });
+            let payload = if all_cached {
+                cached += 1;
+                cached_response_json(spec.dataset.name(), &hits)
+            } else {
+                match service.submit(std::slice::from_ref(&spec)) {
+                    Ok(handles) => {
+                        let response = handles[0].wait();
+                        if !response.is_complete() {
+                            errors += 1;
+                        }
+                        total_solve_ms += response.total_solve_time.as_secs_f64() * 1e3;
+                        service.rendered_response(&spec, &response)
+                    }
+                    Err(error) => {
+                        // The stream head is already committed: an admission
+                        // failure becomes an error line, not a failed
+                        // request, and later edits still run.
+                        errors += 1;
+                        obj(vec![
+                            ("error", s(error.message)),
+                            ("kind", s(error.kind.label())),
+                        ])
+                    }
+                }
+            };
+            emit(&session_line(index, &step.dataset, from_delta, payload))?;
+            parent = step.dataset;
+        }
+        let summary = obj(vec![
+            ("summary", Value::Bool(true)),
+            ("edits", Value::UInt(total as u64)),
+            ("derived", Value::UInt(derived as u64)),
+            ("rebuilds", Value::UInt(rebuilds as u64)),
+            ("cached", Value::UInt(cached as u64)),
+            ("errors", Value::UInt(errors as u64)),
+            ("total_solve_time_ms", Value::Float(total_solve_ms)),
+        ]);
+        emit(&format!("{}\n", render(&summary)))
+    }
+}
+
+/// One NDJSON session line: the edit index, the edited state's content
+/// fingerprint and profile size, whether its matrix was delta-derived, and
+/// the solve payload.
+fn session_line(index: usize, dataset: &EngineDataset, derived: bool, payload: Value) -> String {
+    let mut entries = vec![
+        ("edit".to_string(), Value::UInt(index as u64)),
+        (
+            "fingerprint".to_string(),
+            Value::String(format!("{:016x}", dataset.fingerprint())),
+        ),
+        (
+            "rankings".to_string(),
+            Value::UInt(dataset.num_rankings() as u64),
+        ),
+        ("derived".to_string(), Value::Bool(derived)),
+    ];
+    match payload {
+        Value::Object(fields) => entries.extend(fields),
+        other => entries.push(("payload".to_string(), other)),
+    }
+    format!("{}\n", render(&Value::Object(entries)))
 }
 
 /// One tracked async job: its handle plus what is needed to render and cache
@@ -847,26 +1006,65 @@ impl Service {
     /// datasets share the engine's warm matrix with identical inline uploads
     /// in any representation.
     pub fn register_dataset(&self, dataset: Arc<EngineDataset>) -> Result<Value, ApiError> {
-        let (id, created) = self.datasets.register(Arc::clone(&dataset))?;
-        Ok(obj(vec![
-            ("id", s(&id)),
-            ("name", s(dataset.name())),
-            ("candidates", Value::UInt(dataset.num_candidates() as u64)),
-            ("rankings", Value::UInt(dataset.num_rankings() as u64)),
-            ("created", Value::Bool(created)),
-        ]))
+        let (registered, created) = self.datasets.register(dataset)?;
+        Ok(dataset_value(
+            &registered,
+            vec![("created", Value::Bool(created))],
+        ))
     }
 
     /// The dataset-metadata operation.
     pub fn dataset_get(&self, id: &str) -> Result<Value, ApiError> {
-        let dataset = self.datasets.resolve(id)?;
-        Ok(obj(vec![
-            ("id", s(dataset_id(&dataset))),
-            ("name", s(dataset.name())),
-            ("candidates", Value::UInt(dataset.num_candidates() as u64)),
-            ("rankings", Value::UInt(dataset.num_rankings() as u64)),
-            ("attributes", attribute_names_json(dataset.db())),
-        ]))
+        let registered = self.datasets.resolve_current(id)?;
+        let attributes = attribute_names_json(registered.dataset.db());
+        Ok(with_entry(
+            dataset_value(&registered, Vec::new()),
+            "attributes",
+            attributes,
+        ))
+    }
+
+    /// The dataset-edit operation: applies an `ops` array of `append` /
+    /// `retract` ranking edits to the id's current version and installs the
+    /// result as the id's next version (the id itself is stable; the returned
+    /// `version` and `fingerprint` identify the new current content). The
+    /// edited version's precedence matrix is derived from the parent's by
+    /// folding the deltas in — `O(edits · n²)` instead of a full
+    /// `O(n² · |R|)` rebuild whenever the parent's matrix is warm.
+    pub fn dataset_patch(&self, id: &str, body: &Value) -> Result<Value, ApiError> {
+        let parent = self.datasets.resolve_current(id)?;
+        let ops = body
+            .get("ops")
+            .and_then(Value::as_array)
+            .filter(|ops| !ops.is_empty())
+            .ok_or_else(|| ApiError::invalid("a patch needs a non-empty `ops` array"))?;
+        let deltas = ops
+            .iter()
+            .enumerate()
+            .map(|(index, op)| parse_edit_op(index, op, parent.dataset.db()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let child = apply_ranking_deltas(&parent.dataset, &deltas)?;
+        let (_, derived) = self.engine.cache().derive_with(
+            &parent.dataset,
+            &child,
+            &deltas,
+            &self.engine.kernel_parallelism(),
+        );
+        let (appends, retracts) = deltas
+            .iter()
+            .fold((0u64, 0u64), |(a, r), delta| match delta {
+                RankingDelta::Append { weight, .. } => (a + u64::from(*weight), r),
+                RankingDelta::Retract { weight, .. } => (a, r + u64::from(*weight)),
+            });
+        let updated = self.datasets.update(id, child)?;
+        Ok(dataset_value(
+            &updated,
+            vec![
+                ("appends", Value::UInt(appends)),
+                ("retracts", Value::UInt(retracts)),
+                ("derived", Value::Bool(derived)),
+            ],
+        ))
     }
 
     /// The dataset-removal operation.
@@ -875,6 +1073,67 @@ impl Service {
             Some(_) => Ok(obj(vec![("id", s(id)), ("deleted", Value::Bool(true))])),
             None => Err(ApiError::not_found(format!("no such dataset `{id}`"))),
         }
+    }
+
+    /// The what-if session operation: a base dataset (inline, by id, or a
+    /// pinned version) plus an `edits` array, each edit an op object or a
+    /// list of ops applied on top of the previous edit's state. The whole
+    /// script is validated here, before any solve; drive the returned session
+    /// with [`Service::stream_session`] to get one NDJSON line of consensus +
+    /// parity results per edit. Nothing is persisted — a session explores
+    /// counterfactual edits without touching the id's version chain (use the
+    /// dataset patch operation to commit an edit).
+    pub fn session(&self, body: &Value, ctx: &RequestContext) -> Result<WhatIfSession, ApiError> {
+        let _parse = Span::enter(&ctx.trace, "parse");
+        let spec = parse_consensus_spec(body, Some(&self.datasets))?;
+        let edits = body
+            .get("edits")
+            .and_then(Value::as_array)
+            .filter(|edits| !edits.is_empty())
+            .ok_or_else(|| ApiError::invalid("a session needs a non-empty `edits` array"))?;
+        let mut steps = Vec::with_capacity(edits.len());
+        let mut parent = Arc::clone(&spec.dataset);
+        for (index, edit) in edits.iter().enumerate() {
+            let deltas = match edit {
+                Value::Object(_) => vec![parse_edit_op(index, edit, spec.dataset.db())?],
+                Value::Array(ops) if !ops.is_empty() => ops
+                    .iter()
+                    .map(|op| parse_edit_op(index, op, spec.dataset.db()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => {
+                    return Err(ApiError::invalid(format!(
+                        "edit {index} must be an op object or a non-empty array of ops"
+                    )));
+                }
+            };
+            let child = apply_ranking_deltas(&parent, &deltas)
+                .map_err(|e| ApiError::new(e.kind, format!("edit {index}: {}", e.message)))?;
+            steps.push(SessionStep {
+                dataset: Arc::clone(&child),
+                deltas,
+            });
+            parent = child;
+        }
+        Ok(WhatIfSession {
+            base: Arc::clone(&spec.dataset),
+            steps,
+            methods: spec.methods,
+            thresholds: spec.thresholds,
+            budget: spec.budget,
+            started: Instant::now(),
+            request_id: ctx.id.clone(),
+            trace: Arc::clone(&ctx.trace),
+        })
+    }
+
+    /// Drives a [`WhatIfSession`] into `sink`, one line per edit plus a
+    /// terminal summary.
+    pub fn stream_session<S: StreamSink>(
+        &self,
+        session: WhatIfSession,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        session.emit_lines(self, &mut |line| sink.emit_line(line))
     }
 
     /// The stats operation: every counter surface as one JSON document.
@@ -964,6 +1223,12 @@ impl Service {
                     ("lookups", Value::UInt(precedence.lookups)),
                     ("hits", Value::UInt(precedence.hits)),
                     ("builds", Value::UInt(precedence.builds)),
+                    ("delta_appends", Value::UInt(precedence.delta_appends)),
+                    ("delta_retracts", Value::UInt(precedence.delta_retracts)),
+                    (
+                        "delta_rebuild_fallbacks",
+                        Value::UInt(precedence.delta_rebuild_fallbacks),
+                    ),
                     ("entries", Value::UInt(precedence.entries as u64)),
                 ]),
             ),
@@ -1230,6 +1495,21 @@ impl Service {
             "Precedence matrices built.",
             precedence.builds,
         );
+        w.counter(
+            "mani_precedence_cache_delta_appends_total",
+            "Ranking appends folded into delta-derived precedence matrices.",
+            precedence.delta_appends,
+        );
+        w.counter(
+            "mani_precedence_cache_delta_retracts_total",
+            "Ranking retracts folded into delta-derived precedence matrices.",
+            precedence.delta_retracts,
+        );
+        w.counter(
+            "mani_precedence_cache_delta_rebuilds_total",
+            "Delta derivations that fell back to a full matrix rebuild.",
+            precedence.delta_rebuild_fallbacks,
+        );
         w.gauge(
             "mani_precedence_cache_entries",
             "Precedence-cache resident entries.",
@@ -1318,6 +1598,114 @@ pub fn methods_value() -> Value {
             .collect(),
     );
     obj(vec![("methods", methods)])
+}
+
+/// The canonical dataset resource object every dataset operation returns:
+/// the stable `id`, the monotonic `version`, this version's content
+/// `fingerprint`, and the dataset's shape, plus operation-specific entries.
+fn dataset_value(registered: &RegisteredDataset, extra: Vec<(&str, Value)>) -> Value {
+    let dataset = &registered.dataset;
+    let mut entries = vec![
+        ("id", s(&registered.id)),
+        ("version", Value::UInt(registered.version)),
+        ("fingerprint", s(registered.fingerprint_hex())),
+        ("name", s(dataset.name())),
+        ("candidates", Value::UInt(dataset.num_candidates() as u64)),
+        ("rankings", Value::UInt(dataset.num_rankings() as u64)),
+    ];
+    entries.extend(extra);
+    obj(entries)
+}
+
+/// Parses one edit op — `{"op": "append"|"retract", "ranking": [names],
+/// "weight"?: W}` — into a ranking delta against `db`. The ranking must be a
+/// full order over the dataset's candidates; `weight` (default 1) counts how
+/// many copies the op adds or removes.
+fn parse_edit_op(index: usize, op: &Value, db: &CandidateDb) -> Result<RankingDelta, ApiError> {
+    let kind = op.get("op").and_then(Value::as_str).ok_or_else(|| {
+        ApiError::invalid(format!("op {index} needs an `op` of `append` or `retract`"))
+    })?;
+    let weight = match op.get("weight") {
+        None | Some(Value::Null) => 1u32,
+        Some(Value::UInt(w)) if (1..=u64::from(u32::MAX)).contains(w) => *w as u32,
+        Some(Value::Int(w)) if (1..=i64::from(u32::MAX)).contains(w) => *w as u32,
+        Some(_) => {
+            return Err(ApiError::invalid(format!(
+                "op {index} `weight` must be a positive integer"
+            )));
+        }
+    };
+    let names = op.get("ranking").and_then(Value::as_array).ok_or_else(|| {
+        ApiError::invalid(format!(
+            "op {index} needs a `ranking` array of candidate names"
+        ))
+    })?;
+    if names.len() != db.len() {
+        return Err(ApiError::invalid(format!(
+            "op {index} ranking must order all {} candidates (got {})",
+            db.len(),
+            names.len()
+        )));
+    }
+    let mut order = Vec::with_capacity(names.len());
+    for raw in names {
+        let candidate = raw.as_str().ok_or_else(|| {
+            ApiError::invalid(format!("op {index} ranking entries must be strings"))
+        })?;
+        let id = db.candidate_by_name(candidate).ok_or_else(|| {
+            ApiError::invalid(format!("op {index} names unknown candidate `{candidate}`"))
+        })?;
+        order.push(id);
+    }
+    let ranking =
+        Ranking::from_order(order).map_err(|e| ApiError::invalid(format!("op {index}: {e}")))?;
+    match kind {
+        "append" => Ok(RankingDelta::Append { ranking, weight }),
+        "retract" => Ok(RankingDelta::Retract { ranking, weight }),
+        other => Err(ApiError::invalid(format!(
+            "op {index} has unknown `op` `{other}` (expected `append` or `retract`)"
+        ))),
+    }
+}
+
+/// Applies ranking deltas to a dataset's profile, producing the edited
+/// dataset (same candidate database, same name, new profile). Retracting a
+/// ranking the profile does not hold enough copies of is invalid and leaves
+/// nothing changed; so is editing the profile down to zero rankings.
+fn apply_ranking_deltas(
+    parent: &EngineDataset,
+    deltas: &[RankingDelta],
+) -> Result<Arc<EngineDataset>, ApiError> {
+    let mut rankings = parent.profile().rankings().to_vec();
+    for (index, delta) in deltas.iter().enumerate() {
+        match delta {
+            RankingDelta::Append { ranking, weight } => {
+                rankings.extend(std::iter::repeat_with(|| ranking.clone()).take(*weight as usize));
+            }
+            RankingDelta::Retract { ranking, weight } => {
+                for removed in 0..*weight {
+                    let position =
+                        rankings.iter().rposition(|r| r == ranking).ok_or_else(|| {
+                            ApiError::invalid(format!(
+                                "op {index} retracts {weight} cop(ies) of a ranking the \
+                             profile holds only {removed} of"
+                            ))
+                        })?;
+                    rankings.remove(position);
+                }
+            }
+        }
+    }
+    if rankings.is_empty() {
+        return Err(ApiError::invalid(
+            "the edits would leave the dataset with no rankings",
+        ));
+    }
+    let profile = RankingProfile::for_database(parent.db(), rankings)
+        .map_err(|e| ApiError::invalid(e.to_string()))?;
+    EngineDataset::from_arcs(parent.name(), Arc::clone(parent.db()), Arc::new(profile))
+        .map(Arc::new)
+        .map_err(|e| ApiError::internal(e.to_string()))
 }
 
 /// Maps engine admission/solve failures onto service error kinds.
@@ -1546,6 +1934,8 @@ mod tests {
         let created = service.dataset_create(dataset).unwrap();
         let text = render(&created);
         assert!(text.contains("\"created\":true"), "{text}");
+        assert!(text.contains("\"version\":1"), "{text}");
+        assert!(text.contains("\"fingerprint\":\""), "{text}");
         let id = created
             .get("id")
             .and_then(Value::as_str)
@@ -1553,10 +1943,213 @@ mod tests {
             .to_string();
         let fetched = render(&service.dataset_get(&id).unwrap());
         assert!(fetched.contains("\"attributes\":[\"G\"]"), "{fetched}");
+        assert!(fetched.contains("\"version\":1"), "{fetched}");
         assert!(render(&service.dataset_delete(&id).unwrap()).contains("\"deleted\":true"));
         assert_eq!(
             service.dataset_get(&id).unwrap_err().kind,
             ApiErrorKind::NotFound
         );
+    }
+
+    /// Registers the demo dataset and returns its id.
+    fn upload_demo(service: &Service) -> String {
+        let body = demo_body(0.2, true);
+        let created = service
+            .dataset_create(body.get("dataset").unwrap())
+            .unwrap();
+        created
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    /// A waited Fair-Borda solve referencing the dataset by id.
+    fn solve_by_id(id: &str) -> Value {
+        parse_body(&format!(
+            r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2, "wait": true}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_patch_bumps_versions_and_derives_the_matrix() {
+        let service = service();
+        let id = upload_demo(&service);
+        // Warm the base version's matrix.
+        service
+            .consensus(&solve_by_id(&id), &RequestContext::new(None))
+            .unwrap();
+        let builds = service.engine().cache().stats().builds;
+        assert_eq!(builds, 1);
+
+        let patch = parse_body(
+            r#"{"ops": [{"op": "append", "ranking": ["d","a","b","c"], "weight": 2},
+                        {"op": "retract", "ranking": ["a","c","b","d"]}]}"#,
+        )
+        .unwrap();
+        let patched = render(&service.dataset_patch(&id, &patch).unwrap());
+        assert!(patched.contains("\"version\":2"), "{patched}");
+        assert!(patched.contains("\"derived\":true"), "{patched}");
+        assert!(patched.contains("\"appends\":2"), "{patched}");
+        assert!(patched.contains("\"retracts\":1"), "{patched}");
+        assert!(patched.contains("\"rankings\":4"), "{patched}");
+
+        // Solving the patched version reuses the delta-derived matrix: no
+        // second full build, and the delta counters advanced.
+        let ConsensusReply::Complete(body) = service
+            .consensus(&solve_by_id(&id), &RequestContext::new(None))
+            .unwrap()
+        else {
+            panic!("waited solve must be complete");
+        };
+        assert!(render(&body).contains("\"cached\":false"));
+        let stats = service.engine().cache().stats();
+        assert_eq!(
+            stats.builds, builds,
+            "patched solve must not rebuild the matrix"
+        );
+        assert_eq!(stats.delta_appends, 1);
+        assert_eq!(stats.delta_retracts, 1);
+
+        // Both versions stay addressable; retract of an absent ranking and
+        // retracting everything are invalid and change nothing.
+        assert_eq!(service.datasets().current(&id).unwrap().version, 2);
+        assert_eq!(
+            service
+                .datasets()
+                .resolve_version(&id, 1)
+                .unwrap()
+                .dataset
+                .num_rankings(),
+            3
+        );
+        let bad = parse_body(
+            r#"{"ops": [{"op": "retract", "ranking": ["a","b","c","d"], "weight": 9}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            service.dataset_patch(&id, &bad).unwrap_err().kind,
+            ApiErrorKind::InvalidArgument
+        );
+        assert_eq!(service.datasets().current(&id).unwrap().version, 2);
+    }
+
+    #[test]
+    fn patch_and_delete_never_replay_stale_cached_payloads() {
+        let service = service();
+        let id = upload_demo(&service);
+        let ctx = || RequestContext::new(None);
+
+        // Solve and replay: same content, replay is legitimate.
+        let ConsensusReply::Complete(first) = service.consensus(&solve_by_id(&id), &ctx()).unwrap()
+        else {
+            panic!("waited solve must be complete");
+        };
+        assert!(render(&first).contains("\"cached\":false"));
+        let ConsensusReply::Complete(replay) =
+            service.consensus(&solve_by_id(&id), &ctx()).unwrap()
+        else {
+            panic!("replay must be complete");
+        };
+        assert!(render(&replay).contains("\"cached\":true"));
+
+        // PATCH changes the content fingerprint: the next solve must miss the
+        // response cache instead of replaying the pre-edit payload.
+        let patch =
+            parse_body(r#"{"ops": [{"op": "append", "ranking": ["d","c","b","a"], "weight": 5}]}"#)
+                .unwrap();
+        service.dataset_patch(&id, &patch).unwrap();
+        let ConsensusReply::Complete(after_patch) =
+            service.consensus(&solve_by_id(&id), &ctx()).unwrap()
+        else {
+            panic!("post-patch solve must be complete");
+        };
+        assert!(
+            render(&after_patch).contains("\"cached\":false"),
+            "a patched dataset must never replay its pre-edit payload: {}",
+            render(&after_patch)
+        );
+
+        // DELETE: the id stops resolving entirely — no replay possible.
+        service.dataset_delete(&id).unwrap();
+        assert_eq!(
+            service
+                .consensus(&solve_by_id(&id), &ctx())
+                .unwrap_err()
+                .kind,
+            ApiErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn sessions_stream_consensus_per_edit_without_rebuilds() {
+        let service = service();
+        // Warm the base matrix with a plain solve so every edit derives.
+        let ConsensusReply::Complete(_) = service
+            .consensus(&demo_body(0.2, true), &RequestContext::new(None))
+            .unwrap()
+        else {
+            panic!("waited solve must be complete");
+        };
+        let builds = service.engine().cache().stats().builds;
+        assert_eq!(builds, 1);
+
+        let mut body = demo_body(0.2, true);
+        if let Value::Object(ref mut entries) = body {
+            entries.retain(|(k, _)| k == "dataset" || k == "methods" || k == "delta");
+            entries.push((
+                "edits".to_string(),
+                parse_body(
+                    r#"[{"op": "append", "ranking": ["d","a","b","c"]},
+                        [{"op": "retract", "ranking": ["d","a","b","c"]},
+                         {"op": "append", "ranking": ["b","a","c","d"], "weight": 2}]]"#,
+                )
+                .unwrap(),
+            ));
+        }
+        let session = service.session(&body, &RequestContext::new(None)).unwrap();
+        assert_eq!(session.len(), 2);
+        let mut collected = String::new();
+        match service.stream_session(session, &mut collected) {
+            Ok(()) => {}
+            Err(never) => match never {},
+        }
+        let lines: Vec<&str> = collected.lines().collect();
+        assert_eq!(lines.len(), 3, "two edits + summary: {collected}");
+        assert!(lines[0].contains("\"edit\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("\"derived\":true"), "{}", lines[0]);
+        assert!(lines[0].contains("\"ranking\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"edit\":1"), "{}", lines[1]);
+        assert!(lines[1].contains("\"derived\":true"), "{}", lines[1]);
+        assert!(lines[2].contains("\"summary\":true"), "{}", lines[2]);
+        assert!(lines[2].contains("\"derived\":2"), "{}", lines[2]);
+        assert!(lines[2].contains("\"rebuilds\":0"), "{}", lines[2]);
+
+        let stats = service.engine().cache().stats();
+        assert_eq!(
+            stats.builds, builds,
+            "what-if edits must derive, not rebuild"
+        );
+        assert_eq!(stats.delta_appends, 2, "one append per edit");
+        assert_eq!(stats.delta_retracts, 1);
+        assert_eq!(stats.delta_rebuild_fallbacks, 0);
+
+        // Retracting a ranking the profile never held fails at parse time,
+        // before any stream head is committed.
+        let mut bad = demo_body(0.2, true);
+        if let Value::Object(ref mut entries) = bad {
+            entries.retain(|(k, _)| k == "dataset" || k == "methods" || k == "delta");
+            entries.push((
+                "edits".to_string(),
+                parse_body(r#"[{"op": "retract", "ranking": ["b","d","a","c"], "weight": 3}]"#)
+                    .unwrap(),
+            ));
+        }
+        let err = service
+            .session(&bad, &RequestContext::new(None))
+            .unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::InvalidArgument);
+        assert!(err.message.contains("edit 0"), "{}", err.message);
     }
 }

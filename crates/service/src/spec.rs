@@ -87,8 +87,16 @@ impl ConsensusSpec {
     }
 }
 
-/// Resolves the dataset of a request body: inline under `dataset`, or by
-/// registry id under `dataset_id` (uploaded through the datasets operation).
+/// Resolves the dataset of a request body.
+///
+/// Three forms are accepted under `dataset`:
+///
+/// * an inline document (`{"name", "candidates", "rankings", ...}`);
+/// * a registry reference `{"id": "ds-...", "version"?: N}` — distinguished
+///   from the inline form by the presence of an `id` key. Omitting `version`
+///   resolves the id's current version; pinning an evicted version is a
+///   [`crate::ApiErrorKind::Conflict`].
+/// * (legacy, deprecated) a flat string sibling `"dataset_id": "ds-..."`.
 pub fn resolve_spec_dataset(
     value: &Value,
     registry: Option<&DatasetRegistry>,
@@ -97,36 +105,145 @@ pub fn resolve_spec_dataset(
         (Some(_), Some(_)) => Err(ApiError::invalid(
             "pass either `dataset` or `dataset_id`, not both",
         )),
-        (Some(inline), None) => parse_dataset(inline),
+        (Some(inline), None) => match inline.get("id") {
+            Some(raw) => {
+                let id = raw
+                    .as_str()
+                    .ok_or_else(|| ApiError::invalid("`dataset.id` must be a string"))?;
+                let registry = require_registry(registry)?;
+                match inline.get("version") {
+                    None | Some(Value::Null) => registry.resolve(id),
+                    Some(raw) => {
+                        let version = match raw {
+                            Value::UInt(u) => *u,
+                            Value::Int(i) if *i > 0 => *i as u64,
+                            _ => {
+                                return Err(ApiError::invalid(
+                                    "`dataset.version` must be a positive integer",
+                                ))
+                            }
+                        };
+                        registry.resolve_version(id, version).map(|r| r.dataset)
+                    }
+                }
+            }
+            None => parse_dataset(inline),
+        },
         (None, Some(raw)) => {
             let id = raw
                 .as_str()
                 .ok_or_else(|| ApiError::invalid("`dataset_id` must be a string"))?;
-            let registry = registry.ok_or_else(|| {
-                ApiError::invalid("`dataset_id` is not supported in this context")
-            })?;
-            registry.resolve(id)
+            require_registry(registry)?.resolve(id)
         }
         (None, None) => Err(ApiError::invalid("missing `dataset` (or `dataset_id`)")),
     }
 }
 
-/// Parses one consensus spec (`dataset` or `dataset_id`, plus `methods`,
-/// thresholds, and `budget`). `registry` resolves `dataset_id` references.
+/// The registry, or the invalid-argument error contexts without one report.
+fn require_registry(registry: Option<&DatasetRegistry>) -> Result<&DatasetRegistry, ApiError> {
+    registry.ok_or_else(|| {
+        ApiError::invalid("dataset references by id are not supported in this context")
+    })
+}
+
+/// Parses one consensus spec (`dataset` or `dataset_id`, plus solve
+/// options). `registry` resolves dataset references by id.
+///
+/// Solve options come in two equivalent shapes:
+///
+/// * **nested** — one `"options"` object:
+///   `{"methods": [...], "thresholds": {"delta", "attribute_deltas",
+///   "intersection_delta"}, "budget": N, "parallelism": K}`. `parallelism`
+///   is an advisory worker-count hint: every kernel in the workspace is
+///   bit-identical across thread counts, so it never changes results and the
+///   engine's configured budget wins.
+/// * **flat (legacy)** — `methods`, `delta`, `attribute_deltas`,
+///   `intersection_delta`, `budget` as top-level siblings.
+///
+/// Mixing the two shapes in one request is rejected so clients cannot send
+/// conflicting values.
 pub fn parse_consensus_spec(
     value: &Value,
     registry: Option<&DatasetRegistry>,
 ) -> Result<ConsensusSpec, ApiError> {
     let dataset = resolve_spec_dataset(value, registry)?;
-    let methods = parse_methods(value.get("methods"))?;
-    let thresholds = parse_thresholds(value, dataset.db())?;
-    let budget = parse_budget(value.get("budget"))?;
+    let (methods, thresholds, budget) = match value.get("options") {
+        None => (
+            parse_methods(value.get("methods"))?,
+            parse_thresholds(value, dataset.db())?,
+            parse_budget(value.get("budget"))?,
+        ),
+        Some(options) => parse_solve_options(value, options, dataset.db())?,
+    };
     Ok(ConsensusSpec {
         dataset,
         methods,
         thresholds,
         budget,
     })
+}
+
+/// Parses the nested `options` object (see [`parse_consensus_spec`]),
+/// rejecting unknown option keys and any legacy flat sibling that would
+/// shadow a nested value.
+fn parse_solve_options(
+    value: &Value,
+    options: &Value,
+    db: &CandidateDb,
+) -> Result<(Vec<MethodKind>, FairnessThresholds, Option<u64>), ApiError> {
+    let entries = options
+        .as_object()
+        .ok_or_else(|| ApiError::invalid("`options` must be an object"))?;
+    for (key, _) in entries {
+        match key.as_str() {
+            "methods" | "thresholds" | "budget" | "parallelism" => {}
+            other => {
+                return Err(ApiError::invalid(format!(
+                    "unknown `options` key `{other}` (expected methods, thresholds, \
+                     budget, or parallelism)"
+                )));
+            }
+        }
+    }
+    for flat in [
+        "methods",
+        "delta",
+        "attribute_deltas",
+        "intersection_delta",
+        "budget",
+    ] {
+        if value.get(flat).is_some() {
+            return Err(ApiError::invalid(format!(
+                "pass `{flat}` either flat (legacy) or inside `options`, not both"
+            )));
+        }
+    }
+    let thresholds = match options.get("thresholds") {
+        None | Some(Value::Null) => FairnessThresholds::uniform(0.1),
+        Some(nested) => {
+            nested
+                .as_object()
+                .ok_or_else(|| ApiError::invalid("`options.thresholds` must be an object"))?;
+            parse_thresholds(nested, db)?
+        }
+    };
+    if let Some(raw) = options.get("parallelism") {
+        match raw {
+            Value::Null => {}
+            Value::UInt(u) if *u > 0 => {}
+            Value::Int(i) if *i > 0 => {}
+            _ => {
+                return Err(ApiError::invalid(
+                    "`options.parallelism` must be a positive integer",
+                ));
+            }
+        }
+    }
+    Ok((
+        parse_methods(options.get("methods"))?,
+        thresholds,
+        parse_budget(options.get("budget"))?,
+    ))
 }
 
 /// Parses the optional exact-solver node budget.
@@ -657,7 +774,8 @@ mod tests {
     fn dataset_id_resolves_through_the_registry() {
         let registry = DatasetRegistry::new(4);
         let inline = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
-        let (id, _) = registry.register(Arc::clone(&inline.dataset)).unwrap();
+        let (registered, _) = registry.register(Arc::clone(&inline.dataset)).unwrap();
+        let id = registered.id;
 
         let mut by_id = demo_spec_value(0.2);
         if let Value::Object(ref mut entries) = by_id {
@@ -699,6 +817,140 @@ mod tests {
         }
         let err = parse_consensus_spec(&both, Some(&registry)).unwrap_err();
         assert!(err.message.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn dataset_references_resolve_ids_and_pinned_versions() {
+        let registry = DatasetRegistry::new(4);
+        let inline = parse_consensus_spec(&demo_spec_value(0.2), None).unwrap();
+        let (registered, _) = registry.register(Arc::clone(&inline.dataset)).unwrap();
+        let id = registered.id;
+
+        // `"dataset": {"id": ...}` resolves the current version.
+        let by_ref = parse_body(&format!(
+            r#"{{"dataset": {{"id": "{id}"}}, "methods": ["Fair-Borda"], "delta": 0.2}}"#
+        ))
+        .unwrap();
+        let spec = parse_consensus_spec(&by_ref, Some(&registry)).unwrap();
+        assert_eq!(spec.dataset.fingerprint(), inline.dataset.fingerprint());
+
+        // An explicit version pin resolves the same content while retained.
+        let pinned = parse_body(&format!(
+            r#"{{"dataset": {{"id": "{id}", "version": 1}}, "methods": ["Fair-Borda"]}}"#
+        ))
+        .unwrap();
+        let spec = parse_consensus_spec(&pinned, Some(&registry)).unwrap();
+        assert_eq!(spec.dataset.fingerprint(), inline.dataset.fingerprint());
+
+        // Unknown versions are not-found; malformed pins are invalid.
+        let future = parse_body(&format!(
+            r#"{{"dataset": {{"id": "{id}", "version": 9}}, "methods": ["Fair-Borda"]}}"#
+        ))
+        .unwrap();
+        assert_eq!(
+            parse_consensus_spec(&future, Some(&registry))
+                .unwrap_err()
+                .kind,
+            ApiErrorKind::NotFound
+        );
+        let bad = parse_body(&format!(
+            r#"{{"dataset": {{"id": "{id}", "version": "one"}}, "methods": ["Fair-Borda"]}}"#
+        ))
+        .unwrap();
+        assert_eq!(
+            parse_consensus_spec(&bad, Some(&registry))
+                .unwrap_err()
+                .kind,
+            ApiErrorKind::InvalidArgument
+        );
+        // References need a registry, like `dataset_id`.
+        assert_eq!(
+            parse_consensus_spec(&by_ref, None).unwrap_err().kind,
+            ApiErrorKind::InvalidArgument
+        );
+    }
+
+    #[test]
+    fn nested_options_are_equivalent_to_flat_fields() {
+        // The same solve expressed flat (legacy) and nested under `options`
+        // must produce identical specs — and identical response-cache keys.
+        let mut flat = demo_spec_value(0.25);
+        if let Value::Object(ref mut entries) = flat {
+            entries.push((
+                "attribute_deltas".to_string(),
+                obj(vec![("G", Value::Float(0.05))]),
+            ));
+            entries.push(("intersection_delta".to_string(), Value::Float(0.4)));
+            entries.push(("budget".to_string(), Value::UInt(5000)));
+        }
+        let nested = parse_body(
+            r#"{
+                "dataset": {
+                    "name": "demo",
+                    "candidates": [
+                        {"name": "a", "attributes": {"G": "x"}},
+                        {"name": "b", "attributes": {"G": "y"}},
+                        {"name": "c", "attributes": {"G": "x"}},
+                        {"name": "d", "attributes": {"G": "y"}}
+                    ],
+                    "rankings": [["a","b","c","d"], ["d","c","b","a"], ["a","c","b","d"]]
+                },
+                "options": {
+                    "methods": ["Fair-Borda"],
+                    "thresholds": {
+                        "delta": 0.25,
+                        "attribute_deltas": {"G": 0.05},
+                        "intersection_delta": 0.4
+                    },
+                    "budget": 5000,
+                    "parallelism": 4
+                }
+            }"#,
+        )
+        .unwrap();
+        let flat_spec = parse_consensus_spec(&flat, None).unwrap();
+        let nested_spec = parse_consensus_spec(&nested, None).unwrap();
+        assert_eq!(flat_spec.methods, nested_spec.methods);
+        assert_eq!(flat_spec.thresholds, nested_spec.thresholds);
+        assert_eq!(flat_spec.budget, nested_spec.budget);
+        assert_eq!(
+            flat_spec.cache_key(MethodKind::FairBorda),
+            nested_spec.cache_key(MethodKind::FairBorda),
+            "equivalent shapes must share the response cache"
+        );
+
+        // Mixing shapes and unknown option keys fail loudly.
+        let mut mixed = demo_spec_value(0.25);
+        if let Value::Object(ref mut entries) = mixed {
+            entries.push((
+                "options".to_string(),
+                obj(vec![("budget", Value::UInt(10))]),
+            ));
+        }
+        let err = parse_consensus_spec(&mixed, None).unwrap_err();
+        assert!(err.message.contains("not both"), "{err}");
+        let unknown = parse_body(
+            r#"{"dataset": {"candidates": [
+                    {"name": "a", "attributes": {"G": "x"}},
+                    {"name": "b", "attributes": {"G": "y"}}
+                ], "rankings": [["a","b"]]},
+                "options": {"banana": 1}}"#,
+        )
+        .unwrap();
+        let err = parse_consensus_spec(&unknown, None).unwrap_err();
+        assert!(err.message.contains("unknown `options` key"), "{err}");
+        let bad_par = parse_body(
+            r#"{"dataset": {"candidates": [
+                    {"name": "a", "attributes": {"G": "x"}},
+                    {"name": "b", "attributes": {"G": "y"}}
+                ], "rankings": [["a","b"]]},
+                "options": {"parallelism": 0}}"#,
+        )
+        .unwrap();
+        assert!(parse_consensus_spec(&bad_par, None)
+            .unwrap_err()
+            .message
+            .contains("parallelism"));
     }
 
     #[test]
